@@ -1,0 +1,30 @@
+"""Fig. 9 — convergence of Algorithm 1's objective value (quality loss).
+
+Paper: with delta = 2 and delta = 4 on a 49-location range the robust
+objective stabilises within ~4 iterations and the consecutive-iteration
+difference goes to ~0.  The benchmark regenerates both series and times one
+full Algorithm-1 run.
+"""
+
+from repro.experiments.convergence import run_convergence_experiment
+
+
+def test_fig09_convergence(benchmark, config, workload):
+    result = benchmark.pedantic(
+        run_convergence_experiment,
+        args=(config,),
+        kwargs={"deltas": [2, 4], "workload": workload},
+        rounds=1,
+        iterations=1,
+    )
+    result.table.print()
+    print("\niterations to converge (|difference| <= 0.05 km):", result.iterations_to_converge)
+
+    for delta, history in result.histories.items():
+        assert len(history) >= 3
+        assert all(value >= 0 for value in history)
+        # Shape check: the series settles — the last consecutive difference is
+        # small relative to the objective's magnitude.
+        differences = result.differences[delta]
+        scale = max(abs(value) for value in history) or 1.0
+        assert abs(differences[-1]) <= 0.25 * scale + 1e-6

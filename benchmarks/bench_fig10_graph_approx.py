@@ -1,0 +1,46 @@
+"""Fig. 10 — efficacy of the graph approximation.
+
+Paper: the 12-neighbour graph approximation cuts the robust-generation
+running time by 92.34 % on average (Fig. 10a) and the number of Geo-Ind
+constraints by 54.58 % on average as the location count grows from 7 to 49
+(Fig. 10b).
+"""
+
+from repro.experiments.graph_approx import (
+    run_constraint_count_experiment,
+    run_runtime_experiment,
+)
+
+
+def test_fig10b_constraint_counts(benchmark, config, workload):
+    result = benchmark.pedantic(
+        run_constraint_count_experiment,
+        args=(config,),
+        kwargs={"workload": workload},
+        rounds=1,
+        iterations=1,
+    )
+    result.constraint_table.print()
+    print(f"\nmean constraint reduction: {result.mean_constraint_reduction_pct:.2f}% (paper: 54.58%)")
+
+    for row in result.constraint_rows:
+        assert row["with_graph_approx"] <= row["without_graph_approx"]
+    # At K = 49 the reduction should be large (paper's regime).
+    last = result.constraint_rows[-1]
+    assert last["reduction_pct"] > 50.0
+
+
+def test_fig10a_runtime(benchmark, config, workload):
+    result = benchmark.pedantic(
+        run_runtime_experiment,
+        args=(config,),
+        kwargs={"workload": workload},
+        rounds=1,
+        iterations=1,
+    )
+    result.runtime_table.print()
+    print(f"\nmean running-time reduction: {result.mean_runtime_reduction_pct:.2f}% (paper: 92.34%)")
+
+    # Shape check: the graph approximation wins for every delta.
+    for row in result.runtime_rows:
+        assert row["with_graph_approx_s"] <= row["without_graph_approx_s"]

@@ -1,0 +1,28 @@
+"""Fig. 11 — impact of the privacy parameter epsilon and the customization parameter delta.
+
+Paper: quality loss decreases as epsilon grows (weaker Geo-Ind constraints)
+and increases with delta (more reserved budget); CORGI's loss sits above the
+non-robust optimum for the same epsilon — the price of robustness.
+"""
+
+from repro.experiments.privacy_params import run_privacy_params_experiment
+
+
+def test_fig11_privacy_params(benchmark, config, workload):
+    result = benchmark.pedantic(
+        run_privacy_params_experiment,
+        args=(config,),
+        kwargs={"workload": workload},
+        rounds=1,
+        iterations=1,
+    )
+    result.table.print()
+
+    # Shape checks quoted in EXPERIMENTS.md.
+    assert result.corgi_never_below_nonrobust()
+    for delta in config.delta_sweep:
+        assert result.loss_decreases_with_epsilon(delta)
+    # Non-robust loss also decreases with epsilon.
+    epsilons = sorted(result.nonrobust_loss)
+    losses = [result.nonrobust_loss[eps] for eps in epsilons]
+    assert all(losses[i + 1] <= losses[i] + 1e-6 for i in range(len(losses) - 1))

@@ -1,0 +1,38 @@
+"""Fig. 12 — impact of pruning locations on Geo-Ind constraint violations.
+
+Paper headline: pruning 7 of 49 locations (14.28 %) causes 3.07 % violated
+Geo-Ind constraints for CORGI vs 18.58 % for the non-robust baseline, and
+CORGI with a larger delta is more robust.  Absolute percentages depend on the
+effective tightness epsilon * cell-spacing (see EXPERIMENTS.md); the shape —
+CORGI far below the baseline at every pruning count, monotone in the number
+of pruned locations — is what this benchmark asserts.
+"""
+
+from repro.experiments.pruning_impact import run_pruning_impact_experiment
+
+
+def test_fig12_pruning_violations(benchmark, config, workload):
+    result = benchmark.pedantic(
+        run_pruning_impact_experiment,
+        args=(config,),
+        kwargs={"workload": workload},
+        rounds=1,
+        iterations=1,
+    )
+    result.table.print()
+    if result.headline:
+        print("\nheadline comparison (7 of 49 locations pruned = 14.28%):")
+        for key, value in result.headline.items():
+            print(f"  {key}: {value:.2f}")
+
+    # CORGI never violates more than the non-robust baseline.
+    assert result.corgi_always_below_nonrobust()
+    # The non-robust baseline degrades with the number of pruned locations.
+    for (num_locations, label), curve in result.curves.items():
+        if label != "non-robust" or len(curve) < 2:
+            continue
+        counts = sorted(curve)
+        assert curve[counts[-1]] >= curve[counts[0]] - 1e-6
+    # The headline gap: CORGI's violation percentage is far below the baseline's.
+    if result.headline:
+        assert result.headline["corgi_violation_pct"] <= 0.5 * result.headline["nonrobust_violation_pct"] + 1e-9

@@ -1,0 +1,33 @@
+"""Fig. 13 — impact of the obfuscation range (privacy level) on quality loss.
+
+Paper: the wider range (privacy level 3, 343 leaves, precision 1) has a
+higher quality loss than the narrower one (level 2, 49 leaves, precision 0)
+for every epsilon and delta, and both decrease in epsilon / increase in
+delta.  The small scale shifts both choices one level down (49 vs 7 leaves);
+``REPRO_SCALE=paper`` runs the original configuration.
+"""
+
+from repro.experiments.privacy_level import run_privacy_level_experiment
+
+
+def test_fig13_privacy_level(benchmark, config, workload):
+    result = benchmark.pedantic(
+        run_privacy_level_experiment,
+        args=(config,),
+        kwargs={"workload": workload},
+        rounds=1,
+        iterations=1,
+    )
+    result.table.print()
+
+    # The wider obfuscation range costs more utility at every (epsilon, delta).
+    assert result.wider_range_costs_more()
+    # Loss decreases with epsilon for the widest choice.
+    wide_level, wide_precision = max(
+        {(key[0], key[1]) for key in result.losses}, key=lambda item: item[0]
+    )
+    for delta in config.delta_sweep:
+        losses = [
+            result.loss_for(wide_level, wide_precision, eps, delta) for eps in sorted(config.epsilon_sweep)
+        ]
+        assert all(losses[i + 1] <= losses[i] + 1e-6 for i in range(len(losses) - 1))

@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark reproduces one table/figure of the paper's evaluation
+(Section 6.2).  The scale is controlled by the ``REPRO_SCALE`` environment
+variable (``small`` by default, ``paper`` for the full configuration — see
+repro.experiments.config).  At the small scale the whole directory runs in a
+few minutes on a laptop while preserving the shape of every result; the
+printed tables are the rows quoted in EXPERIMENTS.md.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, get_scale
+from repro.experiments.workloads import build_workload
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    """The experiment configuration used by every benchmark in this session."""
+    base = get_scale()
+    if base.name != "small":
+        return base
+    # Benchmark-friendly trim of the small scale: same structure, smaller sweeps.
+    return base.derive(
+        robust_iterations=3,
+        epsilon_sweep=(15.0, 17.0),
+        delta_sweep=(1, 3),
+        pruning_trials=30,
+        num_checkins=6_000,
+    )
+
+
+@pytest.fixture(scope="session")
+def workload(config):
+    """The shared experiment workload (tree, priors, targets, splits)."""
+    return build_workload(config)

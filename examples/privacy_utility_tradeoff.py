@@ -1,0 +1,95 @@
+"""Privacy / utility / customization trade-off sweep.
+
+Reproduces, at example scale, the paper's central message: the privacy
+budget epsilon, the robustness budget delta and the privacy level jointly
+control where a deployment sits on the privacy-utility plane.  For a grid of
+(epsilon, delta) values the script reports:
+
+* expected quality loss (estimation error of travelling distance, Eq. 7);
+* the Bayesian attacker's expected inference error (privacy, larger = better);
+* the Geo-Ind violation rate after the user prunes locations (robustness),
+  for both CORGI and the non-robust baseline.
+
+Run with::
+
+    python examples/privacy_utility_tradeoff.py
+"""
+
+from repro import (
+    CORGIServer,
+    NonRobustLPMechanism,
+    ServerConfig,
+    annotate_tree_with_dataset,
+    expected_inference_error_km,
+    priors_from_checkins,
+    tree_for_region,
+)
+from repro.analysis.tables import ResultTable
+from repro.analysis.violations import pruning_violation_stats
+from repro.core.graphapprox import HexNeighborhoodGraph
+from repro.core.objective import QualityLossModel, TargetDistribution
+from repro.core.robust import RobustMatrixGenerator
+from repro.datasets import SAN_FRANCISCO
+from repro.datasets.synthetic import generate_small_dataset
+
+EPSILONS = (5.0, 10.0, 15.0)
+DELTAS = (1, 3)
+NUM_PRUNED = 5
+TRIALS = 20
+
+
+def main() -> None:
+    dataset = generate_small_dataset(num_checkins=4_000, seed=5)
+    tree = tree_for_region(SAN_FRANCISCO, height=2, root_resolution=7)
+    priors_from_checkins(tree, dataset)
+    annotate_tree_with_dataset(tree, dataset)
+
+    leaves = tree.leaves()
+    ids = [leaf.node_id for leaf in leaves]
+    centers = [leaf.center.as_tuple() for leaf in leaves]
+    priors = tree.conditional_leaf_priors(ids)
+    graph = HexNeighborhoodGraph(tree.grid, [leaf.cell for leaf in leaves])
+    distances = graph.euclidean_distance_matrix()
+    targets = TargetDistribution.sample_from_centers(centers, 20, seed=2)
+    model = QualityLossModel(centers, targets, priors)
+
+    table = ResultTable(
+        title="Privacy / utility / robustness trade-off (49-leaf range, 5 locations pruned)"
+    )
+    for epsilon in EPSILONS:
+        baseline = NonRobustLPMechanism(
+            ids, distances, model, epsilon, constraint_set=graph.constraint_set(), solver_method="highs-ipm"
+        )
+        baseline_violations = pruning_violation_stats(
+            baseline.matrix, distances, epsilon, NUM_PRUNED, trials=TRIALS, seed=1,
+            constraint_set=graph.constraint_set(),
+        )
+        for delta in DELTAS:
+            generator = RobustMatrixGenerator(
+                ids, distances, model, epsilon, delta,
+                constraint_set=graph.constraint_set(), max_iterations=3,
+            )
+            robust = generator.generate().matrix
+            robust_violations = pruning_violation_stats(
+                robust, distances, epsilon, NUM_PRUNED, trials=TRIALS, seed=1,
+                constraint_set=graph.constraint_set(),
+            )
+            table.add_row(
+                epsilon_per_km=epsilon,
+                delta=delta,
+                corgi_quality_loss_km=model.expected_loss(robust),
+                nonrobust_quality_loss_km=baseline.objective_value,
+                corgi_attacker_error_km=expected_inference_error_km(robust, priors, distances),
+                corgi_violations_pct=robust_violations.mean_violation_pct,
+                nonrobust_violations_pct=baseline_violations.mean_violation_pct,
+            )
+    table.print()
+    print(
+        "\nReading guide: quality loss falls as epsilon grows (weaker privacy) and rises with delta; "
+        "the attacker's error moves the opposite way; CORGI's violation percentage stays near zero "
+        "while the non-robust baseline degrades - the paper's Fig. 11/12 story."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The pyproject.toml [project] table is the source of truth for metadata; this
+file exists so that the package can be installed editable in offline
+environments whose pip/setuptools combination cannot build PEP 660 editable
+wheels (no `wheel` package available).
+"""
+
+from setuptools import setup
+
+setup()

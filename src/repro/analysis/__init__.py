@@ -1,0 +1,23 @@
+"""Analysis helpers shared by the experiments, examples and benchmarks.
+
+* :mod:`repro.analysis.utility` — quality-loss evaluation of matrices and
+  mechanisms on prior expectations and on held-out "real location" samples;
+* :mod:`repro.analysis.violations` — Geo-Ind violation statistics of pruned
+  matrices (the measurements behind Fig. 12 and the paper's headline
+  robustness numbers);
+* :mod:`repro.analysis.tables` — tiny result-table utilities used to print
+  the paper-style rows from the benchmark harness.
+"""
+
+from repro.analysis.tables import ResultTable, summarize
+from repro.analysis.utility import empirical_quality_loss_km, expected_quality_loss_km
+from repro.analysis.violations import PruningViolationStats, pruning_violation_stats
+
+__all__ = [
+    "expected_quality_loss_km",
+    "empirical_quality_loss_km",
+    "pruning_violation_stats",
+    "PruningViolationStats",
+    "ResultTable",
+    "summarize",
+]

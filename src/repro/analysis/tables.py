@@ -1,0 +1,106 @@
+"""Small result-table utilities.
+
+The benchmark harness prints the same rows/series the paper's figures report
+("who wins, by roughly what factor, where crossovers fall"); this module
+keeps that formatting in one place so every benchmark produces uniform,
+grep-able output that EXPERIMENTS.md can quote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class ResultTable:
+    """A labelled table of experiment results.
+
+    Rows are dictionaries; columns are discovered from the first row unless
+    given explicitly.  Values are rendered with a compact numeric format.
+    """
+
+    title: str
+    columns: Optional[List[str]] = None
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def add_row(self, **values: object) -> None:
+        """Append one result row."""
+        if self.columns is None:
+            self.columns = list(values.keys())
+        self.rows.append(dict(values))
+
+    def column(self, name: str) -> List[object]:
+        """All values of one column, in row order."""
+        return [row.get(name) for row in self.rows]
+
+    def to_text(self) -> str:
+        """Render the table as aligned plain text."""
+        if not self.rows:
+            return f"== {self.title} ==\n(no rows)"
+        columns = self.columns or list(self.rows[0].keys())
+        rendered_rows = [[_format_value(row.get(col)) for col in columns] for row in self.rows]
+        widths = [
+            max(len(str(col)), *(len(row[index]) for row in rendered_rows))
+            for index, col in enumerate(columns)
+        ]
+        lines = [f"== {self.title} =="]
+        header = "  ".join(str(col).ljust(width) for col, width in zip(columns, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * width for width in widths))
+        for row in rendered_rows:
+            lines.append("  ".join(value.ljust(width) for value, width in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Print the rendered table (benchmarks call this so results show with ``-s``)."""
+        print("\n" + self.to_text())
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation (used when persisting experiment results)."""
+        return {"title": self.title, "columns": self.columns, "rows": self.rows}
+
+
+def summarize(values: Iterable[float]) -> Dict[str, float]:
+    """Mean / std / min / max summary of a series of measurements."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        return {"mean": 0.0, "std": 0.0, "min": 0.0, "max": 0.0, "count": 0}
+    return {
+        "mean": float(array.mean()),
+        "std": float(array.std()),
+        "min": float(array.min()),
+        "max": float(array.max()),
+        "count": int(array.size),
+    }
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio used for "A is N× faster than B" style comparisons."""
+    if denominator == 0:
+        return float("inf") if numerator > 0 else 1.0
+    return numerator / denominator
+
+
+def percentage_reduction(baseline: float, improved: float) -> float:
+    """Percentage reduction of *improved* relative to *baseline* (paper-style claims)."""
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (baseline - improved) / baseline
+
+
+def _format_value(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)

@@ -1,0 +1,96 @@
+"""Quality-loss evaluation (the y-axis of Figs. 9, 11 and 13).
+
+Two views are provided:
+
+* the *expected* quality loss Δ(Z) over the prior (exactly the LP objective,
+  Eq. 7) — deterministic, used for convergence plots;
+* the *empirical* quality loss over held-out real locations (the paper's
+  90/10 train/test protocol, Section 6.2.3) — the matrix is sampled for each
+  test check-in and the estimation error against the target set is averaged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.matrix import ObfuscationMatrix
+from repro.core.objective import QualityLossModel, TargetDistribution, estimation_error_km
+from repro.tree.location_tree import LocationTree
+from repro.utils.rng import RandomState, as_rng
+
+
+def expected_quality_loss_km(matrix: ObfuscationMatrix, model: QualityLossModel) -> float:
+    """Expected estimation error Δ(Z) in km (Eq. 7)."""
+    return model.expected_loss(matrix)
+
+
+def empirical_quality_loss_km(
+    matrix: ObfuscationMatrix,
+    tree: LocationTree,
+    targets: TargetDistribution,
+    real_points: Iterable[Tuple[float, float]],
+    *,
+    samples_per_point: int = 1,
+    seed: RandomState = None,
+) -> float:
+    """Average estimation error when obfuscating actual (held-out) locations.
+
+    Parameters
+    ----------
+    matrix:
+        Obfuscation matrix over leaf nodes of *tree* (level 0).
+    tree:
+        The location tree (for mapping points to leaves and to centres).
+    targets:
+        The service-target distribution of the experiment.
+    real_points:
+        ``(lat, lng)`` of held-out check-ins acting as real locations; points
+        whose leaf is not covered by the matrix are skipped.
+    samples_per_point:
+        Number of reports drawn per real point.
+    seed:
+        Randomness for the sampling.
+
+    Returns
+    -------
+    float
+        Mean estimation error in km over all drawn reports (0.0 when no
+        point could be evaluated).
+    """
+    if samples_per_point <= 0:
+        raise ValueError("samples_per_point must be positive")
+    rng = as_rng(seed)
+    total = 0.0
+    count = 0
+    for lat, lng in real_points:
+        if not tree.contains_latlng(lat, lng):
+            continue
+        leaf = tree.leaf_for_latlng(lat, lng)
+        if leaf.node_id not in matrix:
+            continue
+        real_center = leaf.center.as_tuple()
+        for _ in range(samples_per_point):
+            reported_id = matrix.sample(leaf.node_id, seed=rng)
+            reported_center = tree.node(reported_id).center.as_tuple()
+            error = 0.0
+            for target, probability in zip(targets.locations, targets.probabilities):
+                error += probability * estimation_error_km(real_center, reported_center, target)
+            total += error
+            count += 1
+    return total / count if count else 0.0
+
+
+def utility_profile(
+    matrix: ObfuscationMatrix,
+    model: QualityLossModel,
+) -> dict:
+    """Summary of a matrix's utility: expected loss plus per-location spread."""
+    per_location = model.per_location_loss(matrix)
+    return {
+        "expected_loss_km": model.expected_loss(matrix),
+        "worst_location_loss_km": float(per_location.max()),
+        "best_location_loss_km": float(per_location.min()),
+        "median_location_loss_km": float(np.median(per_location)),
+    }

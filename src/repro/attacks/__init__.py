@@ -1,0 +1,23 @@
+"""Adversary models used to audit the mechanisms.
+
+Geo-Ind bounds how much an attacker's posterior can deviate from the prior
+(Definition 2.1).  This subpackage provides the Bayesian adversary that
+actually computes those posteriors from a published obfuscation matrix and
+the inference-error metrics commonly used to quantify location privacy
+empirically (Shokri et al.), which the examples use to illustrate what the
+guarantee buys in practice.
+"""
+
+from repro.attacks.bayesian import BayesianAttacker
+from repro.attacks.metrics import (
+    expected_inference_error_km,
+    posterior_gain,
+    top1_recovery_rate,
+)
+
+__all__ = [
+    "BayesianAttacker",
+    "expected_inference_error_km",
+    "posterior_gain",
+    "top1_recovery_rate",
+]

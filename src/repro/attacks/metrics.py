@@ -1,0 +1,50 @@
+"""Stand-alone privacy metrics derived from the Bayesian adversary."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.attacks.bayesian import BayesianAttacker
+from repro.core.matrix import ObfuscationMatrix
+
+
+def expected_inference_error_km(
+    matrix: ObfuscationMatrix,
+    priors: Sequence[float],
+    distance_matrix_km: np.ndarray,
+) -> float:
+    """Expected error (km) of the optimal inference attack; larger is more private."""
+    attacker = BayesianAttacker(matrix, priors, distance_matrix_km)
+    return attacker.expected_inference_error_km()
+
+
+def top1_recovery_rate(
+    matrix: ObfuscationMatrix,
+    priors: Sequence[float],
+    distance_matrix_km: np.ndarray,
+) -> float:
+    """Probability that the MAP attack recovers the exact location; smaller is more private."""
+    attacker = BayesianAttacker(matrix, priors, distance_matrix_km)
+    return attacker.recovery_rate()
+
+
+def posterior_gain(
+    matrix: ObfuscationMatrix,
+    priors: Sequence[float],
+    distance_matrix_km: np.ndarray,
+) -> float:
+    """How much the report helps the attacker, as a ratio of expected errors.
+
+    ``prior_error / posterior_error`` — 1.0 means the report is useless to the
+    attacker (perfect privacy); large values mean the report localises the
+    user well.  This is the intuitive reading of Definition 2.1: Geo-Ind
+    bounds how far the posterior can move from the prior.
+    """
+    attacker = BayesianAttacker(matrix, priors, distance_matrix_km)
+    posterior_error = attacker.expected_inference_error_km()
+    prior_error = attacker.prior_expected_error_km()
+    if posterior_error <= 0:
+        return float("inf") if prior_error > 0 else 1.0
+    return prior_error / posterior_error

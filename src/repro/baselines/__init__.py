@@ -1,0 +1,28 @@
+"""Baseline obfuscation mechanisms the paper compares against (Section 6.1, 7).
+
+* :class:`~repro.baselines.nonrobust.NonRobustLPMechanism` — the paper's
+  explicit baseline: the linear-programming geo-obfuscation of
+  [17, 18, 19] (optimal quality loss under ε-Geo-Ind) which reserves no
+  budget for customization (δ = 0);
+* :class:`~repro.baselines.planar_laplace.PlanarLaplaceMechanism` — the
+  classic continuous planar Laplace mechanism of Andrés et al. (the
+  mechanism behind the Location Guard browser extension), discretised onto
+  the location tree's cells;
+* :class:`~repro.baselines.uniform.UniformMechanism` — the trivially private
+  uniform-reporting mechanism, an upper bound on quality loss.
+
+All mechanisms implement the small :class:`~repro.baselines.base.ObfuscationMechanism`
+interface so the experiments and examples can swap them freely.
+"""
+
+from repro.baselines.base import ObfuscationMechanism
+from repro.baselines.nonrobust import NonRobustLPMechanism
+from repro.baselines.planar_laplace import PlanarLaplaceMechanism
+from repro.baselines.uniform import UniformMechanism
+
+__all__ = [
+    "ObfuscationMechanism",
+    "NonRobustLPMechanism",
+    "PlanarLaplaceMechanism",
+    "UniformMechanism",
+]

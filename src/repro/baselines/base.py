@@ -1,0 +1,75 @@
+"""Common interface for location obfuscation mechanisms.
+
+A mechanism maps a real location (one of a fixed, finite set of location
+nodes) to a reported location from the same set.  Matrix-based mechanisms
+(CORGI, the non-robust LP baseline, the uniform mechanism) expose their
+stochastic matrix directly; sampling-based mechanisms (planar Laplace)
+expose an empirical matrix estimated by Monte-Carlo so the same analysis
+code (quality loss, Geo-Ind checking, Bayesian attacks) applies to all of
+them.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.matrix import ObfuscationMatrix
+from repro.utils.rng import RandomState, as_rng
+
+
+class ObfuscationMechanism(abc.ABC):
+    """Abstract base class for mechanisms defined over a fixed set of location nodes."""
+
+    #: Human-readable mechanism name used in experiment tables.
+    name: str = "mechanism"
+
+    def __init__(self, node_ids: Sequence[str]) -> None:
+        if not node_ids:
+            raise ValueError("node_ids must not be empty")
+        self.node_ids: List[str] = [str(node_id) for node_id in node_ids]
+        self._node_index = {node_id: position for position, node_id in enumerate(self.node_ids)}
+        if len(self._node_index) != len(self.node_ids):
+            raise ValueError("node_ids must be unique")
+
+    @property
+    def size(self) -> int:
+        """Number of candidate locations."""
+        return len(self.node_ids)
+
+    def index_of(self, node_id: str) -> int:
+        """Index of a node id within the mechanism's location set."""
+        try:
+            return self._node_index[node_id]
+        except KeyError:
+            raise KeyError(f"node {node_id!r} is not covered by this mechanism") from None
+
+    @abc.abstractmethod
+    def obfuscate(self, real_id: str, seed: RandomState = None) -> str:
+        """Sample a reported location id for the real location *real_id*."""
+
+    def obfuscate_many(self, real_id: str, count: int, seed: RandomState = None) -> List[str]:
+        """Sample *count* reports for one real location (default: repeated calls)."""
+        rng = as_rng(seed)
+        return [self.obfuscate(real_id, rng) for _ in range(count)]
+
+    def to_matrix(self, *, num_samples: int = 0, seed: RandomState = None) -> ObfuscationMatrix:
+        """Return the mechanism's obfuscation matrix.
+
+        Matrix-based mechanisms return it exactly and ignore the sampling
+        arguments; sampling-based mechanisms estimate it empirically with
+        ``num_samples`` draws per row (and must be given ``num_samples > 0``).
+        """
+        if num_samples <= 0:
+            raise NotImplementedError(
+                f"{type(self).__name__} has no closed-form matrix; pass num_samples > 0 to estimate one"
+            )
+        rng = as_rng(seed)
+        values = np.zeros((self.size, self.size))
+        for row, real_id in enumerate(self.node_ids):
+            for reported_id in self.obfuscate_many(real_id, num_samples, rng):
+                values[row, self.index_of(reported_id)] += 1.0
+        values /= float(num_samples)
+        return ObfuscationMatrix(values=values, node_ids=self.node_ids, metadata={"empirical": True})

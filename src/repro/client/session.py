@@ -1,0 +1,139 @@
+"""Obfuscation sessions: repeated point queries under one policy.
+
+CORGI supports point queries (not trajectories — see the paper's discussion
+in Section 5.3), but a real application issues *many* point queries over
+time.  An :class:`ObfuscationSession` keeps the privacy forest, the pruned
+matrix and the precision-reduced matrix cached between reports so that only
+the final sampling step is repeated, which mirrors how the paper's framework
+amortises the expensive server-side generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.client.client import CORGIClient, ObfuscationOutcome
+from repro.core.matrix import ObfuscationMatrix
+from repro.core.precision import ancestor_row_for, precision_reduction
+from repro.core.pruning import prune_matrix
+from repro.policy.evaluation import evaluate_preferences
+from repro.policy.policy import Policy
+from repro.utils.rng import RandomState, as_rng
+
+
+@dataclass
+class SessionReport:
+    """One report produced within a session."""
+
+    real_latlng: Tuple[float, float]
+    reported_node_id: str
+    reported_latlng: Tuple[float, float]
+    subtree_root_id: str
+
+
+class ObfuscationSession:
+    """Caches customized matrices per sub-tree for repeated reporting.
+
+    Parameters
+    ----------
+    client:
+        The underlying :class:`CORGIClient` (provides tree, server and the
+        user's private attributes).
+    policy:
+        The policy in force for the whole session.
+    epsilon:
+        Optional ε override forwarded to the server.
+    """
+
+    def __init__(self, client: CORGIClient, policy: Policy, *, epsilon: Optional[float] = None) -> None:
+        self.client = client
+        self.policy = policy
+        self.epsilon = epsilon
+        self._forest = None
+        self._customized: Dict[str, ObfuscationMatrix] = {}
+        self.reports: List[SessionReport] = []
+
+    # ------------------------------------------------------------------ #
+    # Internal caching
+    # ------------------------------------------------------------------ #
+
+    def _ensure_forest(self, delta: int):
+        if self._forest is None or self._forest.delta < delta:
+            self._forest = self.client.server.generate_privacy_forest(
+                self.policy.privacy_level, delta, epsilon=self.epsilon
+            )
+        return self._forest
+
+    def _customized_matrix(self, subtree_root_id: str, lat: float, lng: float, real_leaf_id: str) -> ObfuscationMatrix:
+        if subtree_root_id in self._customized:
+            return self._customized[subtree_root_id]
+        tree = self.client.tree
+        evaluation = evaluate_preferences(
+            tree,
+            subtree_root_id,
+            self.policy,
+            user_attributes=self.client.user_attributes(),
+            real_location=(lat, lng),
+            delta=self.policy.delta,
+            overflow_strategy=self.client.overflow_strategy,
+            protect_leaf_id=real_leaf_id,
+        )
+        delta = self.policy.delta if self.policy.delta is not None else evaluation.num_pruned
+        forest = self._ensure_forest(delta)
+        matrix = forest.matrix_for_subtree(subtree_root_id)
+        customized = prune_matrix(matrix, evaluation.prune_ids)
+        if self.policy.precision_level > 0:
+            customized = precision_reduction(customized, tree, self.policy.precision_level)
+        self._customized[subtree_root_id] = customized
+        return customized
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    def report(self, lat: float, lng: float, *, seed: RandomState = None) -> SessionReport:
+        """Produce one obfuscated report for the given real position."""
+        rng = as_rng(seed)
+        tree = self.client.tree
+        real_leaf = tree.leaf_for_latlng(lat, lng)
+        subtree_root = tree.ancestor_at_level(real_leaf.node_id, self.policy.privacy_level)
+        customized = self._customized_matrix(subtree_root.node_id, lat, lng, real_leaf.node_id)
+        if self.policy.precision_level > 0:
+            row_id = ancestor_row_for(tree, customized, real_leaf.node_id)
+        else:
+            row_id = real_leaf.node_id
+            if row_id not in customized:
+                # The real leaf was pruned by a cached matrix built for a
+                # different position within the same sub-tree; fall back to
+                # its ancestor row at level 0 being unavailable means the
+                # closest surviving leaf row is used instead.
+                row_id = min(
+                    customized.node_ids,
+                    key=lambda node_id: tree.distance_km(node_id, real_leaf.node_id),
+                )
+        reported_id = customized.sample(row_id, seed=rng)
+        reported_center = tree.node(reported_id).center
+        report = SessionReport(
+            real_latlng=(lat, lng),
+            reported_node_id=reported_id,
+            reported_latlng=reported_center.as_tuple(),
+            subtree_root_id=subtree_root.node_id,
+        )
+        self.reports.append(report)
+        return report
+
+    def report_many(
+        self,
+        points: List[Tuple[float, float]],
+        *,
+        seed: RandomState = None,
+    ) -> List[SessionReport]:
+        """Report a sequence of positions (e.g. periodic location updates)."""
+        rng = as_rng(seed)
+        return [self.report(lat, lng, seed=rng) for lat, lng in points]
+
+    def invalidate(self) -> None:
+        """Drop the cached matrices (e.g. after the policy's preferences changed)."""
+        self._customized.clear()
+        self._forest = None

@@ -1,0 +1,71 @@
+"""Core obfuscation-matrix machinery (Sections 2.1 and 4 of the paper).
+
+This package contains the paper's primary contribution:
+
+* :mod:`repro.core.matrix` — the obfuscation matrix ``Z`` (a row-stochastic
+  matrix over a set of location nodes) and sampling from it;
+* :mod:`repro.core.geoind` — ε-Geo-Indistinguishability constraints and the
+  violation checker used throughout the evaluation;
+* :mod:`repro.core.objective` — the expected quality loss Δ(Z) of Eqs. (3),
+  (6) and (7);
+* :mod:`repro.core.graphapprox` — the 12-neighbour graph approximation of
+  Section 4.2 (Lemma 4.1 / Theorem 4.1) that shrinks the constraint set from
+  O(K³) to O(K²);
+* :mod:`repro.core.lp` — the linear program of Eq. (8) / Eq. (16) solved with
+  scipy's HiGHS backend;
+* :mod:`repro.core.robust` — reserved privacy budget (Eqs. 12 and 14) and the
+  iterative robust matrix generation of Algorithm 1;
+* :mod:`repro.core.pruning` — user-side matrix pruning (Section 4.3);
+* :mod:`repro.core.precision` — matrix precision reduction (Algorithm 2,
+  Eq. 17, Proposition 4.6).
+"""
+
+from repro.core.exceptions import (
+    CORGIError,
+    InfeasibleMatrixError,
+    MatrixValidationError,
+    PruningError,
+)
+from repro.core.geoind import (
+    GeoIndConstraintSet,
+    all_pairs_constraints,
+    check_geo_ind,
+    count_constraints,
+    neighbor_constraints,
+)
+from repro.core.graphapprox import HexNeighborhoodGraph
+from repro.core.lp import LPSolution, ObfuscationLP
+from repro.core.matrix import ObfuscationMatrix
+from repro.core.objective import QualityLossModel, TargetDistribution
+from repro.core.precision import precision_reduction
+from repro.core.pruning import prune_matrix
+from repro.core.robust import (
+    RobustGenerationResult,
+    RobustMatrixGenerator,
+    reserved_privacy_budget_approx,
+    reserved_privacy_budget_exact,
+)
+
+__all__ = [
+    "CORGIError",
+    "MatrixValidationError",
+    "InfeasibleMatrixError",
+    "PruningError",
+    "ObfuscationMatrix",
+    "GeoIndConstraintSet",
+    "all_pairs_constraints",
+    "neighbor_constraints",
+    "count_constraints",
+    "check_geo_ind",
+    "QualityLossModel",
+    "TargetDistribution",
+    "HexNeighborhoodGraph",
+    "ObfuscationLP",
+    "LPSolution",
+    "RobustMatrixGenerator",
+    "RobustGenerationResult",
+    "reserved_privacy_budget_exact",
+    "reserved_privacy_budget_approx",
+    "prune_matrix",
+    "precision_reduction",
+]

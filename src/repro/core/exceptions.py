@@ -1,0 +1,33 @@
+"""Exception hierarchy for the core obfuscation machinery."""
+
+from __future__ import annotations
+
+
+class CORGIError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class MatrixValidationError(CORGIError):
+    """An obfuscation matrix fails a structural invariant (shape, stochasticity, labels)."""
+
+
+class InfeasibleMatrixError(CORGIError):
+    """The LP for an obfuscation matrix has no feasible solution.
+
+    With plain Geo-Ind constraints the uniform matrix is always feasible, so
+    this error normally indicates an over-constrained robust formulation
+    (e.g. a reserved privacy budget that exceeded ε for some pair) or a
+    solver failure; the message carries the solver status for diagnosis.
+    """
+
+    def __init__(self, message: str, solver_status: str | None = None) -> None:
+        super().__init__(message)
+        self.solver_status = solver_status
+
+
+class PruningError(CORGIError):
+    """Matrix pruning cannot be applied (unknown labels, pruning every location, ...)."""
+
+
+class PrecisionReductionError(CORGIError):
+    """Matrix precision reduction received inconsistent matrix/tree arguments."""

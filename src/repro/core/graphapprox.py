@@ -1,0 +1,232 @@
+"""Graph approximation of the hexagonal plane (Section 4.2).
+
+Enforcing ε-Geo-Ind for every ordered pair of the K locations costs
+``O(K³)`` constraints once each of the K matrix columns is counted.  The
+paper instead connects every cell to its 6 immediate and 6 diagonal
+neighbours, assigns every edge the weight ``a`` (the centre distance of
+immediate neighbours) and enforces Geo-Ind only across edges.  Lemma 4.1
+shows that the resulting graph distance never exceeds the Euclidean
+distance, and Theorem 4.1 (transitivity) that edge-wise Geo-Ind therefore
+implies Geo-Ind for every pair, cutting the constraint count to ``O(K²)``.
+
+Two weightings are provided:
+
+* ``"paper"`` (default) — every edge, diagonal or not, weighs ``a``.  This is
+  the paper's choice and the only one for which Lemma 4.1 holds, i.e. the
+  only *sound* approximation.
+* ``"euclidean"`` — edges weigh their true centre distance (``a`` or
+  ``sqrt(3)·a``).  The resulting constraints are looser (lower quality loss)
+  but no longer guarantee Geo-Ind for non-adjacent pairs; it is kept as an
+  ablation (see ``benchmarks/bench_ablation_graph_weights.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Literal, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.sparse import coo_matrix
+from scipy.sparse.csgraph import connected_components, shortest_path
+
+from repro.core.geoind import GeoIndConstraintSet, neighbor_constraints
+from repro.hexgrid.cell import HexCell
+from repro.hexgrid.grid import HexGridSystem
+from repro.hexgrid.lattice import AXIAL_DIRECTIONS, DIAGONAL_DIRECTIONS
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+Weighting = Literal["paper", "euclidean"]
+
+_SQRT3 = math.sqrt(3.0)
+
+
+class HexNeighborhoodGraph:
+    """The 12-neighbour graph over a set of same-resolution hexagonal cells.
+
+    Parameters
+    ----------
+    grid:
+        The hexagonal grid system the cells belong to.
+    cells:
+        The cells (all at the same resolution), in the order used by the
+        obfuscation matrix rows/columns.
+    weighting:
+        Edge weighting scheme, see the module docstring.
+    include_diagonals:
+        When false, only the 6 immediate neighbours are connected (a further
+        ablation; Lemma 4.1 then fails for diagonal pairs).
+    """
+
+    def __init__(
+        self,
+        grid: HexGridSystem,
+        cells: Sequence[HexCell],
+        *,
+        weighting: Weighting = "paper",
+        include_diagonals: bool = True,
+    ) -> None:
+        if not cells:
+            raise ValueError("cells must not be empty")
+        resolutions = {cell.resolution for cell in cells}
+        if len(resolutions) != 1:
+            raise ValueError(f"all cells must share one resolution, got {sorted(resolutions)}")
+        if weighting not in ("paper", "euclidean"):
+            raise ValueError(f"unknown weighting {weighting!r}")
+        self.grid = grid
+        self.cells = list(cells)
+        self.weighting: Weighting = weighting
+        self.include_diagonals = include_diagonals
+        self.resolution = self.cells[0].resolution
+        self.spacing_km = grid.neighbor_spacing_km(self.resolution)
+        self._index: Dict[Tuple[int, int], int] = {
+            cell.axial: position for position, cell in enumerate(self.cells)
+        }
+        if len(self._index) != len(self.cells):
+            raise ValueError("cells must be unique")
+        self._edges = self._build_edges()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def _build_edges(self) -> List[Tuple[int, int, float]]:
+        edges: List[Tuple[int, int, float]] = []
+        immediate_weight = self.spacing_km
+        diagonal_weight = self.spacing_km if self.weighting == "paper" else _SQRT3 * self.spacing_km
+        directions: List[Tuple[Tuple[int, int], float]] = [
+            (direction, immediate_weight) for direction in AXIAL_DIRECTIONS
+        ]
+        if self.include_diagonals:
+            directions += [(direction, diagonal_weight) for direction in DIAGONAL_DIRECTIONS]
+        for position, cell in enumerate(self.cells):
+            q, r = cell.axial
+            for (dq, dr), weight in directions:
+                neighbor = (q + dq, r + dr)
+                other = self._index.get(neighbor)
+                if other is None or other <= position:
+                    # Undirected edges are recorded once (smaller index first).
+                    continue
+                edges.append((position, other, weight))
+        return edges
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def size(self) -> int:
+        """Number of cells (graph nodes)."""
+        return len(self.cells)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return len(self._edges)
+
+    def edges(self) -> List[Tuple[int, int, float]]:
+        """Undirected edges as ``(index_a, index_b, weight_km)`` triples."""
+        return list(self._edges)
+
+    def adjacency_matrix(self) -> np.ndarray:
+        """Dense symmetric weighted adjacency matrix (0 where not adjacent)."""
+        matrix = np.zeros((self.size, self.size))
+        for a, b, weight in self._edges:
+            matrix[a, b] = weight
+            matrix[b, a] = weight
+        return matrix
+
+    def _sparse_adjacency(self) -> coo_matrix:
+        if not self._edges:
+            return coo_matrix((self.size, self.size))
+        a_indices, b_indices, weights = zip(*self._edges)
+        rows = np.concatenate([a_indices, b_indices])
+        cols = np.concatenate([b_indices, a_indices])
+        data = np.concatenate([weights, weights])
+        return coo_matrix((data, (rows, cols)), shape=(self.size, self.size))
+
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (required by Theorem 4.1's transitivity)."""
+        if self.size <= 1:
+            return True
+        count, _ = connected_components(self._sparse_adjacency(), directed=False)
+        return int(count) == 1
+
+    # ------------------------------------------------------------------ #
+    # Distances
+    # ------------------------------------------------------------------ #
+
+    def graph_distance_matrix(self) -> np.ndarray:
+        """All-pairs shortest-path distances on the graph, in km (inf if disconnected)."""
+        if not self._edges:
+            matrix = np.full((self.size, self.size), np.inf)
+            np.fill_diagonal(matrix, 0.0)
+            return matrix
+        return shortest_path(self._sparse_adjacency(), method="D", directed=False)
+
+    def euclidean_distance_matrix(self) -> np.ndarray:
+        """Planar Euclidean distances between cell centres (km)."""
+        centers = np.array([self.grid.cell_center_xy(cell) for cell in self.cells])
+        deltas = centers[:, None, :] - centers[None, :, :]
+        return np.sqrt((deltas**2).sum(axis=2))
+
+    def haversine_distance_matrix(self) -> np.ndarray:
+        """Great-circle distances between cell centres (km)."""
+        return self.grid.cell_distance_matrix_km(self.cells)
+
+    def verify_lower_bound(self, *, atol: float = 1e-6) -> bool:
+        """Empirically check Lemma 4.1: graph distance ≤ Euclidean distance for all pairs.
+
+        Only guaranteed for the ``"paper"`` weighting on a connected cell set.
+        """
+        graph = self.graph_distance_matrix()
+        euclid = self.euclidean_distance_matrix()
+        finite = np.isfinite(graph)
+        return bool(np.all(graph[finite] <= euclid[finite] + atol))
+
+    # ------------------------------------------------------------------ #
+    # Constraint generation
+    # ------------------------------------------------------------------ #
+
+    def constraint_set(self) -> GeoIndConstraintSet:
+        """Ordered neighbour pairs and the distances used in their Geo-Ind constraints.
+
+        Both orientations of every undirected edge are returned, because
+        constraint (i, j) bounds ``z_{i,k}`` by ``z_{j,k}`` and vice versa.
+        """
+        pairs: List[Tuple[int, int]] = []
+        distances: List[float] = []
+        for a, b, weight in self._edges:
+            pairs.append((a, b))
+            distances.append(weight)
+            pairs.append((b, a))
+            distances.append(weight)
+        description = f"12-neighbour graph ({self.weighting} weights)"
+        if not self.include_diagonals:
+            description = f"6-neighbour graph ({self.weighting} weights)"
+        if not pairs:
+            logger.warning("neighbourhood graph has no edges; constraint set is empty")
+            return GeoIndConstraintSet(
+                pairs=np.zeros((0, 2), dtype=int),
+                distances_km=np.zeros(0),
+                description=description,
+            )
+        return neighbor_constraints(pairs, distances, description=description)
+
+    def to_networkx(self):
+        """Export to a :class:`networkx.Graph` (node attribute ``cell_id``, edge ``weight``)."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        for position, cell in enumerate(self.cells):
+            graph.add_node(position, cell_id=cell.cell_id)
+        for a, b, weight in self._edges:
+            graph.add_edge(a, b, weight=weight)
+        return graph
+
+    def __repr__(self) -> str:
+        return (
+            f"HexNeighborhoodGraph(size={self.size}, edges={self.num_edges}, "
+            f"weighting={self.weighting!r}, diagonals={self.include_diagonals})"
+        )

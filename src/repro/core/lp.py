@@ -1,0 +1,277 @@
+"""Linear-programming formulation of obfuscation-matrix generation.
+
+The non-robust matrix of Eq. (8) minimises the expected quality loss Δ(Z)
+subject to (a) the probability unit measure per row (Eq. 5) and (b) the
+ε-Geo-Ind inequality per constrained location pair and matrix column
+(Eq. 4).  The robust matrix of Eq. (16) keeps the same objective and
+equality constraints but tightens every inequality with the reserved
+privacy budget ε'_{i,j} (Eq. 15).  Both are instances of the same LP; the
+only difference is the effective ε used per pair, so one builder serves
+both, taking an optional reserved-privacy-budget matrix.
+
+The LP is solved with scipy's HiGHS backend.  Constraints are assembled as
+sparse COO matrices: with the graph approximation the problem has ``K²``
+variables, ``K`` equality rows and ``~24·K·K`` inequality rows — a few tens
+of thousands of rows for the paper's K = 49, well within HiGHS territory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+from scipy.optimize import linprog
+from scipy.sparse import coo_matrix
+
+from repro.core.exceptions import InfeasibleMatrixError
+from repro.core.geoind import GeoIndConstraintSet, all_pairs_constraints
+from repro.core.matrix import ObfuscationMatrix
+from repro.core.objective import QualityLossModel
+from repro.utils.logging import get_logger
+from repro.utils.timing import Timer
+
+logger = get_logger(__name__)
+
+#: Effective ε (km⁻¹) is clamped to at least this value so that a reserved
+#: budget larger than ε cannot flip the constraint direction.
+MIN_EFFECTIVE_EPSILON = 1e-6
+
+
+@dataclass
+class LPSolution:
+    """Outcome of one LP solve.
+
+    Attributes
+    ----------
+    matrix:
+        The optimal obfuscation matrix.
+    objective_value:
+        The minimised expected quality loss Δ(Z), in km.
+    status:
+        Solver status string (``"optimal"`` on success).
+    solve_time_s:
+        Wall-clock seconds spent inside :func:`scipy.optimize.linprog`.
+    num_variables, num_inequality_constraints, num_equality_constraints:
+        Problem dimensions, used by the Fig. 10 experiments.
+    """
+
+    matrix: ObfuscationMatrix
+    objective_value: float
+    status: str
+    solve_time_s: float
+    num_variables: int
+    num_inequality_constraints: int
+    num_equality_constraints: int
+    diagnostics: Dict[str, object] = field(default_factory=dict)
+
+
+class ObfuscationLP:
+    """Builder/solver for the obfuscation-matrix linear program.
+
+    Parameters
+    ----------
+    node_ids:
+        Identifiers of the K locations, in matrix order.
+    distance_matrix_km:
+        ``(K, K)`` distances ``d_{i,j}`` used in the Geo-Ind constraints when
+        the constraint set does not carry its own distances.
+    quality_model:
+        Pre-computed quality-loss model providing the LP objective.
+    epsilon:
+        Privacy budget ε in km⁻¹.
+    constraint_set:
+        Which ordered pairs to constrain.  Defaults to every ordered pair
+        (the O(K³) formulation); pass the result of
+        :meth:`repro.core.graphapprox.HexNeighborhoodGraph.constraint_set`
+        for the O(K²) graph approximation.
+    level:
+        Tree level recorded on the produced matrices.
+    """
+
+    def __init__(
+        self,
+        node_ids: Sequence[str],
+        distance_matrix_km: np.ndarray,
+        quality_model: QualityLossModel,
+        epsilon: float,
+        *,
+        constraint_set: Optional[GeoIndConstraintSet] = None,
+        level: int = 0,
+    ) -> None:
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self.node_ids = [str(node_id) for node_id in node_ids]
+        self.size = len(self.node_ids)
+        if self.size == 0:
+            raise ValueError("node_ids must not be empty")
+        self.distance_matrix_km = np.asarray(distance_matrix_km, dtype=float)
+        if self.distance_matrix_km.shape != (self.size, self.size):
+            raise ValueError(
+                f"distance matrix shape {self.distance_matrix_km.shape} does not match {self.size} nodes"
+            )
+        if quality_model.size != self.size:
+            raise ValueError(
+                f"quality model covers {quality_model.size} locations but {self.size} node ids were given"
+            )
+        self.quality_model = quality_model
+        self.epsilon = float(epsilon)
+        self.constraint_set = constraint_set or all_pairs_constraints(self.distance_matrix_km)
+        self.level = level
+
+    # ------------------------------------------------------------------ #
+    # Problem construction
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_variables(self) -> int:
+        """Number of LP variables (K²)."""
+        return self.size * self.size
+
+    @property
+    def num_inequality_constraints(self) -> int:
+        """Number of Geo-Ind inequality rows (pairs × columns)."""
+        return self.constraint_set.num_pairs * self.size
+
+    def effective_epsilons(self, reserved_budget: Optional[np.ndarray] = None) -> np.ndarray:
+        """Per-pair effective ε after subtracting the reserved budget ε'_{i,j}.
+
+        Values are clamped to :data:`MIN_EFFECTIVE_EPSILON`; clamping is
+        logged because it signals that δ is too aggressive for the requested
+        ε (Section 5.3's infeasible-customization discussion).
+        """
+        pairs = self.constraint_set.pairs
+        epsilons = np.full(pairs.shape[0], self.epsilon)
+        if reserved_budget is not None:
+            budget = np.asarray(reserved_budget, dtype=float)
+            if budget.shape != (self.size, self.size):
+                raise ValueError(
+                    f"reserved budget must have shape {(self.size, self.size)}, got {budget.shape}"
+                )
+            epsilons = self.epsilon - budget[pairs[:, 0], pairs[:, 1]]
+        clamped = np.maximum(epsilons, MIN_EFFECTIVE_EPSILON)
+        num_clamped = int((epsilons < MIN_EFFECTIVE_EPSILON).sum())
+        if num_clamped:
+            logger.warning(
+                "%d of %d pair budgets exceeded epsilon and were clamped; "
+                "consider a smaller delta or a larger epsilon",
+                num_clamped,
+                epsilons.shape[0],
+            )
+        return clamped
+
+    def build_inequalities(self, reserved_budget: Optional[np.ndarray] = None) -> coo_matrix:
+        """Sparse ``A_ub`` for ``z_{i,k} - e^{ε_eff d_{i,j}} z_{j,k} <= 0``."""
+        size = self.size
+        pairs = self.constraint_set.pairs
+        distances = self.constraint_set.distances_km
+        num_pairs = pairs.shape[0]
+        factors = np.exp(self.effective_epsilons(reserved_budget) * distances)
+        # Row t = p * size + k corresponds to pair p, column k.
+        row_indices = np.arange(num_pairs * size)
+        columns = np.tile(np.arange(size), num_pairs)
+        i_vars = np.repeat(pairs[:, 0], size) * size + columns
+        j_vars = np.repeat(pairs[:, 1], size) * size + columns
+        data = np.concatenate([np.ones(num_pairs * size), -np.repeat(factors, size)])
+        rows = np.concatenate([row_indices, row_indices])
+        cols = np.concatenate([i_vars, j_vars])
+        return coo_matrix((data, (rows, cols)), shape=(num_pairs * size, size * size))
+
+    def build_equalities(self) -> coo_matrix:
+        """Sparse ``A_eq`` for the row-stochasticity constraints (Eq. 5)."""
+        size = self.size
+        rows = np.repeat(np.arange(size), size)
+        cols = np.arange(size * size)
+        data = np.ones(size * size)
+        return coo_matrix((data, (rows, cols)), shape=(size, size * size))
+
+    # ------------------------------------------------------------------ #
+    # Solving
+    # ------------------------------------------------------------------ #
+
+    def solve(
+        self,
+        reserved_budget: Optional[np.ndarray] = None,
+        *,
+        delta: int = 0,
+        solver_method: str = "highs",
+    ) -> LPSolution:
+        """Solve the LP and return the optimal obfuscation matrix.
+
+        Parameters
+        ----------
+        reserved_budget:
+            Optional ``(K, K)`` reserved-privacy-budget matrix ε'_{i,j}
+            (Eq. 14).  ``None`` solves the plain non-robust problem of
+            Eq. (8).
+        delta:
+            Recorded on the produced matrix (provenance only).
+        solver_method:
+            scipy ``linprog`` method; HiGHS is the default and the only one
+            exercised by the tests.
+
+        Raises
+        ------
+        InfeasibleMatrixError
+            If the solver reports infeasibility or fails to converge.
+        """
+        objective = self.quality_model.objective_vector()
+        a_ub = self.build_inequalities(reserved_budget)
+        b_ub = np.zeros(a_ub.shape[0])
+        a_eq = self.build_equalities()
+        b_eq = np.ones(self.size)
+        with Timer() as timer:
+            result = linprog(
+                c=objective,
+                A_ub=a_ub,
+                b_ub=b_ub,
+                A_eq=a_eq,
+                b_eq=b_eq,
+                bounds=(0.0, 1.0),
+                method=solver_method,
+            )
+        if not result.success:
+            raise InfeasibleMatrixError(
+                f"LP solve failed with status {result.status}: {result.message}",
+                solver_status=str(result.status),
+            )
+        values = np.asarray(result.x, dtype=float).reshape(self.size, self.size)
+        # Clean up tiny numerical noise so downstream validation is strict.
+        values = np.clip(values, 0.0, None)
+        values = values / values.sum(axis=1, keepdims=True)
+        matrix = ObfuscationMatrix(
+            values=values,
+            node_ids=self.node_ids,
+            level=self.level,
+            epsilon=self.epsilon,
+            delta=delta,
+            metadata={
+                "objective_value": float(result.fun),
+                "constraint_description": self.constraint_set.description,
+                "robust": reserved_budget is not None,
+            },
+        )
+        return LPSolution(
+            matrix=matrix,
+            objective_value=float(result.fun),
+            status="optimal",
+            solve_time_s=timer.elapsed,
+            num_variables=self.num_variables,
+            num_inequality_constraints=a_ub.shape[0],
+            num_equality_constraints=self.size,
+            diagnostics={"scipy_status": int(result.status), "iterations": _iteration_count(result)},
+        )
+
+    def solve_nonrobust(self, *, solver_method: str = "highs") -> LPSolution:
+        """Solve the plain Eq. (8) problem (the paper's non-robust baseline)."""
+        return self.solve(reserved_budget=None, delta=0, solver_method=solver_method)
+
+
+def _iteration_count(result) -> Optional[int]:
+    nit = getattr(result, "nit", None)
+    if nit is None:
+        return None
+    try:
+        return int(nit)
+    except (TypeError, ValueError):
+        return None

@@ -1,0 +1,284 @@
+"""The obfuscation matrix ``Z`` (Section 2.1).
+
+An obfuscation strategy over a finite location set ``V = {v_1, ..., v_K}``
+is a row-stochastic matrix ``Z = {z_{i,j}}``: row ``i`` is the probability
+distribution over reported locations given that the real location is
+``v_i``.  :class:`ObfuscationMatrix` couples the numeric matrix with the
+node ids it is defined over, so that pruning, precision reduction and
+sampling always agree on which row/column corresponds to which location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import MatrixValidationError
+from repro.utils.rng import RandomState, as_rng
+
+#: Default tolerance when validating row sums and non-negativity.
+DEFAULT_ATOL = 1e-6
+
+
+@dataclass
+class ObfuscationMatrix:
+    """A labelled, row-stochastic obfuscation matrix.
+
+    Parameters
+    ----------
+    values:
+        ``(K, K)`` array; ``values[i, j]`` is the probability of reporting
+        location ``j`` when the real location is ``i``.
+    node_ids:
+        The ``K`` location identifiers, in row/column order.
+    level:
+        Tree level the matrix is defined at (0 = leaf granularity).
+    epsilon:
+        Privacy budget ε (per km) the matrix was generated for, if known.
+    delta:
+        Robustness budget δ (maximum locations prunable without violating
+        Geo-Ind) the matrix was generated for; 0 for non-robust matrices.
+    metadata:
+        Free-form provenance (solver status, iterations, objective value...).
+    """
+
+    values: np.ndarray
+    node_ids: List[str]
+    level: int = 0
+    epsilon: Optional[float] = None
+    delta: int = 0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=float)
+        self.node_ids = [str(node_id) for node_id in self.node_ids]
+        self.validate()
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+
+    def validate(self, atol: float = DEFAULT_ATOL) -> None:
+        """Check shape, labelling, non-negativity and the probability unit measure (Eq. 1)."""
+        if self.values.ndim != 2 or self.values.shape[0] != self.values.shape[1]:
+            raise MatrixValidationError(
+                f"obfuscation matrix must be square, got shape {self.values.shape}"
+            )
+        size = self.values.shape[0]
+        if size == 0:
+            raise MatrixValidationError("obfuscation matrix must not be empty")
+        if len(self.node_ids) != size:
+            raise MatrixValidationError(
+                f"matrix has {size} rows but {len(self.node_ids)} node ids"
+            )
+        if len(set(self.node_ids)) != size:
+            raise MatrixValidationError("node ids must be unique")
+        if np.any(self.values < -atol):
+            raise MatrixValidationError("matrix entries must be non-negative")
+        row_sums = self.values.sum(axis=1)
+        bad = np.where(np.abs(row_sums - 1.0) > atol)[0]
+        if bad.size:
+            raise MatrixValidationError(
+                f"rows {bad[:5].tolist()} do not satisfy the probability unit measure "
+                f"(sums {row_sums[bad[:5]].tolist()})"
+            )
+        if self.delta < 0:
+            raise MatrixValidationError(f"delta must be non-negative, got {self.delta}")
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def size(self) -> int:
+        """Number of locations K covered by the matrix."""
+        return self.values.shape[0]
+
+    def index_of(self, node_id: str) -> int:
+        """Row/column index of *node_id*.
+
+        Raises
+        ------
+        KeyError
+            If the node id is not covered by the matrix.
+        """
+        try:
+            return self._index()[node_id]
+        except KeyError:
+            raise KeyError(f"node {node_id!r} is not covered by this obfuscation matrix") from None
+
+    def _index(self) -> Dict[str, int]:
+        index = self.metadata.get("_node_index")
+        if not isinstance(index, dict) or len(index) != len(self.node_ids):
+            index = {node_id: position for position, node_id in enumerate(self.node_ids)}
+            self.metadata["_node_index"] = index
+        return index
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._index()
+
+    def row(self, node_id: str) -> np.ndarray:
+        """The reporting distribution for real location *node_id* (a copy)."""
+        return self.values[self.index_of(node_id)].copy()
+
+    def probability(self, real_id: str, reported_id: str) -> float:
+        """``Pr(reported | real)`` for a pair of node ids."""
+        return float(self.values[self.index_of(real_id), self.index_of(reported_id)])
+
+    def copy(self) -> "ObfuscationMatrix":
+        """Deep copy (values and metadata)."""
+        metadata = {k: v for k, v in self.metadata.items() if k != "_node_index"}
+        return ObfuscationMatrix(
+            values=self.values.copy(),
+            node_ids=list(self.node_ids),
+            level=self.level,
+            epsilon=self.epsilon,
+            delta=self.delta,
+            metadata=dict(metadata),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+
+    def sample(self, real_id: str, seed: RandomState = None) -> str:
+        """Sample an obfuscated location id for the given real location id."""
+        rng = as_rng(seed)
+        row = self.values[self.index_of(real_id)]
+        probabilities = np.clip(row, 0.0, None)
+        total = probabilities.sum()
+        if total <= 0:
+            raise MatrixValidationError(f"row for {real_id!r} has zero total probability")
+        probabilities = probabilities / total
+        choice = int(rng.choice(self.size, p=probabilities))
+        return self.node_ids[choice]
+
+    def sample_many(self, real_id: str, count: int, seed: RandomState = None) -> List[str]:
+        """Sample *count* obfuscated locations for one real location."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        rng = as_rng(seed)
+        row = np.clip(self.values[self.index_of(real_id)], 0.0, None)
+        row = row / row.sum()
+        choices = rng.choice(self.size, size=count, p=row)
+        return [self.node_ids[int(choice)] for choice in choices]
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+
+    def reported_distribution(self, priors: Sequence[float]) -> np.ndarray:
+        """Marginal distribution of the reported location given leaf priors."""
+        prior = np.asarray(priors, dtype=float)
+        if prior.shape != (self.size,):
+            raise ValueError(f"priors must have shape ({self.size},), got {prior.shape}")
+        return prior @ self.values
+
+    def posterior(self, priors: Sequence[float], reported_id: str) -> np.ndarray:
+        """Bayesian posterior over real locations given a reported location.
+
+        ``Pr(X = v_i | Y = v_l) ∝ p_i * z_{i,l}`` — the attacker-side view of
+        Definition 2.1.
+        """
+        prior = np.asarray(priors, dtype=float)
+        if prior.shape != (self.size,):
+            raise ValueError(f"priors must have shape ({self.size},), got {prior.shape}")
+        column = self.values[:, self.index_of(reported_id)]
+        joint = prior * column
+        total = joint.sum()
+        if total <= 0:
+            # The reported location has zero probability under the prior; the
+            # posterior is undefined — return the prior as a neutral answer.
+            return prior / prior.sum()
+        return joint / total
+
+    # ------------------------------------------------------------------ #
+    # Restructuring
+    # ------------------------------------------------------------------ #
+
+    def submatrix(self, node_ids: Sequence[str], *, renormalize: bool = False) -> "ObfuscationMatrix":
+        """Restriction of the matrix to a subset of locations.
+
+        Without renormalisation the result generally violates the unit
+        measure and is returned as a plain array via :meth:`restrict_values`;
+        with ``renormalize=True`` each remaining row is rescaled to sum to 1
+        (this is exactly the matrix-pruning operation of Section 4.3 — prefer
+        :func:`repro.core.pruning.prune_matrix`, which also records what was
+        pruned).
+        """
+        indices = [self.index_of(node_id) for node_id in node_ids]
+        values = self.values[np.ix_(indices, indices)].copy()
+        if renormalize:
+            sums = values.sum(axis=1, keepdims=True)
+            if np.any(sums <= 0):
+                raise MatrixValidationError("cannot renormalise a row with zero remaining mass")
+            values = values / sums
+        return ObfuscationMatrix(
+            values=values,
+            node_ids=list(node_ids),
+            level=self.level,
+            epsilon=self.epsilon,
+            delta=self.delta,
+            metadata={"parent_size": self.size, **{k: v for k, v in self.metadata.items() if k != "_node_index"}},
+        )
+
+    def restrict_values(self, node_ids: Sequence[str]) -> np.ndarray:
+        """Raw sub-array over *node_ids* without any validation or rescaling."""
+        indices = [self.index_of(node_id) for node_id in node_ids]
+        return self.values[np.ix_(indices, indices)].copy()
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation (used by the server/client message layer)."""
+        return {
+            "node_ids": list(self.node_ids),
+            "values": self.values.tolist(),
+            "level": self.level,
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+            "metadata": {k: v for k, v in self.metadata.items() if k != "_node_index"},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ObfuscationMatrix":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            values=np.asarray(payload["values"], dtype=float),
+            node_ids=list(payload["node_ids"]),  # type: ignore[arg-type]
+            level=int(payload.get("level", 0)),  # type: ignore[arg-type]
+            epsilon=payload.get("epsilon"),  # type: ignore[arg-type]
+            delta=int(payload.get("delta", 0)),  # type: ignore[arg-type]
+            metadata=dict(payload.get("metadata", {})),  # type: ignore[arg-type]
+        )
+
+    @classmethod
+    def uniform(cls, node_ids: Sequence[str], level: int = 0) -> "ObfuscationMatrix":
+        """The uniform obfuscation matrix (every row is the uniform distribution).
+
+        Always satisfies ε-Geo-Ind for any ε, so it is both the fallback
+        strategy and the canonical feasible point of the LP.
+        """
+        size = len(node_ids)
+        if size == 0:
+            raise MatrixValidationError("cannot build a matrix over zero locations")
+        values = np.full((size, size), 1.0 / size)
+        return cls(values=values, node_ids=list(node_ids), level=level)
+
+    @classmethod
+    def identity(cls, node_ids: Sequence[str], level: int = 0) -> "ObfuscationMatrix":
+        """The identity (no obfuscation) matrix — maximal utility, no privacy."""
+        size = len(node_ids)
+        if size == 0:
+            raise MatrixValidationError("cannot build a matrix over zero locations")
+        return cls(values=np.eye(size), node_ids=list(node_ids), level=level)
+
+    def __repr__(self) -> str:
+        return (
+            f"ObfuscationMatrix(size={self.size}, level={self.level}, "
+            f"epsilon={self.epsilon}, delta={self.delta})"
+        )

@@ -1,0 +1,161 @@
+"""User-side matrix pruning (Section 4.3).
+
+After selecting the matrix covering their sub-tree, the user removes the
+locations that fail their preferences: the corresponding rows and columns
+are deleted and every remaining row is renormalised by
+``1 / (1 - Σ_{l∈S} z_{i,l})`` so the probability unit measure still holds.
+Pruning happens entirely on the user device (or a trusted edge node); the
+server never learns *which* locations were removed, only how many (δ).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import PruningError
+from repro.core.matrix import ObfuscationMatrix
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+
+def prune_matrix(
+    matrix: ObfuscationMatrix,
+    prune_ids: Sequence[str],
+    *,
+    allow_empty: bool = True,
+) -> ObfuscationMatrix:
+    """Remove the given locations from an obfuscation matrix.
+
+    Parameters
+    ----------
+    matrix:
+        The matrix ``Z`` to customize.
+    prune_ids:
+        Node ids of the locations to remove (the set ``S``).  Duplicates are
+        ignored; ids not covered by the matrix raise :class:`PruningError`.
+    allow_empty:
+        When true (default) an empty prune set simply returns a copy.
+
+    Returns
+    -------
+    ObfuscationMatrix
+        The pruned matrix ``Z*`` over the remaining locations, with
+        ``metadata["pruned_ids"]`` recording what was removed.
+
+    Raises
+    ------
+    PruningError
+        If an id is unknown, if every location would be removed, or if some
+        remaining row would be left with zero probability mass (which can
+        only happen for degenerate matrices whose entire row mass sat on the
+        pruned columns).
+    """
+    unique_ids = list(dict.fromkeys(prune_ids))
+    if not unique_ids:
+        if allow_empty:
+            return matrix.copy()
+        raise PruningError("the prune set is empty")
+    unknown = [node_id for node_id in unique_ids if node_id not in matrix]
+    if unknown:
+        raise PruningError(f"cannot prune locations not covered by the matrix: {unknown[:5]}")
+    if len(unique_ids) >= matrix.size:
+        raise PruningError(
+            f"cannot prune {len(unique_ids)} of {matrix.size} locations; at least one must remain"
+        )
+    keep_ids = [node_id for node_id in matrix.node_ids if node_id not in set(unique_ids)]
+    keep_indices = [matrix.index_of(node_id) for node_id in keep_ids]
+    prune_indices = [matrix.index_of(node_id) for node_id in unique_ids]
+
+    removed_mass = matrix.values[np.ix_(keep_indices, prune_indices)].sum(axis=1)
+    remaining_mass = 1.0 - removed_mass
+    bad_rows = np.where(remaining_mass <= 1e-12)[0]
+    if bad_rows.size:
+        bad_ids = [keep_ids[int(index)] for index in bad_rows[:5]]
+        raise PruningError(
+            f"rows {bad_ids} would retain zero probability mass after pruning; "
+            "the matrix cannot be customized with this prune set"
+        )
+    values = matrix.values[np.ix_(keep_indices, keep_indices)] / remaining_mass[:, None]
+
+    pruned = ObfuscationMatrix(
+        values=values,
+        node_ids=keep_ids,
+        level=matrix.level,
+        epsilon=matrix.epsilon,
+        delta=matrix.delta,
+        metadata={
+            **{k: v for k, v in matrix.metadata.items() if k != "_node_index"},
+            "pruned_ids": list(unique_ids),
+            "pruned_count": len(unique_ids),
+            "original_size": matrix.size,
+        },
+    )
+    logger.debug("pruned %d of %d locations from the obfuscation matrix", len(unique_ids), matrix.size)
+    return pruned
+
+
+def prune_matrix_by_indices(matrix: ObfuscationMatrix, indices: Sequence[int]) -> ObfuscationMatrix:
+    """Index-based variant of :func:`prune_matrix` (used by the experiments)."""
+    node_ids = []
+    for index in indices:
+        position = int(index)
+        if position < 0 or position >= matrix.size:
+            raise PruningError(f"index {position} is outside the matrix of size {matrix.size}")
+        node_ids.append(matrix.node_ids[position])
+    return prune_matrix(matrix, node_ids)
+
+
+def pruning_row_scale_factors(
+    matrix: ObfuscationMatrix,
+    prune_ids: Sequence[str],
+) -> Dict[str, float]:
+    """The per-row renormalisation factors ``1 / (1 - Σ_{l∈S} z_{i,l})``.
+
+    Exposed separately because the robustness analysis (Section 4.4) reasons
+    about precisely these factors: Geo-Ind survives pruning exactly when the
+    factors of any two rows do not differ by more than the reserved budget
+    allows.
+    """
+    prune_set = set(prune_ids)
+    unknown = [node_id for node_id in prune_set if node_id not in matrix]
+    if unknown:
+        raise PruningError(f"cannot prune locations not covered by the matrix: {sorted(unknown)[:5]}")
+    prune_indices = [matrix.index_of(node_id) for node_id in prune_set]
+    factors: Dict[str, float] = {}
+    for node_id in matrix.node_ids:
+        if node_id in prune_set:
+            continue
+        row = matrix.values[matrix.index_of(node_id)]
+        removed = float(row[prune_indices].sum()) if prune_indices else 0.0
+        remaining = 1.0 - removed
+        if remaining <= 0:
+            raise PruningError(f"row {node_id!r} retains no probability mass after pruning")
+        factors[node_id] = 1.0 / remaining
+    return factors
+
+
+def random_prune_set(
+    matrix: ObfuscationMatrix,
+    count: int,
+    rng,
+    *,
+    protect_ids: Sequence[str] = (),
+) -> List[str]:
+    """Uniformly sample *count* locations to prune, optionally protecting some ids.
+
+    This is the workload of the Fig. 12 experiment ("let a user randomly
+    prune n locations ... and run the experiment 500 times").
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    protected = set(protect_ids)
+    candidates = [node_id for node_id in matrix.node_ids if node_id not in protected]
+    if count > len(candidates) - 1 + (1 if protected else 0) and count >= len(candidates):
+        raise PruningError(
+            f"cannot prune {count} locations from {len(candidates)} prunable candidates"
+        )
+    indices = rng.choice(len(candidates), size=count, replace=False)
+    return [candidates[int(index)] for index in indices]

@@ -1,0 +1,39 @@
+"""Check-in dataset substrate (Section 6.1).
+
+The paper evaluates CORGI on a San Francisco sample of the Gowalla
+location-based social network dataset (38,523 check-ins with attributes
+``[user, check-in time, latitude, longitude, location id]``).  The real
+dataset cannot be downloaded in this offline environment, so this subpackage
+provides both halves of the substitution documented in DESIGN.md:
+
+* :mod:`repro.datasets.gowalla` — a loader for the real Gowalla
+  ``totalCheckins.txt`` format, for users who have the file;
+* :mod:`repro.datasets.synthetic` — a generator producing Gowalla-like
+  check-ins over the San Francisco region (clustered venues, per-user
+  home/office routines, heavy-tailed popularity, occasional outliers) in the
+  exact same record format.
+
+Everything downstream (priors, policies, experiments) consumes the data
+exclusively through :class:`repro.datasets.checkin.CheckInDataset`, so the
+two sources are interchangeable.
+"""
+
+from repro.datasets.checkin import CheckIn, CheckInDataset
+from repro.datasets.gowalla import load_gowalla, parse_gowalla_line, write_gowalla
+from repro.datasets.region import SAN_FRANCISCO, TIMES_SQUARE_NYC, named_region
+from repro.datasets.splits import train_test_split_checkins
+from repro.datasets.synthetic import GowallaLikeGenerator, SyntheticConfig
+
+__all__ = [
+    "CheckIn",
+    "CheckInDataset",
+    "load_gowalla",
+    "write_gowalla",
+    "parse_gowalla_line",
+    "GowallaLikeGenerator",
+    "SyntheticConfig",
+    "train_test_split_checkins",
+    "SAN_FRANCISCO",
+    "TIMES_SQUARE_NYC",
+    "named_region",
+]

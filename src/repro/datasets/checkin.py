@@ -1,0 +1,184 @@
+"""Check-in records and datasets.
+
+A check-in is one row of the Gowalla schema used in the paper:
+``[user, check-in time, latitude, longitude, location id]``.
+:class:`CheckInDataset` is a thin in-memory collection with the filtering,
+grouping and summary operations the priors, policy-attribute inference and
+experiment workloads need.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.geometry.haversine import LatLng
+from repro.geometry.projection import BoundingBox
+
+
+@dataclass(frozen=True)
+class CheckIn:
+    """One location check-in.
+
+    Attributes
+    ----------
+    user_id:
+        Identifier of the user who checked in.
+    timestamp:
+        Check-in time (timezone-aware UTC).
+    lat, lng:
+        WGS84 coordinates of the check-in.
+    location_id:
+        Identifier of the venue, as in the Gowalla schema.
+    """
+
+    user_id: str
+    timestamp: datetime
+    lat: float
+    lng: float
+    location_id: str
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude must be in [-90, 90], got {self.lat}")
+        if not -180.0 <= self.lng <= 180.0:
+            raise ValueError(f"longitude must be in [-180, 180], got {self.lng}")
+        if self.timestamp.tzinfo is None:
+            object.__setattr__(self, "timestamp", self.timestamp.replace(tzinfo=timezone.utc))
+
+    @property
+    def latlng(self) -> LatLng:
+        """Coordinates as a :class:`LatLng` value object."""
+        return LatLng(self.lat, self.lng)
+
+    @property
+    def hour_of_day(self) -> int:
+        """Local-naive hour of the check-in (0-23), used by attribute heuristics."""
+        return self.timestamp.hour
+
+    @property
+    def is_night(self) -> bool:
+        """Whether the check-in happened at night (22:00-06:00), a home signal."""
+        return self.hour_of_day >= 22 or self.hour_of_day < 6
+
+    @property
+    def is_work_hours(self) -> bool:
+        """Whether the check-in happened during office hours (09:00-18:00, Mon-Fri)."""
+        return 9 <= self.hour_of_day < 18 and self.timestamp.weekday() < 5
+
+
+class CheckInDataset:
+    """In-memory collection of check-ins with simple analytics.
+
+    The dataset is deliberately independent of the location tree: the tree
+    layer (:mod:`repro.tree.priors`) and the policy layer
+    (:mod:`repro.policy.attributes`) pull what they need through the iteration
+    and grouping methods below.
+    """
+
+    def __init__(self, checkins: Iterable[CheckIn] = (), name: str = "checkins") -> None:
+        self._checkins: List[CheckIn] = list(checkins)
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Collection protocol
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._checkins)
+
+    def __iter__(self) -> Iterator[CheckIn]:
+        return iter(self._checkins)
+
+    def __getitem__(self, index: int) -> CheckIn:
+        return self._checkins[index]
+
+    def add(self, checkin: CheckIn) -> None:
+        """Append one check-in."""
+        self._checkins.append(checkin)
+
+    def extend(self, checkins: Iterable[CheckIn]) -> None:
+        """Append many check-ins."""
+        self._checkins.extend(checkins)
+
+    # ------------------------------------------------------------------ #
+    # Filtering / grouping
+    # ------------------------------------------------------------------ #
+
+    def filter(self, predicate: Callable[[CheckIn], bool], name: Optional[str] = None) -> "CheckInDataset":
+        """Return a new dataset with the check-ins matching *predicate*."""
+        return CheckInDataset(
+            (c for c in self._checkins if predicate(c)),
+            name=name or f"{self.name}[filtered]",
+        )
+
+    def within(self, region: BoundingBox, name: Optional[str] = None) -> "CheckInDataset":
+        """Check-ins inside *region*."""
+        return self.filter(lambda c: region.contains(c.lat, c.lng), name=name or f"{self.name}[{region}]")
+
+    def for_user(self, user_id: str) -> "CheckInDataset":
+        """Check-ins of a single user."""
+        return self.filter(lambda c: c.user_id == user_id, name=f"{self.name}[user={user_id}]")
+
+    def by_user(self) -> Dict[str, List[CheckIn]]:
+        """Group check-ins by user id."""
+        groups: Dict[str, List[CheckIn]] = defaultdict(list)
+        for checkin in self._checkins:
+            groups[checkin.user_id].append(checkin)
+        return dict(groups)
+
+    def by_location(self) -> Dict[str, List[CheckIn]]:
+        """Group check-ins by venue (location id)."""
+        groups: Dict[str, List[CheckIn]] = defaultdict(list)
+        for checkin in self._checkins:
+            groups[checkin.location_id].append(checkin)
+        return dict(groups)
+
+    def users(self) -> List[str]:
+        """Distinct user ids, sorted."""
+        return sorted({c.user_id for c in self._checkins})
+
+    def locations(self) -> List[str]:
+        """Distinct venue ids, sorted."""
+        return sorted({c.location_id for c in self._checkins})
+
+    def location_counts(self) -> Counter:
+        """Number of check-ins per venue (popularity signal)."""
+        return Counter(c.location_id for c in self._checkins)
+
+    def coordinates(self) -> List[Tuple[float, float]]:
+        """All ``(lat, lng)`` pairs (used for bounding-box estimation)."""
+        return [(c.lat, c.lng) for c in self._checkins]
+
+    def bounding_box(self) -> BoundingBox:
+        """Smallest bounding box covering every check-in."""
+        if not self._checkins:
+            raise ValueError("cannot compute the bounding box of an empty dataset")
+        return BoundingBox.from_points(self.coordinates())
+
+    def sort_by_time(self) -> "CheckInDataset":
+        """Return a copy sorted by timestamp (stable)."""
+        return CheckInDataset(sorted(self._checkins, key=lambda c: c.timestamp), name=self.name)
+
+    # ------------------------------------------------------------------ #
+    # Summaries
+    # ------------------------------------------------------------------ #
+
+    def summary(self) -> Dict[str, object]:
+        """Headline statistics (check-in count, user count, venue count, time span)."""
+        if not self._checkins:
+            return {"name": self.name, "num_checkins": 0, "num_users": 0, "num_locations": 0}
+        times = [c.timestamp for c in self._checkins]
+        return {
+            "name": self.name,
+            "num_checkins": len(self._checkins),
+            "num_users": len(self.users()),
+            "num_locations": len(self.locations()),
+            "first_checkin": min(times).isoformat(),
+            "last_checkin": max(times).isoformat(),
+        }
+
+    def __repr__(self) -> str:
+        return f"CheckInDataset(name={self.name!r}, num_checkins={len(self)})"

@@ -1,0 +1,45 @@
+"""Named study regions.
+
+The paper samples Gowalla check-ins from the San Francisco region ("because
+it had a dense distribution of check-ins distributed over a large area") and
+illustrates the location tree on Times Square, New York (Figure 2).  Both
+regions are provided as named bounding boxes so that examples, experiments
+and tests share identical geography.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.geometry.projection import BoundingBox
+
+#: San Francisco peninsula (the paper's evaluation region).
+SAN_FRANCISCO = BoundingBox(min_lat=37.703, min_lng=-122.527, max_lat=37.832, max_lng=-122.357)
+
+#: Midtown Manhattan around Times Square (Figure 2's illustration region).
+TIMES_SQUARE_NYC = BoundingBox(min_lat=40.735, min_lng=-74.010, max_lat=40.775, max_lng=-73.960)
+
+#: Austin, TX — Gowalla's original home town, dense in the full dataset.
+AUSTIN_TX = BoundingBox(min_lat=30.19, min_lng=-97.85, max_lat=30.40, max_lng=-97.65)
+
+_REGIONS: Dict[str, BoundingBox] = {
+    "san_francisco": SAN_FRANCISCO,
+    "sf": SAN_FRANCISCO,
+    "times_square": TIMES_SQUARE_NYC,
+    "nyc": TIMES_SQUARE_NYC,
+    "austin": AUSTIN_TX,
+}
+
+
+def named_region(name: str) -> BoundingBox:
+    """Look up a study region by name (case-insensitive).
+
+    Raises
+    ------
+    KeyError
+        If the name is unknown; the error message lists the known names.
+    """
+    key = name.strip().lower()
+    if key not in _REGIONS:
+        raise KeyError(f"unknown region {name!r}; known regions: {sorted(set(_REGIONS))}")
+    return _REGIONS[key]

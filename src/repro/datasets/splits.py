@@ -1,0 +1,66 @@
+"""Train/test splitting of check-in datasets.
+
+Section 6.2.3 of the paper splits the Gowalla sample 90/10: the training
+portion feeds the prior estimation while the test portion supplies the "real
+locations" of users in the quality-loss experiments.  The split here is by
+check-in (uniform at random, reproducible through the seed) with an optional
+per-user stratification so that every user with enough history appears in
+both portions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.datasets.checkin import CheckIn, CheckInDataset
+from repro.utils.rng import RandomState, as_rng
+
+
+def train_test_split_checkins(
+    dataset: CheckInDataset,
+    test_fraction: float = 0.1,
+    *,
+    seed: RandomState = 0,
+    stratify_by_user: bool = False,
+) -> Tuple[CheckInDataset, CheckInDataset]:
+    """Split *dataset* into train and test portions.
+
+    Parameters
+    ----------
+    dataset:
+        The full check-in dataset.
+    test_fraction:
+        Fraction of check-ins assigned to the test portion (paper: 0.1).
+    seed:
+        Seed or generator controlling the assignment.
+    stratify_by_user:
+        When true, the split is performed within each user's check-ins so
+        every active user contributes to both portions.
+
+    Returns
+    -------
+    (train, test):
+        Two new :class:`CheckInDataset` objects; the input is not modified.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = as_rng(seed)
+    train: List[CheckIn] = []
+    test: List[CheckIn] = []
+    if stratify_by_user:
+        groups: Dict[str, List[CheckIn]] = dataset.by_user()
+        for user_id in sorted(groups):
+            user_checkins = groups[user_id]
+            indices = rng.permutation(len(user_checkins))
+            cut = max(1, int(round(test_fraction * len(user_checkins)))) if len(user_checkins) > 1 else 0
+            for position, index in enumerate(indices):
+                (test if position < cut else train).append(user_checkins[int(index)])
+    else:
+        indices = rng.permutation(len(dataset))
+        cut = int(round(test_fraction * len(dataset)))
+        for position, index in enumerate(indices):
+            (test if position < cut else train).append(dataset[int(index)])
+    return (
+        CheckInDataset(train, name=f"{dataset.name}[train]"),
+        CheckInDataset(test, name=f"{dataset.name}[test]"),
+    )

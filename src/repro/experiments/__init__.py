@@ -1,0 +1,30 @@
+"""Experiment drivers reproducing every figure of the paper's evaluation.
+
+Each module reproduces one figure of Section 6.2 and returns both the raw
+measurements and a :class:`~repro.analysis.tables.ResultTable` printing the
+same rows/series the paper reports:
+
+* :mod:`repro.experiments.convergence`        — Fig. 9 (Algorithm 1 convergence)
+* :mod:`repro.experiments.graph_approx`       — Fig. 10 (graph approximation)
+* :mod:`repro.experiments.privacy_params`     — Fig. 11 (ε and δ vs quality loss)
+* :mod:`repro.experiments.pruning_impact`     — Fig. 12 (pruning vs Geo-Ind violations)
+* :mod:`repro.experiments.privacy_level`      — Fig. 13 (privacy level vs quality loss)
+* :mod:`repro.experiments.precision_timing`   — Fig. 14 (precision reduction vs recalculation)
+
+:mod:`repro.experiments.config` defines the shared experiment configuration
+(with ``small`` and ``paper`` scales) and :mod:`repro.experiments.workloads`
+the shared workload construction (tree, priors, location sets, targets).
+:mod:`repro.experiments.runner` runs everything end to end.
+"""
+
+from repro.experiments.config import ExperimentConfig, PAPER_SCALE, SMALL_SCALE, get_scale
+from repro.experiments.workloads import ExperimentWorkload, build_workload
+
+__all__ = [
+    "ExperimentConfig",
+    "SMALL_SCALE",
+    "PAPER_SCALE",
+    "get_scale",
+    "ExperimentWorkload",
+    "build_workload",
+]

@@ -1,0 +1,116 @@
+"""Run every figure experiment end to end.
+
+``python -m repro.experiments.runner --scale small`` reproduces all six
+figures of Section 6.2, prints the result tables and (optionally) writes
+them to a JSON file.  The benchmark harness wraps the same driver functions
+individually; this runner exists so the whole evaluation can be reproduced
+with one command and its output pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, Optional
+
+from repro.experiments.config import ExperimentConfig, get_scale
+from repro.experiments.convergence import run_convergence_experiment
+from repro.experiments.graph_approx import run_graph_approx_experiment
+from repro.experiments.precision_timing import run_precision_timing_experiment
+from repro.experiments.privacy_level import run_privacy_level_experiment
+from repro.experiments.privacy_params import run_privacy_params_experiment
+from repro.experiments.pruning_impact import run_pruning_impact_experiment
+from repro.experiments.workloads import build_workload
+from repro.utils.logging import configure_cli_logging, get_logger
+
+logger = get_logger(__name__)
+
+#: Experiment registry: name -> (figure, driver function).
+EXPERIMENTS = {
+    "convergence": ("Fig. 9", run_convergence_experiment),
+    "graph_approx": ("Fig. 10", run_graph_approx_experiment),
+    "privacy_params": ("Fig. 11", run_privacy_params_experiment),
+    "pruning_impact": ("Fig. 12", run_pruning_impact_experiment),
+    "privacy_level": ("Fig. 13", run_privacy_level_experiment),
+    "precision_timing": ("Fig. 14", run_precision_timing_experiment),
+}
+
+
+def run_all(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    only: Optional[list] = None,
+    print_tables: bool = True,
+) -> Dict[str, object]:
+    """Run the selected experiments and return their result objects keyed by name."""
+    config = config or get_scale()
+    selected = list(EXPERIMENTS) if not only else [name for name in EXPERIMENTS if name in set(only)]
+    workload = build_workload(config)
+    results: Dict[str, object] = {}
+    for name in selected:
+        figure, driver = EXPERIMENTS[name]
+        logger.info("running %s (%s) at scale %s", name, figure, config.name)
+        start = time.perf_counter()
+        result = driver(config, workload=workload)
+        elapsed = time.perf_counter() - start
+        results[name] = result
+        if print_tables:
+            for attribute in ("table", "runtime_table", "constraint_table"):
+                table = getattr(result, attribute, None)
+                if table is not None:
+                    table.print()
+            print(f"[{figure}] {name} finished in {elapsed:.1f} s")
+    return results
+
+
+def results_to_json(results: Dict[str, object]) -> Dict[str, object]:
+    """Convert result objects to a JSON-friendly structure (tables + scalar summaries)."""
+    payload: Dict[str, object] = {}
+    for name, result in results.items():
+        entry: Dict[str, object] = {}
+        for attribute in ("table", "runtime_table", "constraint_table"):
+            table = getattr(result, attribute, None)
+            if table is not None:
+                entry[attribute] = table.to_dict()
+        for attribute in (
+            "headline",
+            "iterations_to_converge",
+            "mean_runtime_reduction_pct",
+            "mean_constraint_reduction_pct",
+            "mean_time_ratio",
+        ):
+            value = getattr(result, attribute, None)
+            if value is not None:
+                entry[attribute] = value
+        payload[name] = entry
+    return payload
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description="Reproduce the CORGI evaluation figures")
+    parser.add_argument("--scale", default=None, help="small (default) or paper")
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help=f"subset of experiments to run (choices: {', '.join(EXPERIMENTS)})",
+    )
+    parser.add_argument("--output", default=None, help="write results as JSON to this path")
+    parser.add_argument("--verbose", action="store_true", help="enable debug logging")
+    args = parser.parse_args(argv)
+
+    configure_cli_logging(verbose=args.verbose)
+    config = get_scale(args.scale)
+    results = run_all(config, only=args.only)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(results_to_json(results), handle, indent=2, default=str)
+        print(f"wrote results to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

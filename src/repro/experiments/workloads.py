@@ -1,0 +1,214 @@
+"""Workload construction shared by the experiment drivers.
+
+Every figure of Section 6.2 starts from the same ingredients: the location
+tree over the San Francisco region, check-in priors, a set of service
+targets, and one or more "obfuscation ranges" (leaf sets of a given size)
+with their distance matrices, neighbourhood graphs and quality-loss models.
+Building them in one place keeps the per-figure drivers small and guarantees
+that, e.g., Fig. 11 and Fig. 12 use exactly the same priors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.geoind import GeoIndConstraintSet
+from repro.core.graphapprox import HexNeighborhoodGraph
+from repro.core.objective import QualityLossModel, TargetDistribution
+from repro.datasets.checkin import CheckInDataset
+from repro.datasets.splits import train_test_split_checkins
+from repro.datasets.synthetic import GowallaLikeGenerator, SyntheticConfig
+from repro.experiments.config import ExperimentConfig
+from repro.hexgrid.lattice import axial_neighbors
+from repro.policy.attributes import annotate_tree_with_dataset
+from repro.tree.builder import tree_for_region
+from repro.tree.location_tree import LocationTree
+from repro.tree.priors import priors_from_checkins
+from repro.utils.logging import get_logger
+from repro.utils.rng import as_rng
+
+logger = get_logger(__name__)
+
+
+@dataclass
+class LocationSet:
+    """One obfuscation range: a set of leaf nodes with all derived structures.
+
+    Attributes
+    ----------
+    node_ids / cells / centers:
+        The leaves in matrix order.
+    priors:
+        Conditional prior over the set (sums to 1).
+    distance_matrix_km:
+        Planar distances used in the Geo-Ind constraints and checks.
+    graph:
+        12-neighbour graph over the cells.
+    constraint_set:
+        The graph-approximation constraint pairs.
+    quality_model:
+        The LP objective for this set and the experiment's targets.
+    """
+
+    node_ids: List[str]
+    cells: list
+    centers: List[Tuple[float, float]]
+    priors: np.ndarray
+    distance_matrix_km: np.ndarray
+    graph: HexNeighborhoodGraph
+    constraint_set: GeoIndConstraintSet
+    quality_model: QualityLossModel
+
+    @property
+    def size(self) -> int:
+        """Number of locations K in the range."""
+        return len(self.node_ids)
+
+
+@dataclass
+class ExperimentWorkload:
+    """Fully constructed experiment environment."""
+
+    config: ExperimentConfig
+    tree: LocationTree
+    dataset: CheckInDataset
+    train: CheckInDataset
+    test: CheckInDataset
+    targets: TargetDistribution
+    attribute_map: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Location-set construction
+    # ------------------------------------------------------------------ #
+
+    def subtree_location_set(self, privacy_level: Optional[int] = None, index: int = 0) -> LocationSet:
+        """The leaves of one sub-tree rooted at *privacy_level* (default: 49-leaf level).
+
+        ``index`` selects which sub-tree at that level (0 = the one covering
+        the tree centre first in BFS order), matching the paper's setup of
+        evaluating one obfuscation range at a time.
+        """
+        if privacy_level is None:
+            privacy_level = min(2, self.tree.height)
+        roots = self.tree.nodes_at_level(privacy_level)
+        if not 0 <= index < len(roots):
+            raise IndexError(f"sub-tree index {index} out of range (level has {len(roots)} nodes)")
+        root = roots[index]
+        leaves = self.tree.descendant_leaves(root.node_id)
+        return self._build_location_set([leaf.node_id for leaf in leaves])
+
+    def connected_location_set(self, size: int, *, start_index: int = 0) -> LocationSet:
+        """A connected set of *size* leaves grown breadth-first from a seed leaf.
+
+        Fig. 10(b) and Fig. 14(a) sweep location counts (7, 14, ..., 70) that
+        are not powers of 7, so the ranges cannot always be whole sub-trees;
+        a BFS-grown connected patch of leaf cells reproduces the same
+        workload shape.
+        """
+        leaves = self.tree.leaves()
+        if size <= 0 or size > len(leaves):
+            raise ValueError(f"size must be in [1, {len(leaves)}], got {size}")
+        by_axial = {leaf.cell.axial: leaf for leaf in leaves}
+        start = leaves[start_index]
+        selected: List[str] = []
+        seen = set()
+        frontier = [start.cell.axial]
+        seen.add(start.cell.axial)
+        while frontier and len(selected) < size:
+            axial = frontier.pop(0)
+            leaf = by_axial.get(axial)
+            if leaf is not None:
+                selected.append(leaf.node_id)
+            for neighbor in axial_neighbors(axial):
+                if neighbor not in seen and neighbor in by_axial:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        if len(selected) < size:
+            raise ValueError(
+                f"could not grow a connected set of {size} leaves (got {len(selected)})"
+            )
+        return self._build_location_set(selected)
+
+    def _build_location_set(self, node_ids: Sequence[str]) -> LocationSet:
+        nodes = [self.tree.node(node_id) for node_id in node_ids]
+        cells = [node.cell for node in nodes]
+        centers = [node.center.as_tuple() for node in nodes]
+        priors = self.tree.conditional_leaf_priors(list(node_ids))
+        graph = HexNeighborhoodGraph(self.tree.grid, cells)
+        distance_matrix = graph.euclidean_distance_matrix()
+        quality_model = QualityLossModel(centers, self.targets, priors)
+        return LocationSet(
+            node_ids=list(node_ids),
+            cells=cells,
+            centers=centers,
+            priors=priors,
+            distance_matrix_km=distance_matrix,
+            graph=graph,
+            constraint_set=graph.constraint_set(),
+            quality_model=quality_model,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Test-split helpers
+    # ------------------------------------------------------------------ #
+
+    def test_points_in(self, node_ids: Sequence[str], limit: Optional[int] = None) -> List[Tuple[float, float]]:
+        """Held-out check-in coordinates falling inside the given leaf set."""
+        wanted = set(node_ids)
+        points: List[Tuple[float, float]] = []
+        for checkin in self.test:
+            if not self.tree.contains_latlng(checkin.lat, checkin.lng):
+                continue
+            leaf = self.tree.leaf_for_latlng(checkin.lat, checkin.lng)
+            if leaf.node_id in wanted:
+                points.append((checkin.lat, checkin.lng))
+                if limit is not None and len(points) >= limit:
+                    break
+        return points
+
+
+def build_workload(config: ExperimentConfig) -> ExperimentWorkload:
+    """Construct the full experiment environment for *config*.
+
+    Builds the synthetic Gowalla-like dataset, the location tree, the
+    check-in priors (from the 90 % training split, as in Section 6.2.3), the
+    global location attributes and the target distribution.
+    """
+    rng = as_rng(config.seed)
+    synthetic = SyntheticConfig(region=config.region, num_checkins=config.num_checkins)
+    dataset = GowallaLikeGenerator(synthetic, seed=int(rng.integers(0, 2**31 - 1))).generate()
+    train, test = train_test_split_checkins(dataset, test_fraction=0.1, seed=config.seed)
+
+    tree = tree_for_region(
+        config.region,
+        height=config.tree_height,
+        root_resolution=config.root_resolution,
+    )
+    priors_from_checkins(tree, train)
+    attribute_map = annotate_tree_with_dataset(tree, train)
+
+    leaf_centers = [leaf.center.as_tuple() for leaf in tree.leaves()]
+    targets = TargetDistribution.sample_from_centers(
+        leaf_centers,
+        min(config.num_targets, len(leaf_centers)),
+        seed=config.seed + 1,
+    )
+    logger.info(
+        "experiment workload ready: %d leaves, %d check-ins (%d train / %d test)",
+        len(leaf_centers),
+        len(dataset),
+        len(train),
+        len(test),
+    )
+    return ExperimentWorkload(
+        config=config,
+        tree=tree,
+        dataset=dataset,
+        train=train,
+        test=test,
+        targets=targets,
+        attribute_map=attribute_map,
+    )

@@ -1,0 +1,45 @@
+"""Spherical and planar geometry primitives.
+
+The paper measures utility as the estimation error of travelling distance
+computed with the haversine formula (Eq. 3) and builds its location tree on
+Uber's H3 hexagonal grid.  This subpackage provides:
+
+* :mod:`repro.geometry.haversine` — great-circle distances, bearings and
+  destination points on the WGS84 mean sphere;
+* :mod:`repro.geometry.projection` — a local equirectangular projection that
+  maps latitude/longitude to planar metres around a reference point (the hex
+  lattice lives in this plane);
+* :mod:`repro.geometry.hexagon` — planar hexagon geometry (vertices, areas,
+  point-in-hexagon tests) for pointy-top hexagonal cells.
+"""
+
+from repro.geometry.haversine import (
+    EARTH_RADIUS_KM,
+    LatLng,
+    destination_point,
+    haversine_km,
+    haversine_matrix_km,
+    initial_bearing_deg,
+    pairwise_haversine_km,
+)
+from repro.geometry.hexagon import (
+    hexagon_area,
+    hexagon_vertices,
+    point_in_hexagon,
+)
+from repro.geometry.projection import BoundingBox, LocalProjection
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "LatLng",
+    "haversine_km",
+    "haversine_matrix_km",
+    "pairwise_haversine_km",
+    "initial_bearing_deg",
+    "destination_point",
+    "LocalProjection",
+    "BoundingBox",
+    "hexagon_vertices",
+    "hexagon_area",
+    "point_in_hexagon",
+]

@@ -1,0 +1,129 @@
+"""Planar hexagon geometry for pointy-top hexagonal cells.
+
+The hexagonal lattice in :mod:`repro.hexgrid` uses pointy-top hexagons whose
+centres live on an axial-coordinate lattice.  This module provides the
+per-cell geometry: vertex rings (for boundary export and plotting), exact
+areas and point-in-hexagon membership tests used when assigning check-ins to
+leaf cells.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+SQRT3 = math.sqrt(3.0)
+
+
+def hexagon_vertices(
+    center_x: float,
+    center_y: float,
+    circumradius: float,
+    *,
+    pointy_top: bool = True,
+) -> List[Tuple[float, float]]:
+    """Return the 6 vertices of a regular hexagon.
+
+    Parameters
+    ----------
+    center_x, center_y:
+        Centre of the hexagon in planar kilometres.
+    circumradius:
+        Distance from centre to any vertex (the hexagon "size" / edge length).
+    pointy_top:
+        Pointy-top orientation (vertex at the top) matches the axial lattice
+        used by :mod:`repro.hexgrid`; flat-top is provided for completeness.
+    """
+    if circumradius <= 0:
+        raise ValueError(f"circumradius must be > 0, got {circumradius}")
+    offset = math.pi / 6.0 if pointy_top else 0.0
+    vertices = []
+    for k in range(6):
+        angle = offset + k * math.pi / 3.0
+        vertices.append((center_x + circumradius * math.cos(angle), center_y + circumradius * math.sin(angle)))
+    return vertices
+
+
+def hexagon_area(circumradius: float) -> float:
+    """Area of a regular hexagon with the given circumradius (= edge length)."""
+    if circumradius <= 0:
+        raise ValueError(f"circumradius must be > 0, got {circumradius}")
+    return 3.0 * SQRT3 / 2.0 * circumradius * circumradius
+
+
+def hexagon_apothem(circumradius: float) -> float:
+    """Apothem (centre-to-edge distance) of a regular hexagon."""
+    return SQRT3 / 2.0 * circumradius
+
+
+def point_in_hexagon(
+    px: float,
+    py: float,
+    center_x: float,
+    center_y: float,
+    circumradius: float,
+    *,
+    pointy_top: bool = True,
+) -> bool:
+    """Whether planar point ``(px, py)`` lies inside the hexagon (boundary inclusive).
+
+    Uses the standard "half-plane" test against the three symmetry axes of a
+    regular hexagon, which is faster and more numerically robust than a
+    general polygon test.
+    """
+    if circumradius <= 0:
+        raise ValueError(f"circumradius must be > 0, got {circumradius}")
+    dx = px - center_x
+    dy = py - center_y
+    if not pointy_top:
+        # Rotate by 30 degrees to reuse the pointy-top test.
+        cos30, sin30 = math.cos(math.pi / 6.0), math.sin(math.pi / 6.0)
+        dx, dy = dx * cos30 - dy * sin30, dx * sin30 + dy * cos30
+    apothem = hexagon_apothem(circumradius)
+    eps = 1e-9 * max(circumradius, 1.0)
+    # Pointy-top hexagon: flat edges face east/west (|x| <= apothem) and the
+    # four diagonal edges satisfy |±sqrt(3)/2 * y ± 1/2 * x| <= apothem... the
+    # compact form below checks the three edge-normal directions.
+    checks = [
+        abs(dx),
+        abs(dx * 0.5 + dy * SQRT3 / 2.0),
+        abs(dx * 0.5 - dy * SQRT3 / 2.0),
+    ]
+    return all(value <= apothem + eps for value in checks)
+
+
+def polygon_area(vertices: Sequence[Tuple[float, float]]) -> float:
+    """Signed-area magnitude of a simple polygon (shoelace formula)."""
+    if len(vertices) < 3:
+        raise ValueError("a polygon needs at least 3 vertices")
+    total = 0.0
+    n = len(vertices)
+    for i in range(n):
+        x1, y1 = vertices[i]
+        x2, y2 = vertices[(i + 1) % n]
+        total += x1 * y2 - x2 * y1
+    return abs(total) / 2.0
+
+
+def polygon_centroid(vertices: Sequence[Tuple[float, float]]) -> Tuple[float, float]:
+    """Centroid of a simple polygon."""
+    if len(vertices) < 3:
+        raise ValueError("a polygon needs at least 3 vertices")
+    area_acc = 0.0
+    cx = 0.0
+    cy = 0.0
+    n = len(vertices)
+    for i in range(n):
+        x1, y1 = vertices[i]
+        x2, y2 = vertices[(i + 1) % n]
+        cross = x1 * y2 - x2 * y1
+        area_acc += cross
+        cx += (x1 + x2) * cross
+        cy += (y1 + y2) * cross
+    if abs(area_acc) < 1e-15:
+        # Degenerate polygon: fall back to the vertex mean.
+        xs = [v[0] for v in vertices]
+        ys = [v[1] for v in vertices]
+        return (sum(xs) / n, sum(ys) / n)
+    area_acc *= 0.5
+    return (cx / (6.0 * area_acc), cy / (6.0 * area_acc))

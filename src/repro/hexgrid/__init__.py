@@ -1,0 +1,66 @@
+"""Hexagonal hierarchical spatial index (H3-equivalent substrate).
+
+The paper builds its location tree on Uber's H3 hexagonal index (Section
+3.1).  H3 is a compiled C library that is not available in this offline
+environment, so this subpackage implements the properties the paper relies
+on from first principles:
+
+* a planar hexagonal lattice in axial coordinates with equal-sized cells per
+  resolution and a consistent centre-to-centre distance between neighbours
+  (:mod:`repro.hexgrid.lattice`);
+* an aperture-7 hierarchy in which every cell at resolution ``n`` has exactly
+  seven children at resolution ``n + 1`` and the children of a cell tile it
+  (:mod:`repro.hexgrid.hierarchy`);
+* a geographic binding: latitude/longitude to cell and back, cell boundaries
+  and polyfill of a bounding box (:mod:`repro.hexgrid.grid`).
+
+The combination is what the location tree (:mod:`repro.tree`) consumes; see
+DESIGN.md for the substitution rationale.
+"""
+
+from repro.hexgrid.cell import HexCell, parse_cell_id
+from repro.hexgrid.hierarchy import (
+    APERTURE,
+    FLOWER_OFFSETS,
+    cell_ancestor,
+    cell_children,
+    cell_descendants,
+    cell_parent,
+)
+from repro.hexgrid.lattice import (
+    AXIAL_DIRECTIONS,
+    DIAGONAL_DIRECTIONS,
+    axial_add,
+    axial_distance,
+    axial_neighbors,
+    axial_ring,
+    axial_round,
+    axial_scale,
+    axial_subtract,
+    diagonal_neighbors,
+    disk,
+)
+from repro.hexgrid.grid import HexGridSystem
+
+__all__ = [
+    "HexCell",
+    "parse_cell_id",
+    "HexGridSystem",
+    "APERTURE",
+    "FLOWER_OFFSETS",
+    "cell_parent",
+    "cell_children",
+    "cell_ancestor",
+    "cell_descendants",
+    "AXIAL_DIRECTIONS",
+    "DIAGONAL_DIRECTIONS",
+    "axial_add",
+    "axial_subtract",
+    "axial_scale",
+    "axial_distance",
+    "axial_round",
+    "axial_neighbors",
+    "diagonal_neighbors",
+    "axial_ring",
+    "disk",
+]

@@ -1,0 +1,86 @@
+"""Hexagonal cell identifiers.
+
+A :class:`HexCell` names one hexagon of the hierarchical grid: its axial
+coordinates ``(q, r)`` *within the lattice of its resolution* plus the
+resolution itself.  Resolution 0 is the coarsest level (analogous to H3's
+resolution 0); larger resolutions are finer, with an aperture of 7 — each
+cell has exactly seven children one resolution down.
+
+Cells are value objects: hashable, ordered and serialisable to a compact
+string id (``"h7:12:-3"`` means resolution 7, q=12, r=-3), which the dataset
+and tree layers use as node identifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+_MAX_RESOLUTION = 15
+
+
+@dataclass(frozen=True, order=True)
+class HexCell:
+    """One cell of the hierarchical hexagonal grid."""
+
+    resolution: int
+    q: int
+    r: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.resolution, int):
+            object.__setattr__(self, "resolution", int(self.resolution))
+        if not isinstance(self.q, int):
+            object.__setattr__(self, "q", int(self.q))
+        if not isinstance(self.r, int):
+            object.__setattr__(self, "r", int(self.r))
+        if self.resolution < 0 or self.resolution > _MAX_RESOLUTION:
+            raise ValueError(
+                f"resolution must be in [0, {_MAX_RESOLUTION}], got {self.resolution}"
+            )
+
+    @property
+    def axial(self) -> Tuple[int, int]:
+        """Axial coordinates ``(q, r)`` of the cell within its resolution."""
+        return (self.q, self.r)
+
+    @property
+    def cell_id(self) -> str:
+        """Compact, unique string identifier (``"h<res>:<q>:<r>"``)."""
+        return f"h{self.resolution}:{self.q}:{self.r}"
+
+    @property
+    def s(self) -> int:
+        """Third (redundant) cube coordinate ``s = -q - r``."""
+        return -self.q - self.r
+
+    def with_axial(self, q: int, r: int) -> "HexCell":
+        """Return a cell at the same resolution with different axial coordinates."""
+        return HexCell(self.resolution, int(q), int(r))
+
+    def __str__(self) -> str:
+        return self.cell_id
+
+    def __repr__(self) -> str:
+        return f"HexCell(resolution={self.resolution}, q={self.q}, r={self.r})"
+
+
+def parse_cell_id(cell_id: str) -> HexCell:
+    """Parse the string produced by :attr:`HexCell.cell_id`.
+
+    Raises
+    ------
+    ValueError
+        If the string is not a valid cell id.
+    """
+    if not isinstance(cell_id, str) or not cell_id.startswith("h"):
+        raise ValueError(f"not a hex cell id: {cell_id!r}")
+    body = cell_id[1:]
+    parts = body.split(":")
+    if len(parts) != 3:
+        raise ValueError(f"not a hex cell id: {cell_id!r}")
+    try:
+        resolution, q, r = (int(part) for part in parts)
+    except ValueError as exc:
+        raise ValueError(f"not a hex cell id: {cell_id!r}") from exc
+    return HexCell(resolution, q, r)

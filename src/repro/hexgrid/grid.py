@@ -1,0 +1,293 @@
+"""Geographic binding of the hierarchical hexagonal grid.
+
+:class:`HexGridSystem` ties the abstract axial lattice and aperture-7
+hierarchy to latitude/longitude: it projects the study region to a local
+plane, assigns every point to a cell at any resolution, recovers cell
+centres and boundaries, and enumerates the cells covering a bounding box
+("polyfill").  It plays the role Uber's H3 plays in the paper.
+
+Resolution semantics follow H3: resolution 0 is coarsest; every step finer
+shrinks the cell edge length by ``sqrt(7)`` and rotates the lattice slightly
+(the unavoidable aperture-7 rotation, analogous to H3's Class II/III
+alternation).  The default base edge length is chosen so that resolutions
+6–9 have edge lengths close to H3's (≈3.7 km, 1.4 km, 0.53 km, 0.2 km),
+matching the resolutions the paper uses for its San Francisco tree.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.haversine import LatLng, haversine_km
+from repro.geometry.projection import BoundingBox, LocalProjection
+from repro.hexgrid.cell import HexCell
+from repro.hexgrid.hierarchy import cell_children
+from repro.hexgrid.lattice import axial_round
+
+#: Default circumradius (= edge length) of a resolution-0 cell, in km.  With
+#: an aperture of 7 this puts resolution 6 at ~3.73 km and resolution 9 at
+#: ~0.20 km, close to H3's published edge lengths.
+DEFAULT_BASE_EDGE_KM = 1280.0
+
+_SQRT3 = math.sqrt(3.0)
+_SQRT7 = math.sqrt(7.0)
+
+
+class HexGridSystem:
+    """A hierarchical hexagonal grid anchored at a geographic origin.
+
+    Parameters
+    ----------
+    origin:
+        Geographic point at which the planar projection is centred.  Cell
+        ``(q=0, r=0)`` of every resolution is centred at this point.
+    base_edge_km:
+        Circumradius (edge length) of resolution-0 cells in kilometres.
+    max_resolution:
+        Finest resolution the system will hand out (guards against typos
+        producing astronomically many cells).
+    """
+
+    def __init__(
+        self,
+        origin: LatLng,
+        base_edge_km: float = DEFAULT_BASE_EDGE_KM,
+        max_resolution: int = 15,
+    ) -> None:
+        if base_edge_km <= 0:
+            raise ValueError(f"base_edge_km must be > 0, got {base_edge_km}")
+        if not 0 <= max_resolution <= 15:
+            raise ValueError(f"max_resolution must be in [0, 15], got {max_resolution}")
+        self.origin = origin
+        self.base_edge_km = float(base_edge_km)
+        self.max_resolution = int(max_resolution)
+        self.projection = LocalProjection(origin)
+        self._bases: Dict[int, np.ndarray] = {}
+        self._inverse_bases: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def for_region(
+        cls,
+        region: BoundingBox,
+        base_edge_km: float = DEFAULT_BASE_EDGE_KM,
+        max_resolution: int = 15,
+    ) -> "HexGridSystem":
+        """Create a grid system centred on *region*."""
+        return cls(region.center, base_edge_km=base_edge_km, max_resolution=max_resolution)
+
+    # ------------------------------------------------------------------ #
+    # Per-resolution metrics
+    # ------------------------------------------------------------------ #
+
+    def edge_length_km(self, resolution: int) -> float:
+        """Circumradius (= edge length) of cells at *resolution*, in km."""
+        self._check_resolution(resolution)
+        return self.base_edge_km / (_SQRT7**resolution)
+
+    def neighbor_spacing_km(self, resolution: int) -> float:
+        """Centre-to-centre distance between immediate neighbours (the paper's ``a``)."""
+        return _SQRT3 * self.edge_length_km(resolution)
+
+    def cell_area_km2(self, resolution: int) -> float:
+        """Area of one cell at *resolution* in square kilometres."""
+        edge = self.edge_length_km(resolution)
+        return 1.5 * _SQRT3 * edge * edge
+
+    # ------------------------------------------------------------------ #
+    # Lattice bases
+    # ------------------------------------------------------------------ #
+
+    def basis(self, resolution: int) -> np.ndarray:
+        """2x2 matrix mapping axial ``(q, r)`` to planar km for *resolution*.
+
+        The resolution-0 basis is the standard pointy-top basis; each finer
+        resolution applies the inverse aperture-7 map, which scales by
+        ``1/sqrt(7)`` and rotates by ``-atan2(sqrt(3), 5) ≈ -19.1°``.
+        """
+        self._check_resolution(resolution)
+        if resolution not in self._bases:
+            edge0 = self.base_edge_km
+            base0 = np.array(
+                [
+                    [_SQRT3 * edge0, _SQRT3 * edge0 / 2.0],
+                    [0.0, 1.5 * edge0],
+                ]
+            )
+            # Parent axial -> child axial map M = [[2, -1], [1, 3]] (det 7).
+            m = np.array([[2.0, -1.0], [1.0, 3.0]])
+            m_inv = np.linalg.inv(m)
+            basis = base0
+            for _ in range(resolution):
+                basis = basis @ m_inv
+            self._bases[resolution] = basis
+            self._inverse_bases[resolution] = np.linalg.inv(basis)
+        return self._bases[resolution]
+
+    def _inverse_basis(self, resolution: int) -> np.ndarray:
+        self.basis(resolution)
+        return self._inverse_bases[resolution]
+
+    def lattice_rotation_rad(self, resolution: int) -> float:
+        """Rotation of the resolution's +q axis relative to planar east."""
+        basis = self.basis(resolution)
+        return math.atan2(basis[1, 0], basis[0, 0])
+
+    # ------------------------------------------------------------------ #
+    # Point <-> cell
+    # ------------------------------------------------------------------ #
+
+    def xy_to_cell(self, x: float, y: float, resolution: int) -> HexCell:
+        """Cell at *resolution* containing the planar point ``(x, y)`` (km)."""
+        inv = self._inverse_basis(resolution)
+        qf = inv[0, 0] * x + inv[0, 1] * y
+        rf = inv[1, 0] * x + inv[1, 1] * y
+        q, r = axial_round(qf, rf)
+        return HexCell(resolution, q, r)
+
+    def latlng_to_cell(self, lat: float, lng: float, resolution: int) -> HexCell:
+        """Cell at *resolution* containing the geographic point."""
+        x, y = self.projection.to_xy(lat, lng)
+        return self.xy_to_cell(x, y, resolution)
+
+    def cell_center_xy(self, cell: HexCell) -> Tuple[float, float]:
+        """Planar centre (km east/north of the origin) of *cell*."""
+        basis = self.basis(cell.resolution)
+        x = basis[0, 0] * cell.q + basis[0, 1] * cell.r
+        y = basis[1, 0] * cell.q + basis[1, 1] * cell.r
+        return (float(x), float(y))
+
+    def cell_center_latlng(self, cell: HexCell) -> LatLng:
+        """Geographic centre of *cell*."""
+        x, y = self.cell_center_xy(cell)
+        return self.projection.to_latlng(x, y)
+
+    def cell_boundary_xy(self, cell: HexCell) -> List[Tuple[float, float]]:
+        """Six boundary vertices of *cell* in planar km, counter-clockwise."""
+        cx, cy = self.cell_center_xy(cell)
+        edge = self.edge_length_km(cell.resolution)
+        theta0 = self.lattice_rotation_rad(cell.resolution) + math.pi / 6.0
+        vertices = []
+        for k in range(6):
+            angle = theta0 + k * math.pi / 3.0
+            vertices.append((cx + edge * math.cos(angle), cy + edge * math.sin(angle)))
+        return vertices
+
+    def cell_boundary_latlng(self, cell: HexCell) -> List[LatLng]:
+        """Six boundary vertices of *cell* as latitude/longitude."""
+        return [self.projection.to_latlng(x, y) for x, y in self.cell_boundary_xy(cell)]
+
+    # ------------------------------------------------------------------ #
+    # Distances
+    # ------------------------------------------------------------------ #
+
+    def cell_distance_km(self, cell_a: HexCell, cell_b: HexCell) -> float:
+        """Haversine distance between the centres of two cells (km).
+
+        This is the ``d_{i,j}`` of the paper's Geo-Ind constraints.
+        """
+        center_a = self.cell_center_latlng(cell_a)
+        center_b = self.cell_center_latlng(cell_b)
+        return haversine_km(center_a.lat, center_a.lng, center_b.lat, center_b.lng)
+
+    def cell_distance_matrix_km(self, cells: Sequence[HexCell]) -> np.ndarray:
+        """Symmetric haversine distance matrix among the given cells (km)."""
+        from repro.geometry.haversine import pairwise_haversine_km
+
+        centers = [self.cell_center_latlng(cell).as_tuple() for cell in cells]
+        return pairwise_haversine_km(centers)
+
+    def planar_cell_distance_km(self, cell_a: HexCell, cell_b: HexCell) -> float:
+        """Euclidean distance between cell centres in the projection plane (km)."""
+        ax, ay = self.cell_center_xy(cell_a)
+        bx, by = self.cell_center_xy(cell_b)
+        return math.hypot(ax - bx, ay - by)
+
+    # ------------------------------------------------------------------ #
+    # Region coverage
+    # ------------------------------------------------------------------ #
+
+    def polyfill(self, region: BoundingBox, resolution: int) -> List[HexCell]:
+        """Cells at *resolution* whose centres lie inside *region*.
+
+        Mirrors H3's ``polyfill`` semantics (centre containment).  The search
+        enumerates a superset of candidate axial coordinates derived from the
+        projected corners of the box, so the cost is proportional to the
+        number of candidate cells, not to the whole lattice.
+        """
+        self._check_resolution(resolution)
+        corners = [
+            (region.min_lat, region.min_lng),
+            (region.min_lat, region.max_lng),
+            (region.max_lat, region.min_lng),
+            (region.max_lat, region.max_lng),
+        ]
+        inv = self._inverse_basis(resolution)
+        q_values = []
+        r_values = []
+        for lat, lng in corners:
+            x, y = self.projection.to_xy(lat, lng)
+            q_values.append(inv[0, 0] * x + inv[0, 1] * y)
+            r_values.append(inv[1, 0] * x + inv[1, 1] * y)
+        q_lo, q_hi = int(math.floor(min(q_values))) - 2, int(math.ceil(max(q_values))) + 2
+        r_lo, r_hi = int(math.floor(min(r_values))) - 2, int(math.ceil(max(r_values))) + 2
+        cells = []
+        for q in range(q_lo, q_hi + 1):
+            for r in range(r_lo, r_hi + 1):
+                cell = HexCell(resolution, q, r)
+                center = self.cell_center_latlng(cell)
+                if region.contains(center.lat, center.lng):
+                    cells.append(cell)
+        return cells
+
+    def cells_covering_disk(self, center: LatLng, radius_km: float, resolution: int) -> List[HexCell]:
+        """Cells at *resolution* whose centres lie within *radius_km* of *center*."""
+        if radius_km < 0:
+            raise ValueError(f"radius_km must be non-negative, got {radius_km}")
+        cx, cy = self.projection.to_xy(center.lat, center.lng)
+        spacing = self.neighbor_spacing_km(resolution)
+        hops = int(math.ceil(radius_km / spacing)) + 1
+        origin_cell = self.xy_to_cell(cx, cy, resolution)
+        from repro.hexgrid.lattice import disk as lattice_disk
+
+        cells = []
+        for q, r in lattice_disk(origin_cell.axial, hops):
+            cell = HexCell(resolution, q, r)
+            x, y = self.cell_center_xy(cell)
+            if math.hypot(x - cx, y - cy) <= radius_km:
+                cells.append(cell)
+        return cells
+
+    def subdivide(self, cell: HexCell, levels: int = 1) -> List[HexCell]:
+        """All descendants of *cell* exactly *levels* resolutions finer."""
+        if levels < 0:
+            raise ValueError(f"levels must be non-negative, got {levels}")
+        current = [cell]
+        for _ in range(levels):
+            next_level: List[HexCell] = []
+            for node in current:
+                next_level.extend(cell_children(node))
+            current = next_level
+        return current
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+
+    def _check_resolution(self, resolution: int) -> None:
+        if not 0 <= resolution <= self.max_resolution:
+            raise ValueError(
+                f"resolution must be in [0, {self.max_resolution}], got {resolution}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"HexGridSystem(origin=({self.origin.lat:.4f}, {self.origin.lng:.4f}), "
+            f"base_edge_km={self.base_edge_km}, max_resolution={self.max_resolution})"
+        )

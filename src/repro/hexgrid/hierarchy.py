@@ -1,0 +1,136 @@
+"""Aperture-7 hierarchy between grid resolutions.
+
+Every cell at resolution ``n`` is subdivided into exactly seven cells at
+resolution ``n + 1``: the child directly under the parent's centre plus the
+six immediate neighbours of that centre child — the classic "flower"
+subdivision (generalised balanced ternary), which is also what Uber's H3
+uses.  The parent lattice is a sublattice of index 7 of the child lattice,
+generated (in child axial coordinates) by ``(2, 1)`` and ``(-1, 3)``.
+
+The key invariants, verified by the property tests:
+
+* every cell has exactly one parent (the flower tiles the plane);
+* ``cell_parent(child) == parent`` for every ``child in cell_children(parent)``;
+* a cell's descendants ``k`` levels down number exactly ``7**k`` and are
+  pairwise disjoint between sibling ancestors — i.e. children partition the
+  parent, which is exactly the location-tree requirement of Definition 3.1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.hexgrid.cell import HexCell
+from repro.hexgrid.lattice import Axial, axial_add, axial_neighbors, axial_round
+
+#: Number of children per cell.
+APERTURE = 7
+
+#: Child offsets (in child-resolution axial coordinates) around the centre
+#: child: the centre itself plus its six immediate neighbours.
+FLOWER_OFFSETS: Tuple[Axial, ...] = (
+    (0, 0),
+    (1, 0),
+    (0, 1),
+    (-1, 1),
+    (-1, 0),
+    (0, -1),
+    (1, -1),
+)
+
+#: Images of the parent axial basis vectors in child axial coordinates.  The
+#: matrix ``M = [[2, -1], [1, 3]]`` (columns ``(2, 1)`` and ``(-1, 3)``) has
+#: determinant 7 and maps the parent lattice onto a sublattice of the child
+#: lattice whose points are spaced ``sqrt(7)`` child-units apart.
+_M00, _M01 = 2, -1
+_M10, _M11 = 1, 3
+_DET = _M00 * _M11 - _M01 * _M10  # == 7
+
+
+def center_child_axial(parent_axial: Axial) -> Axial:
+    """Axial coordinates (child resolution) of the centre child of *parent_axial*."""
+    q, r = parent_axial
+    return (_M00 * q + _M01 * r, _M10 * q + _M11 * r)
+
+
+def _parent_candidate(child_axial: Axial) -> Axial:
+    """Approximate parent axial coordinates of *child_axial* (before flower search)."""
+    q, r = child_axial
+    # Inverse of M, times det 7: adj(M) = [[3, 1], [-1, 2]].
+    qf = (_M11 * q - _M01 * r) / _DET
+    rf = (-_M10 * q + _M00 * r) / _DET
+    return axial_round(qf, rf)
+
+
+def cell_parent(cell: HexCell) -> HexCell:
+    """Return the parent of *cell* one resolution coarser.
+
+    Raises
+    ------
+    ValueError
+        If *cell* is already at resolution 0.
+    """
+    if cell.resolution == 0:
+        raise ValueError("resolution-0 cells have no parent")
+    child_axial = cell.axial
+    candidate = _parent_candidate(child_axial)
+    for parent_axial in [candidate] + axial_neighbors(candidate):
+        center = center_child_axial(parent_axial)
+        offset = (child_axial[0] - center[0], child_axial[1] - center[1])
+        if offset in FLOWER_OFFSETS:
+            return HexCell(cell.resolution - 1, parent_axial[0], parent_axial[1])
+    # The flower tiling guarantees a parent exists within the immediate
+    # neighbourhood of the rounded candidate; reaching this line indicates a
+    # logic error rather than bad input.
+    raise AssertionError(f"no parent found for {cell!r}; hierarchy invariant violated")
+
+
+def cell_children(cell: HexCell) -> List[HexCell]:
+    """Return the seven children of *cell* one resolution finer."""
+    center = center_child_axial(cell.axial)
+    return [
+        HexCell(cell.resolution + 1, *axial_add(center, offset))
+        for offset in FLOWER_OFFSETS
+    ]
+
+
+def cell_ancestor(cell: HexCell, resolution: int) -> HexCell:
+    """Return the ancestor of *cell* at the requested (coarser) resolution.
+
+    ``cell_ancestor(cell, cell.resolution)`` returns *cell* itself.
+    """
+    if resolution < 0:
+        raise ValueError(f"resolution must be non-negative, got {resolution}")
+    if resolution > cell.resolution:
+        raise ValueError(
+            f"ancestor resolution {resolution} is finer than the cell's resolution {cell.resolution}"
+        )
+    current = cell
+    while current.resolution > resolution:
+        current = cell_parent(current)
+    return current
+
+
+def cell_descendants(cell: HexCell, resolution: int) -> List[HexCell]:
+    """Return all descendants of *cell* at the requested (finer) resolution.
+
+    The result has exactly ``7 ** (resolution - cell.resolution)`` cells.
+    """
+    if resolution < cell.resolution:
+        raise ValueError(
+            f"descendant resolution {resolution} is coarser than the cell's resolution {cell.resolution}"
+        )
+    current = [cell]
+    while current and current[0].resolution < resolution:
+        next_level: List[HexCell] = []
+        for node in current:
+            next_level.extend(cell_children(node))
+        current = next_level
+    return current
+
+
+def is_ancestor(ancestor: HexCell, descendant: HexCell) -> bool:
+    """Whether *ancestor* lies on the parent chain of *descendant* (or equals it)."""
+    if ancestor.resolution > descendant.resolution:
+        return False
+    return cell_ancestor(descendant, ancestor.resolution) == ancestor

@@ -1,0 +1,201 @@
+"""Axial-coordinate hexagonal lattice mathematics.
+
+Cells are pointy-top hexagons whose centres form a triangular lattice.  A
+cell is addressed by axial coordinates ``(q, r)``; the implied cube
+coordinate is ``s = -q - r``.  All functions here are purely combinatorial
+(no geography): scaling and orientation are handled by
+:class:`repro.hexgrid.grid.HexGridSystem`.
+
+The 12-neighbour structure used by the paper's graph approximation (Section
+4.2, Figure 4) corresponds to :data:`AXIAL_DIRECTIONS` (the six immediate
+neighbours at centre distance ``a``) plus :data:`DIAGONAL_DIRECTIONS` (the
+six diagonal neighbours at centre distance ``sqrt(3) * a``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Set, Tuple
+
+Axial = Tuple[int, int]
+
+#: The six immediate neighbour offsets (centre distance ``a``), in CCW order
+#: starting from "east".
+AXIAL_DIRECTIONS: Tuple[Axial, ...] = (
+    (1, 0),
+    (0, 1),
+    (-1, 1),
+    (-1, 0),
+    (0, -1),
+    (1, -1),
+)
+
+#: The six diagonal neighbour offsets (centre distance ``sqrt(3) * a``).
+DIAGONAL_DIRECTIONS: Tuple[Axial, ...] = (
+    (1, 1),
+    (-1, 2),
+    (-2, 1),
+    (-1, -1),
+    (1, -2),
+    (2, -1),
+)
+
+
+def axial_add(a: Axial, b: Axial) -> Axial:
+    """Component-wise sum of two axial coordinates."""
+    return (a[0] + b[0], a[1] + b[1])
+
+
+def axial_subtract(a: Axial, b: Axial) -> Axial:
+    """Component-wise difference ``a - b``."""
+    return (a[0] - b[0], a[1] - b[1])
+
+
+def axial_scale(a: Axial, factor: int) -> Axial:
+    """Scale an axial coordinate by an integer factor."""
+    return (a[0] * factor, a[1] * factor)
+
+
+def axial_to_cube(a: Axial) -> Tuple[int, int, int]:
+    """Convert axial ``(q, r)`` to cube ``(x, y, z)`` with ``x + y + z = 0``."""
+    q, r = a
+    return (q, -q - r, r)
+
+
+def cube_to_axial(cube: Tuple[int, int, int]) -> Axial:
+    """Convert cube coordinates back to axial ``(q, r)``."""
+    x, _, z = cube
+    return (x, z)
+
+
+def axial_distance(a: Axial, b: Axial) -> int:
+    """Hex grid distance (number of immediate-neighbour hops) between two cells."""
+    dq = a[0] - b[0]
+    dr = a[1] - b[1]
+    return int((abs(dq) + abs(dr) + abs(dq + dr)) / 2)
+
+
+def axial_round(qf: float, rf: float) -> Axial:
+    """Round fractional axial coordinates to the containing lattice cell.
+
+    Standard cube rounding: round each cube coordinate and fix the component
+    with the largest rounding error so that ``x + y + z = 0`` still holds.
+    This yields the hexagon whose Voronoi region contains the fractional
+    point, independent of the lattice's global scale or rotation.
+    """
+    xf = qf
+    zf = rf
+    yf = -xf - zf
+    rx = round(xf)
+    ry = round(yf)
+    rz = round(zf)
+    dx = abs(rx - xf)
+    dy = abs(ry - yf)
+    dz = abs(rz - zf)
+    if dx > dy and dx > dz:
+        rx = -ry - rz
+    elif dy > dz:
+        ry = -rx - rz
+    else:
+        rz = -rx - ry
+    return (int(rx), int(rz))
+
+
+def axial_neighbors(a: Axial) -> List[Axial]:
+    """The six immediate neighbours of *a*, in CCW order."""
+    return [axial_add(a, d) for d in AXIAL_DIRECTIONS]
+
+
+def diagonal_neighbors(a: Axial) -> List[Axial]:
+    """The six diagonal neighbours of *a* (centre distance ``sqrt(3) * a``)."""
+    return [axial_add(a, d) for d in DIAGONAL_DIRECTIONS]
+
+
+def extended_neighbors(a: Axial) -> List[Axial]:
+    """The twelve neighbours used by the paper's graph approximation."""
+    return axial_neighbors(a) + diagonal_neighbors(a)
+
+
+def axial_ring(center: Axial, radius: int) -> List[Axial]:
+    """Cells at exactly *radius* hops from *center* (the hex "ring").
+
+    ``radius == 0`` returns ``[center]``.
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    if radius == 0:
+        return [center]
+    results: List[Axial] = []
+    # Start radius steps in direction 4 (south-west in this orientation), the
+    # conventional starting corner for ring traversal.
+    current = axial_add(center, axial_scale(AXIAL_DIRECTIONS[4], radius))
+    for direction in range(6):
+        for _ in range(radius):
+            results.append(current)
+            current = axial_add(current, AXIAL_DIRECTIONS[direction])
+    return results
+
+
+def disk(center: Axial, radius: int) -> List[Axial]:
+    """All cells within *radius* hops of *center* (a filled hexagon of cells).
+
+    The number of returned cells is ``1 + 3 * radius * (radius + 1)`` —
+    7 for radius 1, 19 for radius 2, 37 for radius 3 and so on.
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    cells: List[Axial] = []
+    for dq in range(-radius, radius + 1):
+        r_lo = max(-radius, -dq - radius)
+        r_hi = min(radius, -dq + radius)
+        for dr in range(r_lo, r_hi + 1):
+            cells.append((center[0] + dq, center[1] + dr))
+    return cells
+
+
+def axial_to_xy(a: Axial, circumradius: float = 1.0) -> Tuple[float, float]:
+    """Planar centre of cell *a* for a pointy-top lattice of the given cell size.
+
+    The centre spacing between immediate neighbours is
+    ``sqrt(3) * circumradius``.
+    """
+    q, r = a
+    x = circumradius * math.sqrt(3.0) * (q + r / 2.0)
+    y = circumradius * 1.5 * r
+    return (x, y)
+
+
+def xy_to_axial(x: float, y: float, circumradius: float = 1.0) -> Axial:
+    """Inverse of :func:`axial_to_xy` followed by rounding to the containing cell."""
+    if circumradius <= 0:
+        raise ValueError(f"circumradius must be > 0, got {circumradius}")
+    rf = y / (1.5 * circumradius)
+    qf = x / (math.sqrt(3.0) * circumradius) - rf / 2.0
+    return axial_round(qf, rf)
+
+
+def are_neighbors(a: Axial, b: Axial) -> bool:
+    """Whether *a* and *b* are immediate neighbours."""
+    return axial_distance(a, b) == 1
+
+
+def are_diagonal_neighbors(a: Axial, b: Axial) -> bool:
+    """Whether *b* is one of the six diagonal neighbours of *a*."""
+    return axial_subtract(b, a) in DIAGONAL_DIRECTIONS
+
+
+def connected(cells: Iterable[Axial]) -> bool:
+    """Whether the cell set is connected under immediate-neighbour adjacency."""
+    cell_set: Set[Axial] = set(cells)
+    if not cell_set:
+        return True
+    start = next(iter(cell_set))
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        current = frontier.pop()
+        for neighbor in axial_neighbors(current):
+            if neighbor in cell_set and neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    return seen == cell_set

@@ -1,0 +1,41 @@
+"""User customization policies (Section 3.2).
+
+A policy is the triple ``<Privacy_l, Precision_l, User_Preferences>``:
+
+* the **privacy level** selects the obfuscation range (the sub-tree of the
+  location tree rooted at that level which contains the user's real
+  location);
+* the **precision level** selects the granularity at which the obfuscated
+  location is finally reported (always at or below the privacy level);
+* the **user preferences** are Boolean predicates ``<var, op, val>`` over
+  per-location attributes (popular, home, office, outlier, distance, ...);
+  locations that fail any predicate are pruned from the obfuscation matrix
+  on the user side.
+
+:mod:`repro.policy.attributes` infers the location attributes from check-in
+data with the same heuristics the paper describes for the Gowalla sample
+(home, office, outlier and popular locations).
+"""
+
+from repro.policy.attributes import (
+    LocationAttributeExtractor,
+    annotate_tree_with_dataset,
+    user_location_profile,
+)
+from repro.policy.evaluation import DeltaOverflowStrategy, PreferenceEvaluation, evaluate_preferences
+from repro.policy.policy import CustomizationRequest, Policy
+from repro.policy.predicates import Operator, Predicate, parse_predicate
+
+__all__ = [
+    "Predicate",
+    "Operator",
+    "parse_predicate",
+    "Policy",
+    "CustomizationRequest",
+    "LocationAttributeExtractor",
+    "annotate_tree_with_dataset",
+    "user_location_profile",
+    "evaluate_preferences",
+    "PreferenceEvaluation",
+    "DeltaOverflowStrategy",
+]

@@ -1,0 +1,210 @@
+"""Location-attribute inference from check-in data (Section 6.1).
+
+The paper derives realistic customization preferences by analysing the
+Gowalla sample "with simple heuristics to identify a user's home, office and
+their outlier locations (where the user visited rarely and at odd times)"
+plus per-location popularity.  This module implements those heuristics over
+the leaf cells of a location tree:
+
+* **popular** — a leaf is popular when its total check-in count is at or
+  above a configurable quantile of the non-empty leaves;
+* **home** (per user) — the leaf holding the user's most frequent night-time
+  (22:00–06:00) check-ins;
+* **office** (per user) — the leaf holding the user's most frequent weekday
+  working-hours (09:00–18:00) check-ins, when different from home;
+* **outlier** (per user) — leaves the user visited at most
+  ``outlier_max_visits`` times, with at least one visit at an odd hour.
+
+Global attributes are attached to the tree nodes (``annotate_tree_with_dataset``);
+per-user attributes are returned as a separate profile dictionary so that a
+single shared tree can serve every user without leaking one user's profile
+to another.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.datasets.checkin import CheckIn, CheckInDataset
+from repro.tree.location_tree import LocationTree
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+
+@dataclass
+class AttributeConfig:
+    """Thresholds used by the attribute heuristics."""
+
+    #: Quantile (over non-empty leaves) above which a leaf is "popular".
+    popular_quantile: float = 0.75
+    #: Minimum number of check-ins for a leaf to ever be considered popular.
+    popular_min_checkins: int = 3
+    #: A user's leaf is an outlier when visited at most this many times ...
+    outlier_max_visits: int = 2
+    #: ... and at least one visit fell into these odd hours.
+    odd_hours: tuple = (0, 1, 2, 3, 4, 23)
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` for inconsistent thresholds."""
+        if not 0.0 <= self.popular_quantile <= 1.0:
+            raise ValueError("popular_quantile must be in [0, 1]")
+        if self.popular_min_checkins < 0:
+            raise ValueError("popular_min_checkins must be non-negative")
+        if self.outlier_max_visits < 1:
+            raise ValueError("outlier_max_visits must be at least 1")
+
+
+class LocationAttributeExtractor:
+    """Computes global and per-user location attributes over a tree.
+
+    Parameters
+    ----------
+    tree:
+        Location tree whose leaves are annotated.
+    dataset:
+        Check-in dataset the attributes are derived from.
+    config:
+        Heuristic thresholds; defaults follow the description in the paper.
+    """
+
+    def __init__(
+        self,
+        tree: LocationTree,
+        dataset: CheckInDataset,
+        config: Optional[AttributeConfig] = None,
+    ) -> None:
+        self.tree = tree
+        self.dataset = dataset
+        self.config = config or AttributeConfig()
+        self.config.validate()
+        self._leaf_checkins: Dict[str, list] = defaultdict(list)
+        self._assign_checkins()
+
+    def _assign_checkins(self) -> None:
+        outside = 0
+        for checkin in self.dataset:
+            if not self.tree.contains_latlng(checkin.lat, checkin.lng):
+                outside += 1
+                continue
+            leaf = self.tree.leaf_for_latlng(checkin.lat, checkin.lng)
+            self._leaf_checkins[leaf.node_id].append(checkin)
+        if outside:
+            logger.debug("%d check-ins fall outside the tree and are ignored", outside)
+
+    # ------------------------------------------------------------------ #
+    # Global attributes
+    # ------------------------------------------------------------------ #
+
+    def global_attributes(self) -> Dict[str, Dict[str, object]]:
+        """Per-leaf global attributes: check-in count, distinct users, popularity."""
+        counts = {node_id: len(items) for node_id, items in self._leaf_checkins.items()}
+        nonzero = np.array([c for c in counts.values() if c > 0], dtype=float)
+        if nonzero.size:
+            threshold = float(np.quantile(nonzero, self.config.popular_quantile))
+        else:
+            threshold = float("inf")
+        threshold = max(threshold, float(self.config.popular_min_checkins))
+        attributes: Dict[str, Dict[str, object]] = {}
+        for leaf in self.tree.leaves():
+            node_id = leaf.node_id
+            leaf_checkins = self._leaf_checkins.get(node_id, [])
+            count = len(leaf_checkins)
+            users = {c.user_id for c in leaf_checkins}
+            attributes[node_id] = {
+                "checkin_count": count,
+                "distinct_users": len(users),
+                "popular": bool(count >= threshold and count > 0),
+            }
+        return attributes
+
+    def annotate_tree(self) -> Dict[str, Dict[str, object]]:
+        """Compute global attributes and install them on the tree nodes."""
+        attributes = self.global_attributes()
+        self.tree.annotate_many(attributes)
+        return attributes
+
+    # ------------------------------------------------------------------ #
+    # Per-user attributes
+    # ------------------------------------------------------------------ #
+
+    def user_profile(self, user_id: str) -> Dict[str, Dict[str, object]]:
+        """Per-leaf attributes specific to *user_id* (home / office / outlier flags).
+
+        Returns a mapping ``{leaf_id: {"home": bool, "office": bool,
+        "outlier": bool, "user_visits": int}}`` covering every leaf of the
+        tree (leaves the user never visited get all-false flags).
+        """
+        visits: Counter = Counter()
+        night_visits: Counter = Counter()
+        work_visits: Counter = Counter()
+        odd_hour_visits: Counter = Counter()
+        for node_id, leaf_checkins in self._leaf_checkins.items():
+            for checkin in leaf_checkins:
+                if checkin.user_id != user_id:
+                    continue
+                visits[node_id] += 1
+                if checkin.is_night:
+                    night_visits[node_id] += 1
+                if checkin.is_work_hours:
+                    work_visits[node_id] += 1
+                if checkin.hour_of_day in self.config.odd_hours:
+                    odd_hour_visits[node_id] += 1
+        home_leaf = _argmax(night_visits) or _argmax(visits)
+        office_candidates = Counter({k: v for k, v in work_visits.items() if k != home_leaf})
+        office_leaf = _argmax(office_candidates)
+        profile: Dict[str, Dict[str, object]] = {}
+        for leaf in self.tree.leaves():
+            node_id = leaf.node_id
+            count = visits.get(node_id, 0)
+            is_outlier = (
+                0 < count <= self.config.outlier_max_visits and odd_hour_visits.get(node_id, 0) > 0
+            )
+            profile[node_id] = {
+                "user_visits": count,
+                "home": node_id == home_leaf and home_leaf is not None,
+                "office": node_id == office_leaf and office_leaf is not None,
+                "outlier": bool(is_outlier),
+            }
+        return profile
+
+    def distance_attributes(self, origin_lat: float, origin_lng: float) -> Dict[str, Dict[str, float]]:
+        """Per-leaf distance (km) from an origin point, e.g. the user's real location."""
+        attributes: Dict[str, Dict[str, float]] = {}
+        for leaf in self.tree.leaves():
+            distance = leaf.center.distance_km(
+                type(leaf.center)(origin_lat, origin_lng)
+            )
+            attributes[leaf.node_id] = {"distance_km": float(distance)}
+        return attributes
+
+
+def annotate_tree_with_dataset(
+    tree: LocationTree,
+    dataset: CheckInDataset,
+    config: Optional[AttributeConfig] = None,
+) -> Dict[str, Dict[str, object]]:
+    """Convenience wrapper: compute and install the global attributes on *tree*."""
+    extractor = LocationAttributeExtractor(tree, dataset, config)
+    return extractor.annotate_tree()
+
+
+def user_location_profile(
+    tree: LocationTree,
+    dataset: CheckInDataset,
+    user_id: str,
+    config: Optional[AttributeConfig] = None,
+) -> Dict[str, Dict[str, object]]:
+    """Convenience wrapper: per-user home/office/outlier flags for every leaf."""
+    extractor = LocationAttributeExtractor(tree, dataset, config)
+    return extractor.user_profile(user_id)
+
+
+def _argmax(counter: Counter) -> Optional[str]:
+    if not counter:
+        return None
+    return max(sorted(counter), key=lambda key: counter[key])

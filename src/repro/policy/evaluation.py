@@ -1,0 +1,175 @@
+"""Evaluation of user preferences over a sub-tree's leaves (step 2 of Figure 8).
+
+Given the sub-tree containing the user's real location, the preferences in
+the user's policy are evaluated against every leaf's attributes (global tree
+attributes, the user's private profile and the distance to the real
+location).  Leaves that fail any predicate form the prune set ``S``.
+
+Section 5.3 of the paper discusses the case where ``|S|`` exceeds the δ the
+robust matrix was generated for: the user must either accept Geo-Ind
+violations (prune everything anyway) or accept policy violations (prune only
+δ locations).  Both options — plus a strict mode that raises — are exposed
+through :class:`DeltaOverflowStrategy`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.policy.policy import Policy
+from repro.policy.predicates import Predicate, satisfies_all
+from repro.tree.location_tree import LocationTree
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+
+class DeltaOverflowStrategy(str, enum.Enum):
+    """What to do when the preferences require pruning more than δ locations."""
+
+    #: Prune every failing location; the customized matrix may violate Geo-Ind.
+    FAVOR_PREFERENCES = "favor_preferences"
+    #: Prune only δ locations (those failing the most predicates first); some
+    #: locations violating the user's preferences stay in the range.
+    FAVOR_PRIVACY = "favor_privacy"
+    #: Refuse and raise, forcing the caller to renegotiate δ with the server.
+    STRICT = "strict"
+
+
+class DeltaOverflowError(RuntimeError):
+    """Raised in strict mode when the prune set exceeds the robustness budget δ."""
+
+    def __init__(self, required: int, delta: int) -> None:
+        super().__init__(
+            f"user preferences require pruning {required} locations but the matrix is only "
+            f"robust to delta={delta}; regenerate the matrix with a larger delta or relax the policy"
+        )
+        self.required = required
+        self.delta = delta
+
+
+@dataclass
+class PreferenceEvaluation:
+    """Result of evaluating a policy's preferences over a sub-tree.
+
+    Attributes
+    ----------
+    prune_ids:
+        Leaf node ids to remove from the obfuscation matrix (the set ``S``).
+    failed_predicates:
+        For every pruned leaf, which predicates it failed (useful for
+        explaining the customization to the user).
+    kept_ids:
+        Leaves that satisfy every predicate, in sub-tree order.
+    overflow:
+        True when the raw prune set exceeded δ and had to be resolved by the
+        selected :class:`DeltaOverflowStrategy`.
+    policy_violations:
+        Leaves that fail the preferences but were *kept* to respect δ (only
+        non-empty under :attr:`DeltaOverflowStrategy.FAVOR_PRIVACY`).
+    """
+
+    prune_ids: List[str] = field(default_factory=list)
+    failed_predicates: Dict[str, List[str]] = field(default_factory=dict)
+    kept_ids: List[str] = field(default_factory=list)
+    overflow: bool = False
+    policy_violations: List[str] = field(default_factory=list)
+
+    @property
+    def num_pruned(self) -> int:
+        """Size of the prune set (what is reported to the server as ``|S|``)."""
+        return len(self.prune_ids)
+
+
+def evaluate_preferences(
+    tree: LocationTree,
+    subtree_root_id: str,
+    policy: Policy,
+    *,
+    user_attributes: Optional[Mapping[str, Mapping[str, object]]] = None,
+    real_location: Optional[tuple] = None,
+    delta: Optional[int] = None,
+    overflow_strategy: DeltaOverflowStrategy = DeltaOverflowStrategy.FAVOR_PREFERENCES,
+    protect_leaf_id: Optional[str] = None,
+) -> PreferenceEvaluation:
+    """Evaluate *policy*'s preferences over the leaves of one sub-tree.
+
+    Parameters
+    ----------
+    tree:
+        The location tree.
+    subtree_root_id:
+        Root of the sub-tree the user selected (the ancestor of their real
+        location at the policy's privacy level).
+    policy:
+        The user's policy; only its ``preferences`` are used here.
+    user_attributes:
+        Optional per-leaf private attributes (home/office/outlier flags from
+        :func:`repro.policy.attributes.user_location_profile`).  Merged over
+        the tree's global attributes.
+    real_location:
+        Optional ``(lat, lng)`` of the user's real location; when given, a
+        ``distance_km`` attribute is computed for every leaf so policies can
+        bound the obfuscation distance.
+    delta:
+        The robustness budget of the matrix being customized.  ``None``
+        disables overflow handling (every failing leaf is pruned).
+    overflow_strategy:
+        How to resolve ``|S| > delta`` (see :class:`DeltaOverflowStrategy`).
+    protect_leaf_id:
+        Leaf that must never be pruned (the user's real location leaf —
+        pruning it would leave the user without a row to sample from).
+
+    Returns
+    -------
+    PreferenceEvaluation
+    """
+    leaves = tree.descendant_leaves(subtree_root_id)
+    predicates: Sequence[Predicate] = policy.preferences
+    evaluation = PreferenceEvaluation()
+    failing: List[tuple] = []
+    for leaf in leaves:
+        attributes: Dict[str, object] = dict(leaf.attributes)
+        if user_attributes and leaf.node_id in user_attributes:
+            attributes.update(user_attributes[leaf.node_id])
+        if real_location is not None:
+            lat, lng = real_location
+            attributes["distance_km"] = leaf.center.distance_km(type(leaf.center)(float(lat), float(lng)))
+        if leaf.node_id == protect_leaf_id:
+            evaluation.kept_ids.append(leaf.node_id)
+            continue
+        failed = [p.describe() for p in predicates if not p.evaluate(attributes)]
+        if failed:
+            failing.append((leaf.node_id, failed))
+        else:
+            evaluation.kept_ids.append(leaf.node_id)
+
+    if delta is None or len(failing) <= delta:
+        evaluation.prune_ids = [node_id for node_id, _ in failing]
+        evaluation.failed_predicates = {node_id: failed for node_id, failed in failing}
+        return evaluation
+
+    evaluation.overflow = True
+    logger.info(
+        "preference evaluation requires pruning %d locations but delta=%d (strategy=%s)",
+        len(failing),
+        delta,
+        overflow_strategy.value,
+    )
+    if overflow_strategy is DeltaOverflowStrategy.STRICT:
+        raise DeltaOverflowError(required=len(failing), delta=delta)
+    if overflow_strategy is DeltaOverflowStrategy.FAVOR_PREFERENCES:
+        evaluation.prune_ids = [node_id for node_id, _ in failing]
+        evaluation.failed_predicates = {node_id: failed for node_id, failed in failing}
+        return evaluation
+    # FAVOR_PRIVACY: prune only the delta leaves violating the most predicates.
+    ranked = sorted(failing, key=lambda item: (-len(item[1]), item[0]))
+    selected = ranked[:delta]
+    rejected = ranked[delta:]
+    evaluation.prune_ids = [node_id for node_id, _ in selected]
+    evaluation.failed_predicates = {node_id: failed for node_id, failed in selected}
+    evaluation.policy_violations = [node_id for node_id, _ in rejected]
+    evaluation.kept_ids.extend(evaluation.policy_violations)
+    return evaluation

@@ -1,0 +1,131 @@
+"""Customization policy objects.
+
+A :class:`Policy` is the user-side triple of Section 3.2.  It stays on the
+user device; only the non-sensitive :class:`CustomizationRequest` (privacy
+level and the *number* of locations to prune, never which ones) is sent to
+the server, reflecting the trust model of Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.policy.predicates import Predicate, parse_predicate
+
+
+@dataclass
+class Policy:
+    """A user's customization policy ``<Privacy_l, Precision_l, User_Preferences>``.
+
+    Parameters
+    ----------
+    privacy_level:
+        Tree level whose sub-trees define the obfuscation range (the privacy
+        forest).  Higher levels mean a wider range of candidate obfuscated
+        locations.
+    precision_level:
+        Tree level at which the obfuscated location is reported.  Must not
+        exceed the privacy level (the privacy level is the maximum possible
+        granularity of the range).
+    preferences:
+        Boolean predicates a location must satisfy to stay in the
+        obfuscation range.  May be given as :class:`Predicate` objects or as
+        strings such as ``"popular = True"``.
+    delta:
+        Optional explicit robustness budget δ (maximum number of locations
+        the user expects to prune).  When omitted the framework derives δ
+        from the preference evaluation.
+    """
+
+    privacy_level: int
+    precision_level: int = 0
+    preferences: List[Predicate] = field(default_factory=list)
+    delta: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.privacy_level < 0:
+            raise ValueError(f"privacy_level must be non-negative, got {self.privacy_level}")
+        if self.precision_level < 0:
+            raise ValueError(f"precision_level must be non-negative, got {self.precision_level}")
+        if self.precision_level > self.privacy_level:
+            raise ValueError(
+                "precision_level must not exceed privacy_level "
+                f"(got precision {self.precision_level} > privacy {self.privacy_level}); "
+                "the privacy level bounds the granularity of the obfuscation range"
+            )
+        if self.delta is not None and self.delta < 0:
+            raise ValueError(f"delta must be non-negative, got {self.delta}")
+        normalized: List[Predicate] = []
+        for preference in self.preferences:
+            if isinstance(preference, Predicate):
+                normalized.append(preference)
+            elif isinstance(preference, str):
+                normalized.append(parse_predicate(preference))
+            else:
+                raise TypeError(
+                    f"preferences must be Predicate objects or strings, got {type(preference).__name__}"
+                )
+        self.preferences = normalized
+
+    @classmethod
+    def from_strings(
+        cls,
+        privacy_level: int,
+        precision_level: int = 0,
+        preferences: Sequence[str] = (),
+        delta: Optional[int] = None,
+    ) -> "Policy":
+        """Build a policy parsing every preference from text."""
+        return cls(
+            privacy_level=privacy_level,
+            precision_level=precision_level,
+            preferences=[parse_predicate(text) for text in preferences],
+            delta=delta,
+        )
+
+    def describe(self) -> str:
+        """Human-readable, single-line rendering of the policy."""
+        preferences = ", ".join(str(p) for p in self.preferences) or "(none)"
+        delta = "auto" if self.delta is None else str(self.delta)
+        return (
+            f"privacy_l={self.privacy_level}, precision_l={self.precision_level}, "
+            f"delta={delta}, user_preferences=[{preferences}]"
+        )
+
+    def to_request(self, delta: Optional[int] = None) -> "CustomizationRequest":
+        """Derive the server-visible request from this policy.
+
+        Only the privacy level and the prune *count* are shared; the
+        predicates themselves (which reveal, e.g., where the user's home is)
+        never leave the device.
+        """
+        effective = delta if delta is not None else (self.delta or 0)
+        return CustomizationRequest(privacy_level=self.privacy_level, delta=int(effective))
+
+
+@dataclass(frozen=True)
+class CustomizationRequest:
+    """The non-sensitive customization parameters shared with the server.
+
+    Carries the privacy level (needed to build the privacy forest) and δ,
+    the number of locations the user may prune (needed to reserve privacy
+    budget), exactly the two quantities step 4 of Figure 1 transmits.
+    """
+
+    privacy_level: int
+    delta: int
+
+    def __post_init__(self) -> None:
+        if self.privacy_level < 0:
+            raise ValueError(f"privacy_level must be non-negative, got {self.privacy_level}")
+        if self.delta < 0:
+            raise ValueError(f"delta must be non-negative, got {self.delta}")
+
+
+def preferences_from_mapping(mapping: Iterable[Union[str, Predicate]]) -> List[Predicate]:
+    """Normalise a mixed iterable of strings/predicates into predicate objects."""
+    result: List[Predicate] = []
+    for item in mapping:
+        result.append(item if isinstance(item, Predicate) else parse_predicate(str(item)))
+    return result

@@ -1,0 +1,175 @@
+"""Boolean predicates over location attributes.
+
+User preferences are encoded as predicates ``<var, op, val>`` (Section 3.2)
+where ``var`` names a location attribute (``popular``, ``home``, ``office``,
+``outlier``, ``distance_km``, ``checkin_count``, ...), ``op`` is one of
+``{=, !=, <, >, >=, <=}`` and ``val`` comes from the attribute's domain.
+
+A location *satisfies* a predicate when the comparison holds; a location
+that fails any of the user's predicates is pruned from the obfuscation
+range.  Missing attributes are treated as not satisfying the predicate
+unless the predicate explicitly tests for absence (``var = None``), which
+keeps the semantics conservative: the user never keeps a location they know
+nothing about if they asked for a property.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+
+class Operator(str, enum.Enum):
+    """Comparison operators allowed in predicates."""
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    GT = ">"
+    GE = ">="
+    LE = "<="
+
+    @classmethod
+    def from_symbol(cls, symbol: str) -> "Operator":
+        """Parse an operator symbol, accepting the common aliases (``==``, ``≠``, ...)."""
+        normalized = symbol.strip()
+        aliases = {
+            "==": cls.EQ,
+            "=": cls.EQ,
+            "!=": cls.NE,
+            "≠": cls.NE,
+            "<>": cls.NE,
+            "<": cls.LT,
+            ">": cls.GT,
+            ">=": cls.GE,
+            "≥": cls.GE,
+            "<=": cls.LE,
+            "≤": cls.LE,
+        }
+        if normalized not in aliases:
+            raise ValueError(f"unknown operator {symbol!r}")
+        return aliases[normalized]
+
+
+_ORDERED_OPERATORS = {Operator.LT, Operator.GT, Operator.GE, Operator.LE}
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One Boolean predicate ``<var, op, val>``.
+
+    Examples
+    --------
+    >>> Predicate("popular", Operator.EQ, True).evaluate({"popular": True})
+    True
+    >>> Predicate("distance_km", Operator.LE, 5.0).evaluate({"distance_km": 7.2})
+    False
+    """
+
+    var: str
+    op: Operator
+    value: Any
+
+    def __post_init__(self) -> None:
+        if not self.var or not isinstance(self.var, str):
+            raise ValueError(f"predicate variable must be a non-empty string, got {self.var!r}")
+        if not isinstance(self.op, Operator):
+            object.__setattr__(self, "op", Operator.from_symbol(str(self.op)))
+
+    def evaluate(self, attributes: Mapping[str, Any]) -> bool:
+        """Whether a location with the given attributes satisfies this predicate."""
+        present = self.var in attributes
+        actual = attributes.get(self.var)
+        if self.op in _ORDERED_OPERATORS:
+            if not present or actual is None:
+                return False
+            try:
+                actual_number = float(actual)
+                expected_number = float(self.value)
+            except (TypeError, ValueError):
+                return False
+            if self.op is Operator.LT:
+                return actual_number < expected_number
+            if self.op is Operator.GT:
+                return actual_number > expected_number
+            if self.op is Operator.GE:
+                return actual_number >= expected_number
+            return actual_number <= expected_number
+        expected = self.value
+        if not present:
+            # "var = None" matches locations that genuinely lack the attribute.
+            if self.op is Operator.EQ:
+                return expected is None
+            return expected is not None
+        if self.op is Operator.EQ:
+            return _values_equal(actual, expected)
+        return not _values_equal(actual, expected)
+
+    def describe(self) -> str:
+        """Human-readable rendering (``popular = True``)."""
+        return f"{self.var} {self.op.value} {self.value!r}"
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+def _values_equal(actual: Any, expected: Any) -> bool:
+    """Equality with friendly handling of booleans expressed as strings and numbers."""
+    if isinstance(actual, bool) or isinstance(expected, bool):
+        return _as_bool(actual) == _as_bool(expected)
+    if isinstance(actual, (int, float)) and isinstance(expected, (int, float)):
+        return float(actual) == float(expected)
+    if isinstance(actual, str) and isinstance(expected, str):
+        return actual.strip().lower() == expected.strip().lower()
+    return actual == expected
+
+
+def _as_bool(value: Any) -> Optional[bool]:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return bool(value)
+    if isinstance(value, str):
+        lowered = value.strip().lower()
+        if lowered in ("true", "yes", "1"):
+            return True
+        if lowered in ("false", "no", "0"):
+            return False
+    return None
+
+
+def parse_predicate(text: str) -> Predicate:
+    """Parse a predicate from text such as ``"popular = True"`` or ``"distance_km <= 5"``.
+
+    The value is interpreted as a bool (``True``/``False``), a number when it
+    parses as one, or a bare string otherwise.
+    """
+    for symbol in ("<=", ">=", "!=", "<>", "==", "≤", "≥", "≠", "=", "<", ">"):
+        if symbol in text:
+            var, _, raw_value = text.partition(symbol)
+            var = var.strip()
+            raw_value = raw_value.strip().strip("'\"")
+            return Predicate(var, Operator.from_symbol(symbol), _parse_value(raw_value))
+    raise ValueError(f"could not find a comparison operator in {text!r}")
+
+
+def _parse_value(raw: str) -> Any:
+    lowered = raw.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    try:
+        if "." in raw or "e" in lowered:
+            return float(raw)
+        return int(raw)
+    except ValueError:
+        return raw
+
+
+def satisfies_all(attributes: Mapping[str, Any], predicates: Sequence[Predicate]) -> bool:
+    """Whether the attributes satisfy every predicate (empty list is trivially true)."""
+    return all(predicate.evaluate(attributes) for predicate in predicates)

@@ -1,0 +1,98 @@
+"""Wire-format messages exchanged between the user device and the server.
+
+The trust model of Figure 1 constrains what the messages may carry: the
+request exposes only the privacy level and the prune count δ (never the
+user's location, sub-tree or preferences); the response carries one matrix
+per sub-tree at the requested level, so the server cannot tell which one the
+user actually uses.  Both messages are plain dataclasses with dictionary
+(de)serialisation so they can cross any transport (HTTP, files, queues).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.core.matrix import ObfuscationMatrix
+
+
+@dataclass(frozen=True)
+class ObfuscationRequest:
+    """Request for a privacy forest.
+
+    Attributes
+    ----------
+    privacy_level:
+        Tree level whose sub-trees form the obfuscation ranges.
+    delta:
+        Number of locations the user may prune (robustness budget δ).
+    epsilon:
+        Optional per-request privacy budget override; the server default is
+        used when omitted.
+    """
+
+    privacy_level: int
+    delta: int
+    epsilon: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.privacy_level < 0:
+            raise ValueError(f"privacy_level must be non-negative, got {self.privacy_level}")
+        if self.delta < 0:
+            raise ValueError(f"delta must be non-negative, got {self.delta}")
+        if self.epsilon is not None and self.epsilon <= 0:
+            raise ValueError(f"epsilon must be positive when given, got {self.epsilon}")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation."""
+        return {"privacy_level": self.privacy_level, "delta": self.delta, "epsilon": self.epsilon}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ObfuscationRequest":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            privacy_level=int(payload["privacy_level"]),  # type: ignore[arg-type]
+            delta=int(payload["delta"]),  # type: ignore[arg-type]
+            epsilon=payload.get("epsilon"),  # type: ignore[arg-type]
+        )
+
+
+@dataclass
+class PrivacyForestResponse:
+    """Response carrying one leaf-level obfuscation matrix per sub-tree.
+
+    Attributes
+    ----------
+    privacy_level, delta, epsilon:
+        Parameters the forest was generated for (echoed for provenance).
+    matrices:
+        Mapping from sub-tree root node id to the matrix over its leaves.
+    """
+
+    privacy_level: int
+    delta: int
+    epsilon: float
+    matrices: Dict[str, ObfuscationMatrix] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation (matrices serialised via their own ``to_dict``)."""
+        return {
+            "privacy_level": self.privacy_level,
+            "delta": self.delta,
+            "epsilon": self.epsilon,
+            "matrices": {root_id: matrix.to_dict() for root_id, matrix in self.matrices.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "PrivacyForestResponse":
+        """Inverse of :meth:`to_dict`."""
+        matrices = {
+            str(root_id): ObfuscationMatrix.from_dict(matrix_payload)
+            for root_id, matrix_payload in dict(payload["matrices"]).items()  # type: ignore[arg-type]
+        }
+        return cls(
+            privacy_level=int(payload["privacy_level"]),  # type: ignore[arg-type]
+            delta=int(payload["delta"]),  # type: ignore[arg-type]
+            epsilon=float(payload["epsilon"]),  # type: ignore[arg-type]
+            matrices=matrices,
+        )

@@ -1,0 +1,242 @@
+"""CORGI server (Algorithm 3).
+
+Given a customization request carrying only the privacy level and the prune
+count δ, the server iterates over every node at the privacy level, collects
+the leaves of its sub-tree, and generates a robust obfuscation matrix for
+them with Algorithm 1.  The Geo-Ind constraints are formulated on the
+12-neighbour graph approximation by default (Section 4.2), and distances
+``d_{i,j}`` are measured in the projected plane so that the graph weights,
+the LP constraints and the violation checks all use one consistent metric.
+
+Generated forests are cached per ``(privacy_level, delta, epsilon)`` so that
+repeated user requests (or many users sharing the same parameters) do not
+re-trigger the expensive LP solves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.graphapprox import HexNeighborhoodGraph, Weighting
+from repro.core.objective import QualityLossModel, TargetDistribution
+from repro.core.robust import BasisRow, RobustGenerationResult, RobustMatrixGenerator
+from repro.server.messages import ObfuscationRequest, PrivacyForestResponse
+from repro.server.privacy_forest import PrivacyForest
+from repro.tree.location_tree import LocationTree
+from repro.utils.logging import get_logger
+from repro.utils.rng import RandomState, as_rng
+from repro.utils.timing import Stopwatch
+
+logger = get_logger(__name__)
+
+
+@dataclass
+class ServerConfig:
+    """Tunable parameters of the server-side matrix generation.
+
+    Attributes
+    ----------
+    epsilon:
+        Default privacy budget ε in km⁻¹ (the paper sweeps 15–20 /km).
+    num_targets:
+        Number of service-target locations sampled from the leaf nodes when a
+        request does not supply its own target distribution (paper:
+        ``NR_TARGET = 49``).
+    robust_iterations:
+        Algorithm 1 iteration count ``t`` (paper: 10; convergence by ~4).
+    use_graph_approximation:
+        Enforce Geo-Ind only on the 12-neighbour graph (True, the paper's
+        efficient formulation) or on every pair (False, the O(K³) baseline
+        formulation used in Fig. 10's comparison).
+    graph_weighting:
+        Edge weighting of the neighbourhood graph (see
+        :class:`~repro.core.graphapprox.HexNeighborhoodGraph`).
+    rpb_method / rpb_basis_row:
+        Reserved-privacy-budget estimator options (Eq. 12 vs Eq. 14).
+    solver_method:
+        scipy ``linprog`` method.
+    target_seed:
+        Seed for sampling the default target distribution.
+    keep_generation_results:
+        Retain per-sub-tree convergence traces in the forest (used by the
+        convergence experiment; off by default to save memory).
+    """
+
+    epsilon: float = 15.0
+    num_targets: int = 49
+    robust_iterations: int = 10
+    use_graph_approximation: bool = True
+    graph_weighting: Weighting = "paper"
+    rpb_method: str = "approx"
+    rpb_basis_row: BasisRow = "real"
+    solver_method: str = "highs"
+    target_seed: int = 13
+    keep_generation_results: bool = False
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` for inconsistent settings."""
+        if self.epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        if self.num_targets <= 0:
+            raise ValueError("num_targets must be positive")
+        if self.robust_iterations < 0:
+            raise ValueError("robust_iterations must be non-negative")
+        if self.rpb_method not in ("approx", "exact"):
+            raise ValueError(f"unknown rpb_method {self.rpb_method!r}")
+
+
+class CORGIServer:
+    """The untrusted, computation-heavy side of CORGI.
+
+    Parameters
+    ----------
+    tree:
+        The location tree for the area of interest (step 1 of Figure 1); its
+        leaf priors should already be set from public check-in statistics.
+    config:
+        Generation parameters (defaults follow the paper's experimental
+        setup).
+    targets:
+        Optional explicit service-target distribution; when omitted, targets
+        are sampled uniformly from the tree's leaf centres.
+    """
+
+    def __init__(
+        self,
+        tree: LocationTree,
+        config: Optional[ServerConfig] = None,
+        *,
+        targets: Optional[TargetDistribution] = None,
+    ) -> None:
+        self.tree = tree
+        self.config = config or ServerConfig()
+        self.config.validate()
+        self.targets = targets or self._default_targets()
+        self._forest_cache: Dict[Tuple[int, int, float], PrivacyForest] = {}
+        self.stopwatch = Stopwatch()
+
+    # ------------------------------------------------------------------ #
+    # Target workload
+    # ------------------------------------------------------------------ #
+
+    def _default_targets(self) -> TargetDistribution:
+        centers = [leaf.center.as_tuple() for leaf in self.tree.leaves()]
+        return TargetDistribution.sample_from_centers(
+            centers,
+            min(self.config.num_targets, len(centers)),
+            seed=self.config.target_seed,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Matrix generation (Algorithm 3)
+    # ------------------------------------------------------------------ #
+
+    def generate_privacy_forest(
+        self,
+        privacy_level: int,
+        delta: int,
+        *,
+        epsilon: Optional[float] = None,
+        use_cache: bool = True,
+    ) -> PrivacyForest:
+        """Generate (or fetch from cache) the privacy forest for the given parameters."""
+        epsilon = float(epsilon if epsilon is not None else self.config.epsilon)
+        if delta < 0:
+            raise ValueError(f"delta must be non-negative, got {delta}")
+        cache_key = (int(privacy_level), int(delta), epsilon)
+        if use_cache and cache_key in self._forest_cache:
+            return self._forest_cache[cache_key]
+
+        forest = PrivacyForest(self.tree, privacy_level, delta, epsilon)
+        self.stopwatch.start("forest_generation")
+        for root in self.tree.nodes_at_level(privacy_level):
+            matrix, result = self._generate_subtree_matrix(root.node_id, delta, epsilon)
+            forest.add(
+                root.node_id,
+                matrix,
+                result if self.config.keep_generation_results else None,
+            )
+        elapsed = self.stopwatch.stop("forest_generation")
+        logger.info(
+            "generated privacy forest: level=%d delta=%d epsilon=%.2f subtrees=%d (%.2f s)",
+            privacy_level,
+            delta,
+            epsilon,
+            len(forest),
+            elapsed,
+        )
+        if use_cache:
+            self._forest_cache[cache_key] = forest
+        return forest
+
+    def _generate_subtree_matrix(
+        self,
+        subtree_root_id: str,
+        delta: int,
+        epsilon: float,
+    ) -> Tuple:
+        """Generate the robust leaf-level matrix for one sub-tree (Algorithm 1)."""
+        leaves = self.tree.descendant_leaves(subtree_root_id)
+        node_ids = [leaf.node_id for leaf in leaves]
+        cells = [leaf.cell for leaf in leaves]
+        centers = [leaf.center.as_tuple() for leaf in leaves]
+        priors = self.tree.conditional_leaf_priors(node_ids)
+
+        graph = HexNeighborhoodGraph(
+            self.tree.grid,
+            cells,
+            weighting=self.config.graph_weighting,
+        )
+        distance_matrix = graph.euclidean_distance_matrix()
+        constraint_set = graph.constraint_set() if self.config.use_graph_approximation else None
+
+        quality_model = QualityLossModel(centers, self.targets, priors)
+        generator = RobustMatrixGenerator(
+            node_ids,
+            distance_matrix,
+            quality_model,
+            epsilon,
+            delta,
+            constraint_set=constraint_set,
+            max_iterations=self.config.robust_iterations,
+            rpb_method=self.config.rpb_method,  # type: ignore[arg-type]
+            basis_row=self.config.rpb_basis_row,
+            level=0,
+        )
+        result = generator.generate()
+        result.matrix.metadata["subtree_root"] = subtree_root_id
+        return result.matrix, result
+
+    # ------------------------------------------------------------------ #
+    # Request handling
+    # ------------------------------------------------------------------ #
+
+    def handle_request(self, request: ObfuscationRequest) -> PrivacyForestResponse:
+        """Serve one user request: generate the forest and package it as a response."""
+        forest = self.generate_privacy_forest(
+            request.privacy_level,
+            request.delta,
+            epsilon=request.epsilon,
+        )
+        return PrivacyForestResponse(
+            privacy_level=forest.privacy_level,
+            delta=forest.delta,
+            epsilon=forest.epsilon,
+            matrices={root_id: matrix for root_id, matrix in forest},
+        )
+
+    def publish_leaf_priors(self, subtree_root_id: str) -> Dict[str, float]:
+        """Leaf priors of one sub-tree (the small vector footnote 5 lets users query)."""
+        leaves = self.tree.descendant_leaves(subtree_root_id)
+        return {leaf.node_id: leaf.prior for leaf in leaves}
+
+    def clear_cache(self) -> None:
+        """Drop every cached privacy forest."""
+        self._forest_cache.clear()
+
+    def cache_size(self) -> int:
+        """Number of cached forests."""
+        return len(self._forest_cache)

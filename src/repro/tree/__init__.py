@@ -1,0 +1,30 @@
+"""Location tree model (Section 3.1 of the paper).
+
+A :class:`~repro.tree.location_tree.LocationTree` organises the cells of the
+hexagonal grid into the balanced, disjoint hierarchy of Definition 3.1:
+level 0 holds the leaf locations (finest granularity), level ``H`` the root
+covering the whole area of interest, and the children of every non-leaf node
+partition it.  Priors over leaf nodes are estimated from check-in data
+(:mod:`repro.tree.priors`) and aggregate upwards.
+"""
+
+from repro.tree.builder import build_location_tree, tree_for_region
+from repro.tree.location_tree import LocationTree
+from repro.tree.node import LocationNode
+from repro.tree.priors import (
+    aggregate_priors,
+    checkin_counts_by_cell,
+    priors_from_checkins,
+    uniform_priors,
+)
+
+__all__ = [
+    "LocationNode",
+    "LocationTree",
+    "build_location_tree",
+    "tree_for_region",
+    "priors_from_checkins",
+    "checkin_counts_by_cell",
+    "uniform_priors",
+    "aggregate_priors",
+]

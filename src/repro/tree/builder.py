@@ -1,0 +1,99 @@
+"""Builders for location trees.
+
+The server generates the spatial index / location tree for the area of
+interest (step 1 of Figure 1).  Two entry points are provided:
+
+* :func:`build_location_tree` — when the root cell is already known (e.g.
+  chosen from a previous run);
+* :func:`tree_for_region` — the common case: pick the cell of a given root
+  resolution containing the centre of a bounding box, exactly as the paper
+  does for the San Francisco sample ("root node which covers the entire
+  region at resolution 6").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.geometry.haversine import LatLng
+from repro.geometry.projection import BoundingBox
+from repro.hexgrid.cell import HexCell
+from repro.hexgrid.grid import DEFAULT_BASE_EDGE_KM, HexGridSystem
+from repro.tree.location_tree import LocationTree
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+#: The paper's configuration: H3 resolution 6 root, tree of height 3 (343 leaves).
+PAPER_ROOT_RESOLUTION = 6
+PAPER_TREE_HEIGHT = 3
+
+
+def build_location_tree(grid: HexGridSystem, root_cell: HexCell, height: int) -> LocationTree:
+    """Build a location tree below *root_cell*.
+
+    Parameters
+    ----------
+    grid:
+        Hexagonal grid system providing geometry and the aperture-7 hierarchy.
+    root_cell:
+        The cell representing the whole area of interest.
+    height:
+        Number of levels below the root; leaves are ``height`` resolutions
+        finer than the root and number ``7 ** height``.
+    """
+    tree = LocationTree(grid, root_cell, height)
+    logger.debug("built location tree %s", tree.summary())
+    return tree
+
+
+def tree_for_region(
+    region: BoundingBox,
+    height: int = PAPER_TREE_HEIGHT,
+    root_resolution: int = PAPER_ROOT_RESOLUTION,
+    *,
+    grid: Optional[HexGridSystem] = None,
+    base_edge_km: float = DEFAULT_BASE_EDGE_KM,
+) -> LocationTree:
+    """Build the location tree for a geographic region.
+
+    The root is the cell at *root_resolution* containing the centre of
+    *region* — the paper's construction for the San Francisco Gowalla
+    sample (root at resolution 6, height 3, 343 leaves).
+
+    Parameters
+    ----------
+    region:
+        The area of interest.
+    height:
+        Tree height ``H`` (number of granularity levels below the root).
+    root_resolution:
+        Hex-grid resolution of the root cell.
+    grid:
+        Optional pre-built grid system; a fresh one centred on *region* is
+        created when omitted.
+    base_edge_km:
+        Base cell edge length when a new grid system is created.
+    """
+    if grid is None:
+        grid = HexGridSystem.for_region(region, base_edge_km=base_edge_km)
+    center = region.center
+    root_cell = grid.latlng_to_cell(center.lat, center.lng, root_resolution)
+    return build_location_tree(grid, root_cell, height)
+
+
+def tree_for_point(
+    point: LatLng,
+    height: int = PAPER_TREE_HEIGHT,
+    root_resolution: int = PAPER_ROOT_RESOLUTION,
+    *,
+    base_edge_km: float = DEFAULT_BASE_EDGE_KM,
+) -> LocationTree:
+    """Build a location tree whose root cell contains *point*.
+
+    Convenience wrapper used by the examples: "give me the CORGI tree around
+    Times Square / downtown San Francisco".
+    """
+    grid = HexGridSystem(point, base_edge_km=base_edge_km)
+    root_cell = grid.latlng_to_cell(point.lat, point.lng, root_resolution)
+    return build_location_tree(grid, root_cell, height)

@@ -1,0 +1,391 @@
+"""The location tree of Definition 3.1.
+
+The tree is balanced (every leaf is at level 0, the root at level ``H``),
+each non-leaf node has exactly seven children (the aperture of the
+underlying hexagonal grid) and the children of a node partition it.  The
+tree is the shared vocabulary between the server (which generates
+obfuscation matrices for the sub-trees rooted at the user's privacy level)
+and the user (who picks the sub-tree containing their real location,
+evaluates preferences over its leaves and selects the precision level for
+reporting).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.haversine import LatLng, pairwise_haversine_km
+from repro.hexgrid.cell import HexCell
+from repro.hexgrid.grid import HexGridSystem
+from repro.hexgrid.hierarchy import cell_ancestor
+from repro.tree.node import LocationNode
+from repro.utils.validation import ensure_probability_vector
+
+
+class LocationTree:
+    """Balanced hierarchical index over a geographic area of interest.
+
+    Instances are normally created through
+    :func:`repro.tree.builder.build_location_tree`; the constructor wires the
+    node objects together and validates the structural invariants.
+
+    Parameters
+    ----------
+    grid:
+        The hexagonal grid system the nodes' cells belong to.
+    root_cell:
+        Cell of the coarsest resolution covering the area of interest.
+    height:
+        Number of levels below the root (the paper's ``H``); leaves sit
+        ``height`` resolutions finer than the root.
+    """
+
+    def __init__(self, grid: HexGridSystem, root_cell: HexCell, height: int) -> None:
+        if height < 1:
+            raise ValueError(f"tree height must be >= 1, got {height}")
+        if root_cell.resolution + height > grid.max_resolution:
+            raise ValueError(
+                "leaf resolution "
+                f"{root_cell.resolution + height} exceeds the grid's max resolution {grid.max_resolution}"
+            )
+        self.grid = grid
+        self.root_cell = root_cell
+        self.height = int(height)
+        self._nodes: Dict[str, LocationNode] = {}
+        self._levels: Dict[int, List[str]] = {level: [] for level in range(height + 1)}
+        self._build()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def _build(self) -> None:
+        root = self._make_node(self.root_cell, level=self.height, parent_id=None)
+        frontier = [root]
+        for level in range(self.height - 1, -1, -1):
+            next_frontier: List[LocationNode] = []
+            for parent in frontier:
+                for child_cell in self.grid.subdivide(parent.cell, 1):
+                    child = self._make_node(child_cell, level=level, parent_id=parent.node_id)
+                    parent.children_ids.append(child.node_id)
+                    next_frontier.append(child)
+            frontier = next_frontier
+
+    def _make_node(self, cell: HexCell, level: int, parent_id: Optional[str]) -> LocationNode:
+        node = LocationNode(
+            node_id=cell.cell_id,
+            cell=cell,
+            level=level,
+            center=self.grid.cell_center_latlng(cell),
+            parent_id=parent_id,
+        )
+        self._nodes[node.node_id] = node
+        self._levels[level].append(node.node_id)
+        return node
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def root(self) -> LocationNode:
+        """The root node (level ``H``)."""
+        return self._nodes[self.root_cell.cell_id]
+
+    @property
+    def leaf_resolution(self) -> int:
+        """Hex-grid resolution of the leaf nodes."""
+        return self.root_cell.resolution + self.height
+
+    def level_to_resolution(self, level: int) -> int:
+        """Hex-grid resolution of nodes at tree *level*."""
+        self._check_level(level)
+        return self.root_cell.resolution + (self.height - level)
+
+    def resolution_to_level(self, resolution: int) -> int:
+        """Tree level of nodes whose cells have the given resolution."""
+        level = self.root_cell.resolution + self.height - resolution
+        self._check_level(level)
+        return level
+
+    def node(self, node_id: str) -> LocationNode:
+        """Return the node with the given id.
+
+        Raises
+        ------
+        KeyError
+            If the node does not belong to this tree.
+        """
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise KeyError(f"node {node_id!r} is not part of this location tree") from None
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[LocationNode]:
+        return iter(self._nodes.values())
+
+    def nodes_at_level(self, level: int) -> List[LocationNode]:
+        """All nodes at tree *level* (level 0 = leaves, ``height`` = root)."""
+        self._check_level(level)
+        return [self._nodes[node_id] for node_id in self._levels[level]]
+
+    def leaves(self) -> List[LocationNode]:
+        """All leaf nodes (level 0)."""
+        return self.nodes_at_level(0)
+
+    def num_nodes_at_level(self, level: int) -> int:
+        """Number of nodes at *level* (``7 ** (height - level)``)."""
+        self._check_level(level)
+        return len(self._levels[level])
+
+    # ------------------------------------------------------------------ #
+    # Navigation
+    # ------------------------------------------------------------------ #
+
+    def parent(self, node_id: str) -> Optional[LocationNode]:
+        """Parent node, or ``None`` for the root."""
+        node = self.node(node_id)
+        if node.parent_id is None:
+            return None
+        return self._nodes[node.parent_id]
+
+    def children(self, node_id: str) -> List[LocationNode]:
+        """Children of the node (empty for leaves)."""
+        node = self.node(node_id)
+        return [self._nodes[child_id] for child_id in node.children_ids]
+
+    def ancestor_at_level(self, node_id: str, level: int) -> LocationNode:
+        """Ancestor of *node_id* at the requested (higher or equal) level."""
+        node = self.node(node_id)
+        self._check_level(level)
+        if level < node.level:
+            raise ValueError(
+                f"level {level} is below the node's level {node.level}; ancestors are at higher levels"
+            )
+        ancestor_cell = cell_ancestor(node.cell, self.level_to_resolution(level))
+        return self.node(ancestor_cell.cell_id)
+
+    def descendants_at_level(self, node_id: str, level: int) -> List[LocationNode]:
+        """Descendants of *node_id* at the requested (lower or equal) level, BFS order."""
+        node = self.node(node_id)
+        self._check_level(level)
+        if level > node.level:
+            raise ValueError(
+                f"level {level} is above the node's level {node.level}; descendants are at lower levels"
+            )
+        current = [node]
+        while current and current[0].level > level:
+            next_level: List[LocationNode] = []
+            for item in current:
+                next_level.extend(self._nodes[cid] for cid in item.children_ids)
+            current = next_level
+        return current
+
+    def descendant_leaves(self, node_id: str) -> List[LocationNode]:
+        """Leaf descendants of *node_id* (the ``V_{i,0}`` of the paper)."""
+        return self.descendants_at_level(node_id, 0)
+
+    def subtree_node_ids(self, node_id: str) -> List[str]:
+        """All node ids in the subtree rooted at *node_id* (BFS order)."""
+        result: List[str] = []
+        queue = deque([node_id])
+        while queue:
+            current = queue.popleft()
+            result.append(current)
+            queue.extend(self._nodes[current].children_ids)
+        return result
+
+    def bfs(self) -> Iterator[LocationNode]:
+        """Breadth-first traversal from the root."""
+        queue = deque([self.root.node_id])
+        while queue:
+            node_id = queue.popleft()
+            node = self._nodes[node_id]
+            yield node
+            queue.extend(node.children_ids)
+
+    def dfs(self) -> Iterator[LocationNode]:
+        """Depth-first (pre-order) traversal from the root."""
+        stack = [self.root.node_id]
+        while stack:
+            node_id = stack.pop()
+            node = self._nodes[node_id]
+            yield node
+            stack.extend(reversed(node.children_ids))
+
+    # ------------------------------------------------------------------ #
+    # Geography
+    # ------------------------------------------------------------------ #
+
+    def leaf_for_latlng(self, lat: float, lng: float) -> LocationNode:
+        """Leaf node containing the geographic point.
+
+        Raises
+        ------
+        KeyError
+            If the point falls outside the area covered by the tree.
+        """
+        cell = self.grid.latlng_to_cell(lat, lng, self.leaf_resolution)
+        if cell.cell_id not in self._nodes:
+            raise KeyError(
+                f"point ({lat:.5f}, {lng:.5f}) is outside the location tree's area of interest"
+            )
+        return self._nodes[cell.cell_id]
+
+    def node_for_latlng(self, lat: float, lng: float, level: int) -> LocationNode:
+        """Node at *level* containing the geographic point (via its leaf)."""
+        leaf = self.leaf_for_latlng(lat, lng)
+        return self.ancestor_at_level(leaf.node_id, level)
+
+    def contains_latlng(self, lat: float, lng: float) -> bool:
+        """Whether the point falls inside the tree's area of interest."""
+        cell = self.grid.latlng_to_cell(lat, lng, self.leaf_resolution)
+        return cell.cell_id in self._nodes
+
+    def distance_km(self, node_id_a: str, node_id_b: str) -> float:
+        """Haversine distance between two node centres (km)."""
+        node_a = self.node(node_id_a)
+        node_b = self.node(node_id_b)
+        return node_a.center.distance_km(node_b.center)
+
+    def distance_matrix_km(self, node_ids: Sequence[str]) -> np.ndarray:
+        """Symmetric distance matrix (km) between the centres of the given nodes."""
+        centers = [self.node(node_id).center.as_tuple() for node_id in node_ids]
+        return pairwise_haversine_km(centers)
+
+    def centers(self, node_ids: Sequence[str]) -> List[LatLng]:
+        """Centres of the given nodes, in order."""
+        return [self.node(node_id).center for node_id in node_ids]
+
+    # ------------------------------------------------------------------ #
+    # Priors
+    # ------------------------------------------------------------------ #
+
+    def set_leaf_priors(self, priors: Dict[str, float], *, normalize: bool = True) -> None:
+        """Assign prior probabilities to the leaves and aggregate them upwards.
+
+        Parameters
+        ----------
+        priors:
+            Mapping from leaf node id to (possibly unnormalised) prior mass.
+            Leaves missing from the mapping receive zero mass.
+        normalize:
+            Rescale the provided masses to sum to 1 over the leaves.  When
+            false, the masses must already sum to 1.
+        """
+        leaf_ids = [node.node_id for node in self.leaves()]
+        unknown = set(priors) - set(self._nodes)
+        if unknown:
+            raise KeyError(f"priors refer to unknown nodes: {sorted(unknown)[:5]}")
+        non_leaf = [node_id for node_id in priors if not self._nodes[node_id].is_leaf]
+        if non_leaf:
+            raise ValueError(f"priors must be given for leaf nodes only, got {sorted(non_leaf)[:5]}")
+        masses = np.array([float(priors.get(node_id, 0.0)) for node_id in leaf_ids])
+        masses = ensure_probability_vector(masses, "leaf priors", normalize=normalize)
+        for node_id, mass in zip(leaf_ids, masses):
+            self._nodes[node_id].prior = float(mass)
+        self._aggregate_priors()
+
+    def _aggregate_priors(self) -> None:
+        for level in range(1, self.height + 1):
+            for node in self.nodes_at_level(level):
+                node.prior = float(sum(self._nodes[cid].prior for cid in node.children_ids))
+
+    def leaf_priors(self, node_ids: Optional[Sequence[str]] = None) -> np.ndarray:
+        """Prior vector over the given leaves (defaults to all leaves, tree order)."""
+        if node_ids is None:
+            node_ids = [node.node_id for node in self.leaves()]
+        values = []
+        for node_id in node_ids:
+            node = self.node(node_id)
+            if not node.is_leaf:
+                raise ValueError(f"{node_id!r} is not a leaf node")
+            values.append(node.prior)
+        return np.asarray(values, dtype=float)
+
+    def conditional_leaf_priors(self, node_ids: Sequence[str]) -> np.ndarray:
+        """Priors over the given leaves re-normalised to sum to 1.
+
+        This is the prior distribution used inside one sub-tree of the
+        privacy forest: the server conditions on the user being somewhere in
+        that sub-tree.  Falls back to the uniform distribution when the
+        sub-tree carries no prior mass at all.
+        """
+        raw = self.leaf_priors(node_ids)
+        total = raw.sum()
+        if total <= 0:
+            return np.full(len(raw), 1.0 / len(raw))
+        return raw / total
+
+    # ------------------------------------------------------------------ #
+    # Attributes
+    # ------------------------------------------------------------------ #
+
+    def annotate(self, node_id: str, attributes: Dict[str, object]) -> None:
+        """Merge *attributes* into the node's attribute dictionary."""
+        self.node(node_id).update_attributes(attributes)
+
+    def annotate_many(self, attribute_map: Dict[str, Dict[str, object]]) -> None:
+        """Merge attributes for many nodes at once (``{node_id: {attr: value}}``)."""
+        for node_id, attributes in attribute_map.items():
+            self.annotate(node_id, attributes)
+
+    # ------------------------------------------------------------------ #
+    # Validation / summary
+    # ------------------------------------------------------------------ #
+
+    def validate(self) -> None:
+        """Check the structural invariants of Definition 3.1.
+
+        Raises
+        ------
+        AssertionError
+            If any invariant is violated (balanced levels, 7 children per
+            internal node, consistent parent/child links, disjoint children).
+        """
+        for level in range(self.height + 1):
+            expected = 7 ** (self.height - level)
+            actual = self.num_nodes_at_level(level)
+            assert actual == expected, f"level {level}: expected {expected} nodes, found {actual}"
+        for node in self:
+            if node.is_leaf:
+                assert not node.children_ids, f"leaf {node.node_id} has children"
+            else:
+                assert len(node.children_ids) == 7, f"node {node.node_id} has {len(node.children_ids)} children"
+                child_cells = set()
+                for child_id in node.children_ids:
+                    child = self.node(child_id)
+                    assert child.parent_id == node.node_id
+                    assert child.level == node.level - 1
+                    child_cells.add(child.cell)
+                assert len(child_cells) == 7, f"node {node.node_id} has duplicate children"
+
+    def summary(self) -> Dict[str, object]:
+        """Small structural summary used by examples and logs."""
+        return {
+            "height": self.height,
+            "root": self.root.node_id,
+            "leaf_resolution": self.leaf_resolution,
+            "num_leaves": self.num_nodes_at_level(0),
+            "num_nodes": len(self),
+            "leaf_edge_km": self.grid.edge_length_km(self.leaf_resolution),
+        }
+
+    def _check_level(self, level: int) -> None:
+        if not 0 <= level <= self.height:
+            raise ValueError(f"level must be in [0, {self.height}], got {level}")
+
+    def __repr__(self) -> str:
+        return (
+            f"LocationTree(root={self.root_cell.cell_id}, height={self.height}, "
+            f"leaves={self.num_nodes_at_level(0)})"
+        )

@@ -1,0 +1,69 @@
+"""Location-tree nodes.
+
+Each node wraps one hexagonal cell of the grid at one level of the tree.
+Following the paper's notation (Table 1), levels count *height above the
+leaves*: leaf nodes are level 0, the root is level ``H``.  Nodes carry the
+metadata the rest of the framework needs:
+
+* geographic centre (used for all distance computations ``d_{i,j}``);
+* prior probability ``p_{v_i}`` (estimated from check-ins, aggregated from
+  the leaves for internal nodes);
+* an attribute dictionary (``popular``, ``home``, ``office``, ``outlier``,
+  check-in counts, ...) that the user's Boolean-predicate preferences are
+  evaluated against (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.geometry.haversine import LatLng
+from repro.hexgrid.cell import HexCell
+
+
+@dataclass
+class LocationNode:
+    """One node of the location tree."""
+
+    node_id: str
+    cell: HexCell
+    level: int
+    center: LatLng
+    parent_id: Optional[str] = None
+    children_ids: List[str] = field(default_factory=list)
+    prior: float = 0.0
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether the node sits at level 0 of the tree."""
+        return self.level == 0
+
+    @property
+    def is_root(self) -> bool:
+        """Whether the node has no parent."""
+        return self.parent_id is None
+
+    @property
+    def resolution(self) -> int:
+        """Hex-grid resolution of the node's cell."""
+        return self.cell.resolution
+
+    def get_attribute(self, name: str, default: Any = None) -> Any:
+        """Return attribute *name*, or *default* when not set."""
+        return self.attributes.get(name, default)
+
+    def set_attribute(self, name: str, value: Any) -> None:
+        """Set attribute *name* to *value* (overwrites any previous value)."""
+        self.attributes[name] = value
+
+    def update_attributes(self, values: Dict[str, Any]) -> None:
+        """Merge *values* into the node's attribute dictionary."""
+        self.attributes.update(values)
+
+    def __repr__(self) -> str:
+        return (
+            f"LocationNode(id={self.node_id!r}, level={self.level}, "
+            f"prior={self.prior:.4f}, children={len(self.children_ids)})"
+        )

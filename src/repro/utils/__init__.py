@@ -1,0 +1,34 @@
+"""Shared utilities for the CORGI reproduction.
+
+This subpackage holds small, dependency-free helpers used throughout the
+library: deterministic random-number handling (:mod:`repro.utils.rng`),
+wall-clock timing helpers (:mod:`repro.utils.timing`), argument validation
+(:mod:`repro.utils.validation`) and a thin logging facade
+(:mod:`repro.utils.logging`).
+"""
+
+from repro.utils.logging import get_logger
+from repro.utils.rng import RandomState, as_rng, spawn_rngs
+from repro.utils.timing import Stopwatch, Timer, time_call
+from repro.utils.validation import (
+    ensure_in_range,
+    ensure_positive,
+    ensure_probability_vector,
+    ensure_square,
+    require,
+)
+
+__all__ = [
+    "RandomState",
+    "as_rng",
+    "spawn_rngs",
+    "Stopwatch",
+    "Timer",
+    "time_call",
+    "ensure_in_range",
+    "ensure_positive",
+    "ensure_probability_vector",
+    "ensure_square",
+    "require",
+    "get_logger",
+]

@@ -1,0 +1,42 @@
+"""Thin logging facade.
+
+All library modules obtain their logger through :func:`get_logger` so that
+applications embedding the library control handlers and verbosity through
+the standard :mod:`logging` configuration.  The library itself never attaches
+handlers (beyond a ``NullHandler`` on its root logger).
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a library logger namespaced under ``repro``.
+
+    Parameters
+    ----------
+    name:
+        Usually ``__name__`` of the calling module.  Names outside the
+        ``repro`` namespace are re-parented under it so that a single
+        ``logging.getLogger("repro").setLevel(...)`` call controls the whole
+        library.
+    """
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def configure_cli_logging(verbose: bool = False) -> None:
+    """Configure basic stderr logging for example scripts and benchmarks."""
+    level = logging.DEBUG if verbose else logging.INFO
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s"))
+    root = logging.getLogger(_ROOT_NAME)
+    root.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in root.handlers):
+        root.addHandler(handler)

@@ -1,0 +1,113 @@
+"""Wall-clock timing helpers used by the experiment drivers.
+
+The paper reports running-time comparisons in Fig. 10(a) (graph
+approximation) and Fig. 14 (precision reduction vs matrix recalculation).
+These helpers provide a context manager and a small record type so that the
+experiment drivers and the pytest-benchmark harness share one notion of
+"elapsed seconds".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+@dataclass
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named timing segments.
+
+    Experiment drivers use a stopwatch to report a per-phase breakdown
+    (constraint construction, LP solve, RPB update) alongside the totals.
+    """
+
+    segments: Dict[str, float] = field(default_factory=dict)
+    _starts: Dict[str, float] = field(default_factory=dict)
+
+    def start(self, name: str) -> None:
+        """Start (or restart) the segment *name*."""
+        self._starts[name] = time.perf_counter()
+
+    def stop(self, name: str) -> float:
+        """Stop segment *name* and return the elapsed seconds of this run."""
+        if name not in self._starts:
+            raise KeyError(f"segment {name!r} was never started")
+        elapsed = time.perf_counter() - self._starts.pop(name)
+        self.segments[name] = self.segments.get(name, 0.0) + elapsed
+        return elapsed
+
+    def total(self) -> float:
+        """Total seconds across all recorded segments."""
+        return float(sum(self.segments.values()))
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return a copy of the recorded segments."""
+        return dict(self.segments)
+
+
+def time_call(func: Callable[..., Any], *args: Any, repeats: int = 1, **kwargs: Any) -> Tuple[Any, float]:
+    """Call *func* and return ``(result, best_elapsed_seconds)``.
+
+    With ``repeats > 1`` the call is repeated and the minimum elapsed time is
+    reported, mirroring ``timeit`` best-of-N semantics used for the small,
+    fast operations in Fig. 14 (precision reduction takes microseconds).
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    best = float("inf")
+    result: Any = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = func(*args, **kwargs)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return result, best
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-readable rendering used in printed experiment tables."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.3f} s"
+    return f"{seconds / 60.0:.2f} min"
+
+
+def summarize_times(times: List[float]) -> Dict[str, float]:
+    """Return min / mean / max statistics for a list of timings."""
+    if not times:
+        return {"min": 0.0, "mean": 0.0, "max": 0.0, "count": 0}
+    return {
+        "min": float(min(times)),
+        "mean": float(sum(times) / len(times)),
+        "max": float(max(times)),
+        "count": float(len(times)),
+    }

@@ -1,0 +1,111 @@
+"""Argument-validation helpers.
+
+The library is used as a building block by the experiments and by external
+callers (examples/), so public entry points validate their inputs eagerly
+and raise informative errors instead of failing deep inside scipy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with *message* unless *condition* holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def ensure_positive(value: float, name: str, *, strict: bool = True) -> float:
+    """Validate that *value* is positive (or non-negative when not strict)."""
+    value = float(value)
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def ensure_in_range(
+    value: float,
+    name: str,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Validate that *value* lies in ``[low, high]`` (or the open interval)."""
+    value = float(value)
+    if low is not None:
+        if inclusive and value < low:
+            raise ValueError(f"{name} must be >= {low}, got {value}")
+        if not inclusive and value <= low:
+            raise ValueError(f"{name} must be > {low}, got {value}")
+    if high is not None:
+        if inclusive and value > high:
+            raise ValueError(f"{name} must be <= {high}, got {value}")
+        if not inclusive and value >= high:
+            raise ValueError(f"{name} must be < {high}, got {value}")
+    return value
+
+
+def ensure_probability_vector(
+    values: Sequence[float],
+    name: str = "probabilities",
+    *,
+    atol: float = 1e-6,
+    normalize: bool = False,
+) -> np.ndarray:
+    """Validate (and optionally re-normalise) a probability vector.
+
+    Parameters
+    ----------
+    values:
+        Candidate probability vector.
+    atol:
+        Tolerance on the deviation of the sum from 1.
+    normalize:
+        When true, a vector of non-negative entries with a positive sum is
+        rescaled to sum exactly to 1 instead of being rejected.
+    """
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {array.shape}")
+    if array.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if np.any(array < -atol):
+        raise ValueError(f"{name} must be non-negative")
+    array = np.clip(array, 0.0, None)
+    total = float(array.sum())
+    if total <= 0:
+        raise ValueError(f"{name} must have a positive sum")
+    if normalize:
+        return array / total
+    if abs(total - 1.0) > atol:
+        raise ValueError(f"{name} must sum to 1 (got {total:.6f}); pass normalize=True to rescale")
+    return array
+
+
+def ensure_square(matrix: np.ndarray, name: str = "matrix") -> np.ndarray:
+    """Validate that *matrix* is a square 2-D array and return it as float."""
+    array = np.asarray(matrix, dtype=float)
+    if array.ndim != 2 or array.shape[0] != array.shape[1]:
+        raise ValueError(f"{name} must be a square 2-D array, got shape {array.shape}")
+    return array
+
+
+def ensure_index_subset(indices: Sequence[int], size: int, name: str = "indices") -> list:
+    """Validate that *indices* are unique ints inside ``range(size)``."""
+    result = []
+    seen = set()
+    for idx in indices:
+        i = int(idx)
+        if i < 0 or i >= size:
+            raise ValueError(f"{name} contains {i}, which is outside [0, {size})")
+        if i in seen:
+            raise ValueError(f"{name} contains duplicate index {i}")
+        seen.add(i)
+        result.append(i)
+    return result

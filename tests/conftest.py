@@ -1,0 +1,130 @@
+"""Shared pytest fixtures.
+
+Expensive objects (LP solutions, robust matrices, the synthetic dataset)
+are session-scoped so the suite stays fast: most tests operate on a 7-leaf
+sub-tree where a full LP solve takes well under a second.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.graphapprox import HexNeighborhoodGraph
+from repro.core.lp import ObfuscationLP
+from repro.core.objective import QualityLossModel, TargetDistribution
+from repro.core.robust import RobustMatrixGenerator
+from repro.datasets.synthetic import GowallaLikeGenerator, SyntheticConfig
+from repro.geometry.haversine import LatLng
+from repro.geometry.projection import BoundingBox
+from repro.tree.builder import tree_for_point
+from repro.tree.priors import priors_from_checkins
+
+#: Default privacy budget used by the small LP fixtures (km^-1).  With the
+#: 7-leaf tree's ~0.9 km spacing this keeps the Geo-Ind constraints active
+#: without making the LP trivially identity-like.
+TEST_EPSILON = 2.0
+
+
+@pytest.fixture(scope="session")
+def sf_center() -> LatLng:
+    """A point in central San Francisco used as the tree anchor."""
+    return LatLng(37.77, -122.42)
+
+
+@pytest.fixture(scope="session")
+def small_tree(sf_center):
+    """Height-1 tree (7 leaves) — the workhorse for fast LP tests."""
+    tree = tree_for_point(sf_center, height=1, root_resolution=8)
+    return tree
+
+
+@pytest.fixture(scope="session")
+def medium_tree(sf_center):
+    """Height-2 tree (49 leaves) for structure-heavy tests (no LP solves)."""
+    return tree_for_point(sf_center, height=2, root_resolution=7)
+
+
+@pytest.fixture(scope="session")
+def synthetic_dataset():
+    """A small synthetic Gowalla-like dataset (deterministic)."""
+    config = SyntheticConfig(num_checkins=2_000, num_users=50, num_venues=120)
+    return GowallaLikeGenerator(config, seed=42).generate()
+
+
+@pytest.fixture(scope="session")
+def small_tree_with_priors(small_tree, synthetic_dataset):
+    """The 7-leaf tree with priors derived from the synthetic check-ins."""
+    priors_from_checkins(small_tree, synthetic_dataset)
+    return small_tree
+
+
+@pytest.fixture(scope="session")
+def small_location_set(small_tree):
+    """Leaves, centres, distances, graph and quality model of the 7-leaf tree."""
+    leaves = small_tree.leaves()
+    node_ids = [leaf.node_id for leaf in leaves]
+    cells = [leaf.cell for leaf in leaves]
+    centers = [leaf.center.as_tuple() for leaf in leaves]
+    graph = HexNeighborhoodGraph(small_tree.grid, cells)
+    distance_matrix = graph.euclidean_distance_matrix()
+    rng = np.random.default_rng(7)
+    priors = rng.random(len(leaves))
+    priors = priors / priors.sum()
+    targets = TargetDistribution.sample_from_centers(centers, 5, seed=3)
+    quality_model = QualityLossModel(centers, targets, priors)
+    return {
+        "tree": small_tree,
+        "node_ids": node_ids,
+        "cells": cells,
+        "centers": centers,
+        "graph": graph,
+        "distance_matrix": distance_matrix,
+        "priors": priors,
+        "targets": targets,
+        "quality_model": quality_model,
+    }
+
+
+@pytest.fixture(scope="session")
+def nonrobust_solution(small_location_set):
+    """Optimal non-robust matrix over the 7-leaf set (one LP solve, reused)."""
+    lp = ObfuscationLP(
+        small_location_set["node_ids"],
+        small_location_set["distance_matrix"],
+        small_location_set["quality_model"],
+        TEST_EPSILON,
+        constraint_set=small_location_set["graph"].constraint_set(),
+    )
+    return lp.solve_nonrobust()
+
+
+@pytest.fixture(scope="session")
+def robust_result(small_location_set):
+    """Robust (delta=1) matrix over the 7-leaf set (Algorithm 1, reused).
+
+    delta=1 is used because on a 7-location range with a handful of targets
+    the LP optimum concentrates its mass on few columns, so larger delta
+    values run into the degenerate "all mass pruned" corner the paper's
+    Section 5.3 discusses; delta=1 exercises the robustness mechanism
+    cleanly at unit-test scale (the 49-location experiments cover larger
+    delta).
+    """
+    generator = RobustMatrixGenerator(
+        small_location_set["node_ids"],
+        small_location_set["distance_matrix"],
+        small_location_set["quality_model"],
+        TEST_EPSILON,
+        delta=1,
+        constraint_set=small_location_set["graph"].constraint_set(),
+        max_iterations=3,
+    )
+    return generator.generate()
+
+
+@pytest.fixture(scope="session")
+def sf_region() -> BoundingBox:
+    """The San Francisco study region."""
+    from repro.datasets.region import SAN_FRANCISCO
+
+    return SAN_FRANCISCO

@@ -1,0 +1,170 @@
+"""Tests for the analysis helpers (utility, violations, tables)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import ResultTable, percentage_reduction, ratio, summarize
+from repro.analysis.utility import empirical_quality_loss_km, expected_quality_loss_km, utility_profile
+from repro.analysis.violations import pruning_violation_stats, violation_sweep
+from repro.core.matrix import ObfuscationMatrix
+
+from tests.conftest import TEST_EPSILON
+
+
+class TestUtilityAnalysis:
+    def test_expected_quality_loss_matches_model(self, nonrobust_solution, small_location_set):
+        loss = expected_quality_loss_km(nonrobust_solution.matrix, small_location_set["quality_model"])
+        assert loss == pytest.approx(nonrobust_solution.objective_value, abs=1e-6)
+
+    def test_utility_profile_fields(self, nonrobust_solution, small_location_set):
+        profile = utility_profile(nonrobust_solution.matrix, small_location_set["quality_model"])
+        assert profile["best_location_loss_km"] <= profile["median_location_loss_km"]
+        assert profile["median_location_loss_km"] <= profile["worst_location_loss_km"]
+
+    def test_empirical_quality_loss(self, nonrobust_solution, small_location_set):
+        tree = small_location_set["tree"]
+        points = [leaf.center.as_tuple() for leaf in tree.leaves()[:4]]
+        loss = empirical_quality_loss_km(
+            nonrobust_solution.matrix,
+            tree,
+            small_location_set["targets"],
+            points,
+            samples_per_point=3,
+            seed=0,
+        )
+        assert loss >= 0
+
+    def test_empirical_quality_loss_skips_outside_points(self, nonrobust_solution, small_location_set):
+        loss = empirical_quality_loss_km(
+            nonrobust_solution.matrix,
+            small_location_set["tree"],
+            small_location_set["targets"],
+            [(0.0, 0.0)],
+        )
+        assert loss == 0.0
+
+    def test_empirical_quality_loss_validation(self, nonrobust_solution, small_location_set):
+        with pytest.raises(ValueError):
+            empirical_quality_loss_km(
+                nonrobust_solution.matrix,
+                small_location_set["tree"],
+                small_location_set["targets"],
+                [],
+                samples_per_point=0,
+            )
+
+
+class TestViolationAnalysis:
+    def test_uniform_matrix_never_violates(self, small_location_set):
+        matrix = ObfuscationMatrix.uniform(small_location_set["node_ids"])
+        stats = pruning_violation_stats(
+            matrix, small_location_set["distance_matrix"], TEST_EPSILON, 2, trials=10, seed=0
+        )
+        assert stats.mean_violation_pct == 0.0
+        assert stats.failed_trials == 0
+        assert stats.trials == 10
+
+    def test_nonrobust_matrix_violates_more_than_robust(
+        self, nonrobust_solution, robust_result, small_location_set
+    ):
+        kwargs = dict(
+            distance_matrix_km=small_location_set["distance_matrix"],
+            epsilon=TEST_EPSILON,
+            num_pruned=1,
+            trials=7,
+            seed=1,
+        )
+        nonrobust_stats = pruning_violation_stats(nonrobust_solution.matrix, **kwargs)
+        robust_stats = pruning_violation_stats(robust_result.matrix, **kwargs)
+        assert robust_stats.mean_violation_pct <= nonrobust_stats.mean_violation_pct
+
+    def test_constraint_set_restriction(self, nonrobust_solution, small_location_set):
+        stats_all = pruning_violation_stats(
+            nonrobust_solution.matrix,
+            small_location_set["distance_matrix"],
+            TEST_EPSILON,
+            1,
+            trials=5,
+            seed=2,
+        )
+        stats_graph = pruning_violation_stats(
+            nonrobust_solution.matrix,
+            small_location_set["distance_matrix"],
+            TEST_EPSILON,
+            1,
+            trials=5,
+            seed=2,
+            constraint_set=small_location_set["graph"].constraint_set(),
+        )
+        # Percentages may differ but both runs must be well formed.
+        assert len(stats_all.per_trial_pct) == 5
+        assert len(stats_graph.per_trial_pct) == 5
+
+    def test_violation_sweep_keys(self, nonrobust_solution, small_location_set):
+        sweep = violation_sweep(
+            nonrobust_solution.matrix,
+            small_location_set["distance_matrix"],
+            TEST_EPSILON,
+            pruned_counts=[1, 2],
+            trials=4,
+            seed=0,
+        )
+        assert set(sweep) == {1, 2}
+
+    def test_invalid_arguments(self, nonrobust_solution, small_location_set):
+        with pytest.raises(ValueError):
+            pruning_violation_stats(
+                nonrobust_solution.matrix,
+                small_location_set["distance_matrix"],
+                TEST_EPSILON,
+                1,
+                trials=0,
+            )
+        with pytest.raises(ValueError):
+            pruning_violation_stats(
+                nonrobust_solution.matrix, np.zeros((2, 2)), TEST_EPSILON, 1, trials=2
+            )
+
+
+class TestResultTable:
+    def test_add_rows_and_columns(self):
+        table = ResultTable(title="demo")
+        table.add_row(a=1, b=2.5)
+        table.add_row(a=2, b=0.0001)
+        assert table.columns == ["a", "b"]
+        assert table.column("a") == [1, 2]
+
+    def test_to_text_contains_values(self):
+        table = ResultTable(title="demo", columns=["name", "value"])
+        table.add_row(name="x", value=3.14159)
+        text = table.to_text()
+        assert "demo" in text and "3.1416" in text
+
+    def test_empty_table_text(self):
+        assert "(no rows)" in ResultTable(title="empty").to_text()
+
+    def test_to_dict(self):
+        table = ResultTable(title="demo")
+        table.add_row(a=True, b=None)
+        payload = table.to_dict()
+        assert payload["title"] == "demo"
+        assert payload["rows"][0]["a"] is True
+
+    def test_print_does_not_fail(self, capsys):
+        table = ResultTable(title="demo")
+        table.add_row(a=1)
+        table.print()
+        assert "demo" in capsys.readouterr().out
+
+    def test_summarize(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        assert stats["mean"] == 2.0
+        assert stats["count"] == 3
+        assert summarize([])["count"] == 0
+
+    def test_ratio_and_reduction(self):
+        assert ratio(10.0, 2.0) == 5.0
+        assert ratio(1.0, 0.0) == float("inf")
+        assert ratio(0.0, 0.0) == 1.0
+        assert percentage_reduction(10.0, 1.0) == pytest.approx(90.0)
+        assert percentage_reduction(0.0, 1.0) == 0.0

@@ -1,0 +1,234 @@
+"""Tests for the baseline mechanisms and the Bayesian adversary."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.bayesian import BayesianAttacker
+from repro.attacks.metrics import expected_inference_error_km, posterior_gain, top1_recovery_rate
+from repro.baselines.base import ObfuscationMechanism
+from repro.baselines.nonrobust import NonRobustLPMechanism
+from repro.baselines.planar_laplace import PlanarLaplaceMechanism, planar_laplace_radius
+from repro.baselines.uniform import UniformMechanism
+from repro.core.geoind import check_geo_ind
+from repro.core.matrix import ObfuscationMatrix
+
+from tests.conftest import TEST_EPSILON
+
+
+class TestUniformMechanism:
+    def test_matrix_is_uniform(self, small_location_set):
+        mechanism = UniformMechanism(small_location_set["node_ids"])
+        assert np.allclose(mechanism.matrix.values, 1.0 / 7.0)
+        assert np.allclose(mechanism.to_matrix().values, 1.0 / 7.0)
+
+    def test_obfuscate_validates_input(self, small_location_set):
+        mechanism = UniformMechanism(small_location_set["node_ids"])
+        with pytest.raises(KeyError):
+            mechanism.obfuscate("unknown")
+
+    def test_obfuscate_covers_range(self, small_location_set):
+        mechanism = UniformMechanism(small_location_set["node_ids"])
+        rng = np.random.default_rng(0)
+        samples = {mechanism.obfuscate(small_location_set["node_ids"][0], rng) for _ in range(200)}
+        assert samples == set(small_location_set["node_ids"])
+
+    def test_satisfies_geo_ind_for_any_epsilon(self, small_location_set):
+        mechanism = UniformMechanism(small_location_set["node_ids"])
+        report = check_geo_ind(mechanism.matrix, small_location_set["distance_matrix"], 0.01)
+        assert report.satisfied
+
+    def test_base_class_validation(self):
+        with pytest.raises(ValueError):
+            UniformMechanism([])
+        with pytest.raises(ValueError):
+            UniformMechanism(["a", "a"])
+
+
+class TestNonRobustLPMechanism:
+    def test_lazy_solution_and_matrix(self, small_location_set):
+        mechanism = NonRobustLPMechanism(
+            small_location_set["node_ids"],
+            small_location_set["distance_matrix"],
+            small_location_set["quality_model"],
+            TEST_EPSILON,
+            constraint_set=small_location_set["graph"].constraint_set(),
+        )
+        assert mechanism._solution is None
+        matrix = mechanism.matrix
+        assert mechanism._solution is not None
+        matrix.validate()
+        assert mechanism.objective_value >= 0
+        assert mechanism.to_matrix() is matrix
+
+    def test_obfuscate_returns_known_id(self, small_location_set):
+        mechanism = NonRobustLPMechanism(
+            small_location_set["node_ids"],
+            small_location_set["distance_matrix"],
+            small_location_set["quality_model"],
+            TEST_EPSILON,
+            constraint_set=small_location_set["graph"].constraint_set(),
+        )
+        reported = mechanism.obfuscate(small_location_set["node_ids"][0], seed=1)
+        assert reported in small_location_set["node_ids"]
+
+    def test_better_utility_than_uniform(self, small_location_set):
+        mechanism = NonRobustLPMechanism(
+            small_location_set["node_ids"],
+            small_location_set["distance_matrix"],
+            small_location_set["quality_model"],
+            TEST_EPSILON,
+            constraint_set=small_location_set["graph"].constraint_set(),
+        )
+        uniform_loss = small_location_set["quality_model"].expected_loss(
+            UniformMechanism(small_location_set["node_ids"]).matrix
+        )
+        assert mechanism.objective_value <= uniform_loss + 1e-9
+
+
+class TestPlanarLaplace:
+    def test_radius_inverse_cdf_monotone(self):
+        radii = [planar_laplace_radius(p, 2.0) for p in (0.0, 0.3, 0.6, 0.9)]
+        assert radii[0] == 0.0
+        assert all(radii[i] < radii[i + 1] for i in range(len(radii) - 1))
+
+    def test_radius_scales_inversely_with_epsilon(self):
+        assert planar_laplace_radius(0.5, 1.0) == pytest.approx(2 * planar_laplace_radius(0.5, 2.0))
+
+    def test_radius_validation(self):
+        with pytest.raises(ValueError):
+            planar_laplace_radius(1.0, 1.0)
+        with pytest.raises(ValueError):
+            planar_laplace_radius(0.5, 0.0)
+
+    def test_mean_radius_close_to_theory(self):
+        # E[r] = 2 / epsilon for the planar Laplace radial distribution.
+        rng = np.random.default_rng(0)
+        epsilon = 3.0
+        draws = [planar_laplace_radius(float(rng.random()), epsilon) for _ in range(4000)]
+        assert np.mean(draws) == pytest.approx(2.0 / epsilon, rel=0.1)
+
+    def _mechanism(self, small_location_set, **kwargs):
+        return PlanarLaplaceMechanism(
+            small_location_set["node_ids"],
+            small_location_set["centers"],
+            epsilon=TEST_EPSILON,
+            grid=small_location_set["tree"].grid,
+            leaf_resolution=small_location_set["tree"].leaf_resolution,
+            **kwargs,
+        )
+
+    def test_obfuscate_returns_in_range_ids(self, small_location_set):
+        mechanism = self._mechanism(small_location_set)
+        rng = np.random.default_rng(1)
+        for node_id in small_location_set["node_ids"]:
+            assert mechanism.obfuscate(node_id, rng) in small_location_set["node_ids"]
+
+    def test_empirical_matrix_is_stochastic(self, small_location_set):
+        mechanism = self._mechanism(small_location_set)
+        matrix = mechanism.to_matrix(num_samples=80, seed=2)
+        assert np.allclose(matrix.values.sum(axis=1), 1.0)
+        assert matrix.metadata["empirical"] is True
+
+    def test_empirical_matrix_requires_samples(self, small_location_set):
+        mechanism = self._mechanism(small_location_set)
+        with pytest.raises(NotImplementedError):
+            mechanism.to_matrix()
+
+    def test_reports_concentrate_near_real_location(self, small_location_set):
+        # With a large epsilon the mean noise radius (2/eps = 0.1 km) is well
+        # inside one leaf cell, so most reports stay at the real location.
+        mechanism = PlanarLaplaceMechanism(
+            small_location_set["node_ids"],
+            small_location_set["centers"],
+            epsilon=20.0,
+            grid=small_location_set["tree"].grid,
+            leaf_resolution=small_location_set["tree"].leaf_resolution,
+        )
+        real = small_location_set["node_ids"][0]
+        samples = mechanism.obfuscate_many(real, 150, seed=3)
+        assert samples.count(real) > len(samples) * 0.4
+
+    def test_expected_radius(self, small_location_set):
+        mechanism = self._mechanism(small_location_set)
+        assert mechanism.expected_radius_km() == pytest.approx(2.0 / TEST_EPSILON)
+
+    def test_validation(self, small_location_set):
+        with pytest.raises(ValueError):
+            PlanarLaplaceMechanism(small_location_set["node_ids"], small_location_set["centers"][:2], 1.0)
+        with pytest.raises(ValueError):
+            PlanarLaplaceMechanism(small_location_set["node_ids"], small_location_set["centers"], 0.0)
+        with pytest.raises(ValueError):
+            PlanarLaplaceMechanism(
+                small_location_set["node_ids"], small_location_set["centers"], 1.0, max_radius_km=-1
+            )
+
+
+class TestBayesianAttacker:
+    def _attacker(self, matrix, small_location_set, priors=None):
+        return BayesianAttacker(
+            matrix,
+            priors if priors is not None else small_location_set["priors"],
+            small_location_set["distance_matrix"],
+        )
+
+    def test_identity_matrix_fully_recovered(self, small_location_set):
+        matrix = ObfuscationMatrix.identity(small_location_set["node_ids"])
+        attacker = self._attacker(matrix, small_location_set)
+        assert attacker.recovery_rate() == pytest.approx(1.0)
+        assert attacker.expected_inference_error_km() == pytest.approx(0.0, abs=1e-9)
+
+    def test_uniform_matrix_gives_prior_error(self, small_location_set):
+        matrix = ObfuscationMatrix.uniform(small_location_set["node_ids"])
+        attacker = self._attacker(matrix, small_location_set)
+        assert attacker.expected_inference_error_km() == pytest.approx(
+            attacker.prior_expected_error_km(), rel=1e-9
+        )
+
+    def test_posterior_is_distribution(self, nonrobust_solution, small_location_set):
+        attacker = self._attacker(nonrobust_solution.matrix, small_location_set)
+        for node_id in small_location_set["node_ids"]:
+            posterior = attacker.posterior(node_id)
+            assert posterior.sum() == pytest.approx(1.0)
+            assert (posterior >= 0).all()
+
+    def test_attack_result_fields(self, nonrobust_solution, small_location_set):
+        attacker = self._attacker(nonrobust_solution.matrix, small_location_set)
+        result = attacker.attack(small_location_set["node_ids"][0])
+        assert result.map_estimate in small_location_set["node_ids"]
+        assert result.bayes_estimate in small_location_set["node_ids"]
+        assert result.expected_error_km >= 0
+
+    def test_obfuscation_reduces_attacker_accuracy(self, nonrobust_solution, small_location_set):
+        identity = ObfuscationMatrix.identity(small_location_set["node_ids"])
+        attacker_identity = self._attacker(identity, small_location_set)
+        attacker_obfuscated = self._attacker(nonrobust_solution.matrix, small_location_set)
+        assert (
+            attacker_obfuscated.expected_inference_error_km()
+            >= attacker_identity.expected_inference_error_km()
+        )
+
+    def test_posterior_table_shape(self, nonrobust_solution, small_location_set):
+        attacker = self._attacker(nonrobust_solution.matrix, small_location_set)
+        table = attacker.posterior_table()
+        assert table.shape == (7, 7)
+        assert np.allclose(table.sum(axis=1), 1.0)
+
+    def test_validation(self, small_location_set):
+        matrix = ObfuscationMatrix.uniform(small_location_set["node_ids"])
+        with pytest.raises(ValueError):
+            BayesianAttacker(matrix, [0.5, 0.5], small_location_set["distance_matrix"])
+        with pytest.raises(ValueError):
+            BayesianAttacker(matrix, small_location_set["priors"], np.zeros((2, 2)))
+
+    def test_metric_wrappers(self, nonrobust_solution, small_location_set):
+        matrix = nonrobust_solution.matrix
+        priors = small_location_set["priors"]
+        distances = small_location_set["distance_matrix"]
+        assert expected_inference_error_km(matrix, priors, distances) >= 0
+        assert 0 <= top1_recovery_rate(matrix, priors, distances) <= 1
+        assert posterior_gain(matrix, priors, distances) >= 1.0 - 1e-9
+
+    def test_posterior_gain_uniform_is_one(self, small_location_set):
+        matrix = ObfuscationMatrix.uniform(small_location_set["node_ids"])
+        gain = posterior_gain(matrix, small_location_set["priors"], small_location_set["distance_matrix"])
+        assert gain == pytest.approx(1.0, rel=1e-6)

@@ -1,0 +1,387 @@
+"""Tests for the graph approximation, the LP solver and the robust generation (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.geoind import all_pairs_constraints, check_geo_ind
+from repro.core.graphapprox import HexNeighborhoodGraph
+from repro.core.lp import MIN_EFFECTIVE_EPSILON, ObfuscationLP
+from repro.core.matrix import ObfuscationMatrix
+from repro.core.objective import QualityLossModel, TargetDistribution
+from repro.core.pruning import prune_matrix
+from repro.core.robust import (
+    RobustMatrixGenerator,
+    reserved_privacy_budget_approx,
+    reserved_privacy_budget_exact,
+    top_delta_row_sums,
+)
+
+from tests.conftest import TEST_EPSILON
+
+
+class TestHexNeighborhoodGraph:
+    def test_basic_structure(self, small_location_set):
+        graph = small_location_set["graph"]
+        assert graph.size == 7
+        assert graph.num_edges > 0
+        assert graph.is_connected()
+
+    def test_edges_symmetric_in_adjacency(self, small_location_set):
+        adjacency = small_location_set["graph"].adjacency_matrix()
+        assert np.allclose(adjacency, adjacency.T)
+        assert np.allclose(np.diag(adjacency), 0.0)
+
+    def test_center_cell_has_twelve_neighbors_in_disk(self, medium_tree):
+        # In a 49-cell patch the central cell has all 6 + 6 neighbours present.
+        leaves = medium_tree.leaves()
+        cells = [leaf.cell for leaf in leaves]
+        graph = HexNeighborhoodGraph(medium_tree.grid, cells)
+        degrees = np.count_nonzero(graph.adjacency_matrix(), axis=1)
+        assert degrees.max() == 12
+
+    def test_paper_weighting_all_edges_equal(self, medium_tree):
+        leaves = medium_tree.leaves()[:20]
+        graph = HexNeighborhoodGraph(medium_tree.grid, [leaf.cell for leaf in leaves], weighting="paper")
+        weights = {round(weight, 9) for _, _, weight in graph.edges()}
+        assert len(weights) == 1
+
+    def test_euclidean_weighting_has_two_edge_lengths(self, medium_tree):
+        leaves = medium_tree.leaves()
+        graph = HexNeighborhoodGraph(
+            medium_tree.grid, [leaf.cell for leaf in leaves], weighting="euclidean"
+        )
+        weights = sorted({round(weight, 6) for _, _, weight in graph.edges()})
+        assert len(weights) == 2
+        assert weights[1] == pytest.approx(np.sqrt(3.0) * weights[0], rel=1e-3)
+
+    def test_lemma_4_1_lower_bound_paper_weights(self, medium_tree):
+        leaves = medium_tree.leaves()
+        graph = HexNeighborhoodGraph(medium_tree.grid, [leaf.cell for leaf in leaves], weighting="paper")
+        assert graph.verify_lower_bound()
+        graph_distances = graph.graph_distance_matrix()
+        euclid = graph.euclidean_distance_matrix()
+        assert (graph_distances <= euclid + 1e-6).all()
+
+    def test_constraint_set_has_both_orientations(self, small_location_set):
+        constraints = small_location_set["graph"].constraint_set()
+        pairs = {(int(i), int(j)) for i, j in constraints.pairs}
+        assert all((j, i) in pairs for i, j in pairs)
+        assert constraints.num_pairs == 2 * small_location_set["graph"].num_edges
+
+    def test_no_diagonals_option(self, small_location_set):
+        tree = small_location_set["tree"]
+        graph = HexNeighborhoodGraph(tree.grid, small_location_set["cells"], include_diagonals=False)
+        assert graph.num_edges < small_location_set["graph"].num_edges
+
+    def test_mixed_resolution_rejected(self, medium_tree):
+        cells = [medium_tree.leaves()[0].cell, medium_tree.root.cell]
+        with pytest.raises(ValueError):
+            HexNeighborhoodGraph(medium_tree.grid, cells)
+
+    def test_duplicate_cells_rejected(self, medium_tree):
+        cell = medium_tree.leaves()[0].cell
+        with pytest.raises(ValueError):
+            HexNeighborhoodGraph(medium_tree.grid, [cell, cell])
+
+    def test_empty_rejected(self, medium_tree):
+        with pytest.raises(ValueError):
+            HexNeighborhoodGraph(medium_tree.grid, [])
+
+    def test_unknown_weighting_rejected(self, medium_tree):
+        with pytest.raises(ValueError):
+            HexNeighborhoodGraph(medium_tree.grid, [medium_tree.leaves()[0].cell], weighting="banana")
+
+    def test_single_cell_graph(self, medium_tree):
+        graph = HexNeighborhoodGraph(medium_tree.grid, [medium_tree.leaves()[0].cell])
+        assert graph.is_connected()
+        assert graph.constraint_set().num_pairs == 0
+
+    def test_to_networkx(self, small_location_set):
+        nx_graph = small_location_set["graph"].to_networkx()
+        assert nx_graph.number_of_nodes() == 7
+
+    def test_haversine_close_to_planar(self, small_location_set):
+        graph = small_location_set["graph"]
+        assert np.allclose(
+            graph.haversine_distance_matrix(), graph.euclidean_distance_matrix(), rtol=5e-3, atol=1e-6
+        )
+
+
+class TestObfuscationLP:
+    def test_solution_is_valid_matrix(self, nonrobust_solution):
+        matrix = nonrobust_solution.matrix
+        matrix.validate()
+        assert nonrobust_solution.status == "optimal"
+        assert nonrobust_solution.objective_value >= 0
+        assert nonrobust_solution.solve_time_s > 0
+
+    def test_solution_satisfies_geo_ind_everywhere(self, nonrobust_solution, small_location_set):
+        # Theorem 4.1: neighbour-only constraints imply Geo-Ind for all pairs.
+        report = check_geo_ind(
+            nonrobust_solution.matrix,
+            small_location_set["distance_matrix"],
+            TEST_EPSILON,
+        )
+        assert report.satisfied
+
+    def test_objective_not_worse_than_uniform(self, nonrobust_solution, small_location_set):
+        uniform = ObfuscationMatrix.uniform(small_location_set["node_ids"])
+        uniform_loss = small_location_set["quality_model"].expected_loss(uniform)
+        assert nonrobust_solution.objective_value <= uniform_loss + 1e-9
+
+    def test_all_pairs_constraints_give_no_better_objective(self, small_location_set, nonrobust_solution):
+        lp = ObfuscationLP(
+            small_location_set["node_ids"],
+            small_location_set["distance_matrix"],
+            small_location_set["quality_model"],
+            TEST_EPSILON,
+        )
+        solution = lp.solve_nonrobust()
+        # Graph approximation is a sufficient condition, so its feasible
+        # region is contained in the all-pairs one: its optimum cannot be better.
+        assert solution.objective_value <= nonrobust_solution.objective_value + 1e-6
+
+    def test_problem_dimensions(self, small_location_set):
+        lp = ObfuscationLP(
+            small_location_set["node_ids"],
+            small_location_set["distance_matrix"],
+            small_location_set["quality_model"],
+            TEST_EPSILON,
+            constraint_set=small_location_set["graph"].constraint_set(),
+        )
+        assert lp.num_variables == 49
+        assert lp.num_inequality_constraints == lp.constraint_set.num_pairs * 7
+        a_eq = lp.build_equalities()
+        assert a_eq.shape == (7, 49)
+
+    def test_validation_errors(self, small_location_set):
+        with pytest.raises(ValueError):
+            ObfuscationLP(
+                small_location_set["node_ids"],
+                small_location_set["distance_matrix"],
+                small_location_set["quality_model"],
+                epsilon=0.0,
+            )
+        with pytest.raises(ValueError):
+            ObfuscationLP(
+                small_location_set["node_ids"][:3],
+                small_location_set["distance_matrix"],
+                small_location_set["quality_model"],
+                epsilon=1.0,
+            )
+        with pytest.raises(ValueError):
+            ObfuscationLP([], np.zeros((0, 0)), small_location_set["quality_model"], 1.0)
+
+    def test_effective_epsilons_clamped(self, small_location_set):
+        lp = ObfuscationLP(
+            small_location_set["node_ids"],
+            small_location_set["distance_matrix"],
+            small_location_set["quality_model"],
+            TEST_EPSILON,
+            constraint_set=small_location_set["graph"].constraint_set(),
+        )
+        huge_budget = np.full((7, 7), 10 * TEST_EPSILON)
+        epsilons = lp.effective_epsilons(huge_budget)
+        assert (epsilons >= MIN_EFFECTIVE_EPSILON).all()
+        with pytest.raises(ValueError):
+            lp.effective_epsilons(np.zeros((3, 3)))
+
+    def test_tiny_epsilon_forces_indistinguishable_rows(self, small_location_set):
+        # With epsilon -> 0 every pair of rows must be (nearly) identical:
+        # the reported distribution can no longer depend on the real location.
+        lp = ObfuscationLP(
+            small_location_set["node_ids"],
+            small_location_set["distance_matrix"],
+            small_location_set["quality_model"],
+            epsilon=1e-4,
+            constraint_set=small_location_set["graph"].constraint_set(),
+        )
+        matrix = lp.solve_nonrobust().matrix
+        row_spread = matrix.values.max(axis=0) - matrix.values.min(axis=0)
+        assert row_spread.max() < 1e-3
+
+    def test_huge_epsilon_gives_near_identity(self, small_location_set):
+        lp = ObfuscationLP(
+            small_location_set["node_ids"],
+            small_location_set["distance_matrix"],
+            small_location_set["quality_model"],
+            epsilon=50.0,
+            constraint_set=small_location_set["graph"].constraint_set(),
+        )
+        matrix = lp.solve_nonrobust().matrix
+        assert np.trace(matrix.values) > 6.0
+
+
+class TestReservedPrivacyBudget:
+    def test_top_delta_row_sums(self):
+        values = np.array([[0.5, 0.3, 0.2], [0.1, 0.1, 0.8]])
+        assert np.allclose(top_delta_row_sums(values, 1), [0.5, 0.8])
+        assert np.allclose(top_delta_row_sums(values, 2), [0.8, 0.9])
+        assert np.allclose(top_delta_row_sums(values, 0), [0.0, 0.0])
+        with pytest.raises(ValueError):
+            top_delta_row_sums(values, -1)
+
+    def test_delta_zero_budget_is_zero(self):
+        values = ObfuscationMatrix.uniform(["a", "b", "c"]).values
+        distances = np.array([[0, 1, 2], [1, 0, 1], [2, 1, 0]], dtype=float)
+        assert np.allclose(reserved_privacy_budget_approx(values, distances, 1.0, 0), 0.0)
+        assert np.allclose(reserved_privacy_budget_exact(values, distances, 0), 0.0)
+
+    def test_budget_non_negative_zero_diagonal(self, nonrobust_solution, small_location_set):
+        budget = reserved_privacy_budget_approx(
+            nonrobust_solution.matrix.values,
+            small_location_set["distance_matrix"],
+            TEST_EPSILON,
+            2,
+        )
+        assert (budget >= 0).all()
+        assert np.allclose(np.diag(budget), 0.0)
+
+    def test_budget_grows_with_delta(self, nonrobust_solution, small_location_set):
+        values = nonrobust_solution.matrix.values
+        distances = small_location_set["distance_matrix"]
+        budget1 = reserved_privacy_budget_approx(values, distances, TEST_EPSILON, 1)
+        budget3 = reserved_privacy_budget_approx(values, distances, TEST_EPSILON, 3)
+        assert (budget3 + 1e-12 >= budget1).all()
+
+    def test_approx_dominates_exact_on_geoind_matrix(self, nonrobust_solution, small_location_set):
+        # Proposition 4.5: the approximation is an upper bound of the exact
+        # reserved budget (for matrices satisfying the Geo-Ind premise).
+        values = nonrobust_solution.matrix.values
+        distances = small_location_set["distance_matrix"]
+        exact = reserved_privacy_budget_exact(values, distances, 2)
+        approx = reserved_privacy_budget_approx(values, distances, TEST_EPSILON, 2, basis_row="real")
+        assert (approx + 1e-9 >= exact).all()
+
+    def test_basis_row_options(self, nonrobust_solution, small_location_set):
+        values = nonrobust_solution.matrix.values
+        distances = small_location_set["distance_matrix"]
+        real = reserved_privacy_budget_approx(values, distances, TEST_EPSILON, 2, basis_row="real")
+        reported = reserved_privacy_budget_approx(values, distances, TEST_EPSILON, 2, basis_row="reported")
+        maximum = reserved_privacy_budget_approx(values, distances, TEST_EPSILON, 2, basis_row="max")
+        assert (maximum + 1e-12 >= real).all()
+        assert (maximum + 1e-12 >= reported).all()
+        with pytest.raises(ValueError):
+            reserved_privacy_budget_approx(values, distances, TEST_EPSILON, 2, basis_row="bogus")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reserved_privacy_budget_approx(np.eye(2), np.zeros((3, 3)), 1.0, 1)
+        with pytest.raises(ValueError):
+            reserved_privacy_budget_approx(np.eye(2), np.zeros((2, 2)), 0.0, 1)
+        with pytest.raises(ValueError):
+            reserved_privacy_budget_exact(np.eye(2), np.zeros((2, 2)), -1)
+
+
+class TestRobustMatrixGenerator:
+    def test_result_structure(self, robust_result):
+        assert robust_result.iterations_run == 3
+        assert len(robust_result.objective_history) == 4  # non-robust + 3 iterations
+        assert len(robust_result.objective_differences) == 3
+        assert len(robust_result.solve_times_s) == 4
+        assert robust_result.matrix.delta == 1
+        robust_result.matrix.validate()
+
+    def test_robust_matrix_satisfies_geo_ind(self, robust_result, small_location_set):
+        report = check_geo_ind(
+            robust_result.matrix, small_location_set["distance_matrix"], TEST_EPSILON
+        )
+        assert report.satisfied
+
+    def test_robust_objective_not_better_than_nonrobust(self, robust_result, nonrobust_solution):
+        assert robust_result.objective_history[-1] >= nonrobust_solution.objective_value - 1e-9
+
+    @staticmethod
+    def _single_prune_violation_rate(matrix, distances, epsilon):
+        ids = matrix.node_ids
+        violations = 0
+        total = 0
+        for index in range(len(ids)):
+            pruned = prune_matrix(matrix, [ids[index]])
+            keep = [k for k in range(len(ids)) if k != index]
+            sub = distances[np.ix_(keep, keep)]
+            report = check_geo_ind(pruned, sub, epsilon)
+            violations += report.violated_constraints
+            total += report.total_constraints
+        return violations / total
+
+    def test_delta_prunability(self, robust_result, small_location_set):
+        """The defining property (Definition 4.2): pruning up to delta locations keeps Geo-Ind."""
+        rate = self._single_prune_violation_rate(
+            robust_result.matrix, small_location_set["distance_matrix"], TEST_EPSILON
+        )
+        # The approximate reserved budget is a sufficient condition, so the
+        # pruned matrices should be (essentially) violation-free.
+        assert rate < 0.002
+
+    def test_nonrobust_matrix_not_delta_prunable(self, nonrobust_solution, robust_result, small_location_set):
+        """Contrast: the baseline matrix violates Geo-Ind after pruning, CORGI's does not."""
+        nonrobust_rate = self._single_prune_violation_rate(
+            nonrobust_solution.matrix, small_location_set["distance_matrix"], TEST_EPSILON
+        )
+        robust_rate = self._single_prune_violation_rate(
+            robust_result.matrix, small_location_set["distance_matrix"], TEST_EPSILON
+        )
+        assert nonrobust_rate > 0
+        assert robust_rate < nonrobust_rate
+
+    def test_delta_zero_equals_nonrobust(self, small_location_set, nonrobust_solution):
+        generator = RobustMatrixGenerator(
+            small_location_set["node_ids"],
+            small_location_set["distance_matrix"],
+            small_location_set["quality_model"],
+            TEST_EPSILON,
+            delta=0,
+            constraint_set=small_location_set["graph"].constraint_set(),
+            max_iterations=3,
+        )
+        result = generator.generate()
+        assert result.iterations_run == 0
+        assert result.converged
+        assert result.objective_history == [nonrobust_solution.objective_value]
+        assert np.allclose(result.matrix.values, nonrobust_solution.matrix.values, atol=1e-6)
+
+    def test_stop_on_convergence(self, small_location_set):
+        generator = RobustMatrixGenerator(
+            small_location_set["node_ids"],
+            small_location_set["distance_matrix"],
+            small_location_set["quality_model"],
+            TEST_EPSILON,
+            delta=1,
+            constraint_set=small_location_set["graph"].constraint_set(),
+            max_iterations=10,
+            stop_on_convergence=True,
+            convergence_tol=1e-3,
+        )
+        result = generator.generate()
+        assert result.iterations_run <= 10
+        assert result.converged
+
+    def test_exact_rpb_method(self, small_location_set):
+        generator = RobustMatrixGenerator(
+            small_location_set["node_ids"],
+            small_location_set["distance_matrix"],
+            small_location_set["quality_model"],
+            TEST_EPSILON,
+            delta=1,
+            constraint_set=small_location_set["graph"].constraint_set(),
+            max_iterations=1,
+            rpb_method="exact",
+        )
+        result = generator.generate()
+        result.matrix.validate()
+        assert result.matrix.metadata["rpb_method"] == "exact"
+
+    def test_invalid_arguments(self, small_location_set):
+        kwargs = dict(
+            node_ids=small_location_set["node_ids"],
+            distance_matrix_km=small_location_set["distance_matrix"],
+            quality_model=small_location_set["quality_model"],
+            epsilon=TEST_EPSILON,
+        )
+        with pytest.raises(ValueError):
+            RobustMatrixGenerator(**kwargs, delta=-1)
+        with pytest.raises(ValueError):
+            RobustMatrixGenerator(**kwargs, delta=1, max_iterations=-1)
+        with pytest.raises(ValueError):
+            RobustMatrixGenerator(**kwargs, delta=1, rpb_method="nope")

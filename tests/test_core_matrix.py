@@ -1,0 +1,357 @@
+"""Tests for the obfuscation matrix, Geo-Ind checking and the quality-loss objective."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.exceptions import MatrixValidationError
+from repro.core.geoind import (
+    all_pairs_constraints,
+    check_geo_ind,
+    count_constraints,
+    epsilon_lower_bound,
+    neighbor_constraints,
+    satisfies_geo_ind,
+)
+from repro.core.matrix import ObfuscationMatrix
+from repro.core.objective import QualityLossModel, TargetDistribution, estimation_error_km
+
+IDS3 = ["a", "b", "c"]
+
+
+def simple_distances(size=3, spacing=1.0):
+    indices = np.arange(size, dtype=float)
+    return np.abs(indices[:, None] - indices[None, :]) * spacing
+
+
+class TestObfuscationMatrixBasics:
+    def test_uniform_matrix(self):
+        matrix = ObfuscationMatrix.uniform(IDS3)
+        assert matrix.size == 3
+        assert np.allclose(matrix.values, 1.0 / 3.0)
+
+    def test_identity_matrix(self):
+        matrix = ObfuscationMatrix.identity(IDS3)
+        assert np.allclose(matrix.values, np.eye(3))
+
+    def test_empty_rejected(self):
+        with pytest.raises(MatrixValidationError):
+            ObfuscationMatrix.uniform([])
+
+    def test_non_square_rejected(self):
+        with pytest.raises(MatrixValidationError):
+            ObfuscationMatrix(values=np.ones((2, 3)) / 3, node_ids=["a", "b"])
+
+    def test_row_sum_enforced(self):
+        values = np.array([[0.5, 0.4], [0.5, 0.5]])
+        with pytest.raises(MatrixValidationError):
+            ObfuscationMatrix(values=values, node_ids=["a", "b"])
+
+    def test_negative_entries_rejected(self):
+        values = np.array([[1.1, -0.1], [0.5, 0.5]])
+        with pytest.raises(MatrixValidationError):
+            ObfuscationMatrix(values=values, node_ids=["a", "b"])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(MatrixValidationError):
+            ObfuscationMatrix(values=np.eye(2), node_ids=["a", "a"])
+
+    def test_label_count_mismatch_rejected(self):
+        with pytest.raises(MatrixValidationError):
+            ObfuscationMatrix(values=np.eye(2), node_ids=["a", "b", "c"])
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(MatrixValidationError):
+            ObfuscationMatrix(values=np.eye(2), node_ids=["a", "b"], delta=-1)
+
+    def test_index_and_contains(self):
+        matrix = ObfuscationMatrix.uniform(IDS3)
+        assert matrix.index_of("b") == 1
+        assert "c" in matrix and "z" not in matrix
+        with pytest.raises(KeyError):
+            matrix.index_of("z")
+
+    def test_row_and_probability(self):
+        matrix = ObfuscationMatrix.identity(IDS3)
+        assert matrix.probability("a", "a") == 1.0
+        assert matrix.probability("a", "b") == 0.0
+        row = matrix.row("b")
+        row[0] = 0.9  # The returned row is a copy.
+        assert matrix.probability("b", "a") == 0.0
+
+    def test_copy_is_independent(self):
+        matrix = ObfuscationMatrix.uniform(IDS3)
+        clone = matrix.copy()
+        clone.values[0, 0] = 0.9
+        assert matrix.values[0, 0] == pytest.approx(1.0 / 3.0)
+
+    def test_repr(self):
+        assert "ObfuscationMatrix" in repr(ObfuscationMatrix.uniform(IDS3))
+
+
+class TestSampling:
+    def test_identity_sampling_is_deterministic(self):
+        matrix = ObfuscationMatrix.identity(IDS3)
+        assert matrix.sample("b", seed=0) == "b"
+
+    def test_sample_many_counts(self):
+        matrix = ObfuscationMatrix.uniform(IDS3)
+        samples = matrix.sample_many("a", 300, seed=1)
+        assert len(samples) == 300
+        counts = {node_id: samples.count(node_id) for node_id in IDS3}
+        assert all(count > 50 for count in counts.values())
+
+    def test_sample_many_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ObfuscationMatrix.uniform(IDS3).sample_many("a", -1)
+
+    def test_sample_reproducible(self):
+        matrix = ObfuscationMatrix.uniform(IDS3)
+        assert matrix.sample_many("a", 10, seed=5) == matrix.sample_many("a", 10, seed=5)
+
+
+class TestPosteriorAndMarginal:
+    def test_reported_distribution_uniform(self):
+        matrix = ObfuscationMatrix.uniform(IDS3)
+        marginal = matrix.reported_distribution([0.2, 0.3, 0.5])
+        assert np.allclose(marginal, 1.0 / 3.0)
+
+    def test_posterior_identity(self):
+        matrix = ObfuscationMatrix.identity(IDS3)
+        posterior = matrix.posterior([0.2, 0.3, 0.5], "c")
+        assert np.allclose(posterior, [0.0, 0.0, 1.0])
+
+    def test_posterior_uniform_equals_prior(self):
+        matrix = ObfuscationMatrix.uniform(IDS3)
+        prior = np.array([0.2, 0.3, 0.5])
+        assert np.allclose(matrix.posterior(prior, "a"), prior)
+
+    def test_prior_shape_checked(self):
+        matrix = ObfuscationMatrix.uniform(IDS3)
+        with pytest.raises(ValueError):
+            matrix.posterior([0.5, 0.5], "a")
+        with pytest.raises(ValueError):
+            matrix.reported_distribution([1.0])
+
+
+class TestRestructuring:
+    def test_submatrix_renormalised(self):
+        matrix = ObfuscationMatrix.uniform(IDS3)
+        sub = matrix.submatrix(["a", "c"], renormalize=True)
+        assert sub.size == 2
+        assert np.allclose(sub.values.sum(axis=1), 1.0)
+
+    def test_restrict_values_raw(self):
+        matrix = ObfuscationMatrix.uniform(IDS3)
+        raw = matrix.restrict_values(["a", "b"])
+        assert raw.shape == (2, 2)
+        assert np.allclose(raw, 1.0 / 3.0)
+
+    def test_serialisation_roundtrip(self):
+        matrix = ObfuscationMatrix.uniform(IDS3, level=1)
+        matrix.epsilon = 2.5
+        matrix.delta = 3
+        matrix.metadata["note"] = "x"
+        restored = ObfuscationMatrix.from_dict(matrix.to_dict())
+        assert restored.node_ids == matrix.node_ids
+        assert restored.level == 1
+        assert restored.epsilon == 2.5
+        assert restored.delta == 3
+        assert restored.metadata["note"] == "x"
+        assert np.allclose(restored.values, matrix.values)
+
+
+class TestGeoIndConstraints:
+    def test_all_pairs_count(self):
+        constraints = all_pairs_constraints(simple_distances(4))
+        assert constraints.num_pairs == 12
+        assert count_constraints(4, constraints) == 48
+
+    def test_all_pairs_requires_square(self):
+        with pytest.raises(ValueError):
+            all_pairs_constraints(np.zeros((2, 3)))
+
+    def test_neighbor_constraints_validation(self):
+        constraints = neighbor_constraints([(0, 1), (1, 0)], [1.0, 1.0])
+        assert constraints.num_pairs == 2
+        with pytest.raises(ValueError):
+            neighbor_constraints([(0, 1)], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            neighbor_constraints([(0, 1)], [-1.0])
+
+    def test_iteration(self):
+        constraints = neighbor_constraints([(0, 1)], [2.0])
+        assert list(constraints) == [(0, 1, 2.0)]
+
+
+class TestGeoIndChecking:
+    def test_uniform_satisfies_any_epsilon(self):
+        matrix = ObfuscationMatrix.uniform(IDS3)
+        report = check_geo_ind(matrix, simple_distances(), epsilon=0.001)
+        assert report.satisfied
+        assert report.violation_percentage == 0.0
+
+    def test_identity_violates(self):
+        matrix = ObfuscationMatrix.identity(IDS3)
+        report = check_geo_ind(matrix, simple_distances(), epsilon=1.0)
+        assert not report.satisfied
+        assert report.violated_constraints > 0
+        assert report.max_excess > 0
+        assert report.violated_pairs
+
+    def test_explicit_construction_on_boundary(self):
+        # z_ik = e^{eps*d} * z_jk exactly: not a violation (within tolerance).
+        eps, d = 1.0, 1.0
+        factor = np.exp(eps * d)
+        row0 = np.array([factor, 1.0])
+        row0 = row0 / row0.sum()
+        row1 = np.array([1.0, factor])
+        row1 = row1 / row1.sum()
+        values = np.vstack([row0, row1])
+        distances = np.array([[0.0, d], [d, 0.0]])
+        report = check_geo_ind(values, distances, eps)
+        assert report.satisfied
+
+    def test_shape_and_epsilon_validation(self):
+        matrix = ObfuscationMatrix.uniform(IDS3)
+        with pytest.raises(ValueError):
+            check_geo_ind(matrix, np.zeros((2, 2)), 1.0)
+        with pytest.raises(ValueError):
+            check_geo_ind(matrix, simple_distances(), 0.0)
+
+    def test_restricted_constraint_set(self):
+        matrix = ObfuscationMatrix.identity(IDS3)
+        constraints = neighbor_constraints([(0, 1), (1, 0)], [1.0, 1.0])
+        report = check_geo_ind(matrix, simple_distances(), 1.0, constraint_set=constraints)
+        assert report.total_constraints == 2 * 3
+
+    def test_satisfies_geo_ind_wrapper(self):
+        assert satisfies_geo_ind(ObfuscationMatrix.uniform(IDS3), simple_distances(), 0.5)
+        assert not satisfies_geo_ind(ObfuscationMatrix.identity(IDS3), simple_distances(), 0.5)
+
+    def test_epsilon_lower_bound(self):
+        matrix = ObfuscationMatrix.uniform(IDS3)
+        assert epsilon_lower_bound(matrix, simple_distances()) == pytest.approx(0.0)
+        assert epsilon_lower_bound(ObfuscationMatrix.identity(IDS3), simple_distances()) == float("inf")
+
+    def test_epsilon_lower_bound_is_tight(self):
+        values = np.array([[0.6, 0.4], [0.4, 0.6]])
+        distances = np.array([[0.0, 2.0], [2.0, 0.0]])
+        bound = epsilon_lower_bound(values, distances)
+        assert check_geo_ind(values, distances, bound + 1e-9).satisfied
+        assert not check_geo_ind(values, distances, bound * 0.5).satisfied
+
+    @given(st.integers(2, 5), st.floats(0.5, 5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_uniform_always_satisfied_property(self, size, epsilon):
+        ids = [f"n{i}" for i in range(size)]
+        matrix = ObfuscationMatrix.uniform(ids)
+        report = check_geo_ind(matrix, simple_distances(size), epsilon)
+        assert report.satisfied
+
+
+class TestQualityLossModel:
+    def _model(self, size=3):
+        centers = [(37.77 + 0.01 * i, -122.42) for i in range(size)]
+        targets = TargetDistribution.uniform([centers[0], centers[-1]])
+        priors = np.full(size, 1.0 / size)
+        return QualityLossModel(centers, targets, priors), centers
+
+    def test_estimation_error_zero_when_same(self):
+        point = (37.77, -122.42)
+        target = (37.80, -122.40)
+        assert estimation_error_km(point, point, target) == 0.0
+
+    def test_estimation_error_triangle(self):
+        real = (37.77, -122.42)
+        reported = (37.78, -122.42)
+        target = (37.90, -122.42)
+        error = estimation_error_km(real, reported, target)
+        assert error == pytest.approx(abs(
+            estimation_error_km(real, target, target) - estimation_error_km(reported, target, target)
+        ), abs=1e-9)
+
+    def test_identity_matrix_has_zero_loss(self):
+        model, centers = self._model()
+        matrix = ObfuscationMatrix.identity([f"n{i}" for i in range(len(centers))])
+        assert model.expected_loss(matrix) == pytest.approx(0.0, abs=1e-12)
+
+    def test_uniform_matrix_has_positive_loss(self):
+        model, centers = self._model()
+        matrix = ObfuscationMatrix.uniform([f"n{i}" for i in range(len(centers))])
+        assert model.expected_loss(matrix) > 0
+
+    def test_cost_matrix_properties(self):
+        model, _ = self._model()
+        cost = model.cost_matrix
+        assert np.allclose(np.diag(cost), 0.0)
+        assert (cost >= 0).all()
+        assert np.allclose(cost, cost.T)
+
+    def test_objective_vector_matches_expected_loss(self):
+        model, centers = self._model()
+        matrix = ObfuscationMatrix.uniform([f"n{i}" for i in range(len(centers))])
+        manual = float(model.objective_vector() @ matrix.values.reshape(-1))
+        assert manual == pytest.approx(model.expected_loss(matrix))
+
+    def test_per_location_loss(self):
+        model, centers = self._model()
+        matrix = ObfuscationMatrix.uniform([f"n{i}" for i in range(len(centers))])
+        per_location = model.per_location_loss(matrix)
+        assert per_location.shape == (len(centers),)
+        assert model.expected_loss(matrix) == pytest.approx(float(model.priors @ per_location))
+
+    def test_shape_mismatch_rejected(self):
+        model, _ = self._model(3)
+        with pytest.raises(ValueError):
+            model.expected_loss(np.eye(4))
+
+    def test_priors_length_checked(self):
+        centers = [(37.77, -122.42), (37.78, -122.42)]
+        targets = TargetDistribution.uniform(centers)
+        with pytest.raises(ValueError):
+            QualityLossModel(centers, targets, [1.0])
+
+    def test_empirical_loss_close_to_expected_for_identity(self):
+        model, centers = self._model()
+        ids = [f"n{i}" for i in range(len(centers))]
+        matrix = ObfuscationMatrix.identity(ids)
+        assert model.empirical_loss(matrix, ids, samples_per_location=2, seed=0) == pytest.approx(0.0)
+
+    def test_empirical_loss_validation(self):
+        model, centers = self._model()
+        ids = [f"n{i}" for i in range(len(centers))]
+        with pytest.raises(ValueError):
+            model.empirical_loss(ObfuscationMatrix.uniform(ids), ids, samples_per_location=0)
+
+
+class TestTargetDistribution:
+    def test_uniform(self):
+        targets = TargetDistribution.uniform([(0.0, 0.0), (1.0, 1.0)])
+        assert targets.size == 2
+        assert np.allclose(targets.probabilities, 0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TargetDistribution.uniform([])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            TargetDistribution([(0.0, 0.0)], [0.5, 0.5])
+
+    def test_sample_from_centers(self):
+        centers = [(float(i), 0.0) for i in range(10)]
+        targets = TargetDistribution.sample_from_centers(centers, 5, seed=0)
+        assert targets.size == 5
+        assert all(location in centers for location in targets.locations)
+
+    def test_sample_from_centers_weighted(self):
+        centers = [(0.0, 0.0), (1.0, 0.0)]
+        targets = TargetDistribution.sample_from_centers(centers, 20, seed=0, weights=[1.0, 0.0])
+        assert all(location == (0.0, 0.0) for location in targets.locations)
+
+    def test_sample_validation(self):
+        with pytest.raises(ValueError):
+            TargetDistribution.sample_from_centers([], 3)
+        with pytest.raises(ValueError):
+            TargetDistribution.sample_from_centers([(0.0, 0.0)], 0)

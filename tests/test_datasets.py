@@ -1,0 +1,270 @@
+"""Tests for the dataset substrate: records, Gowalla format, synthetic generation, splits."""
+
+import io
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.datasets.checkin import CheckIn, CheckInDataset
+from repro.datasets.gowalla import load_gowalla, parse_gowalla_line, write_gowalla
+from repro.datasets.region import SAN_FRANCISCO, TIMES_SQUARE_NYC, named_region
+from repro.datasets.splits import train_test_split_checkins
+from repro.datasets.synthetic import (
+    GowallaLikeGenerator,
+    SyntheticConfig,
+    generate_small_dataset,
+)
+from repro.geometry.projection import BoundingBox
+
+
+def make_checkin(user="u1", hour=12, lat=37.77, lng=-122.42, location="v1", weekday_day=5):
+    # 2010-02-01 is a Monday; weekday_day selects the day of the month.
+    return CheckIn(
+        user_id=user,
+        timestamp=datetime(2010, 2, weekday_day, hour, 30, tzinfo=timezone.utc),
+        lat=lat,
+        lng=lng,
+        location_id=location,
+    )
+
+
+class TestCheckIn:
+    def test_valid(self):
+        checkin = make_checkin()
+        assert checkin.latlng.lat == 37.77
+
+    def test_invalid_coordinates(self):
+        with pytest.raises(ValueError):
+            make_checkin(lat=100.0)
+        with pytest.raises(ValueError):
+            make_checkin(lng=999.0)
+
+    def test_naive_timestamp_becomes_utc(self):
+        checkin = CheckIn("u", datetime(2010, 1, 1, 5, 0), 0.0, 0.0, "v")
+        assert checkin.timestamp.tzinfo is not None
+
+    def test_night_flag(self):
+        assert make_checkin(hour=23).is_night
+        assert make_checkin(hour=3).is_night
+        assert not make_checkin(hour=12).is_night
+
+    def test_work_hours_flag(self):
+        assert make_checkin(hour=10, weekday_day=1).is_work_hours  # Monday
+        assert not make_checkin(hour=10, weekday_day=6).is_work_hours  # Saturday
+        assert not make_checkin(hour=20, weekday_day=1).is_work_hours
+
+
+class TestCheckInDataset:
+    def setup_method(self):
+        self.dataset = CheckInDataset(
+            [
+                make_checkin(user="a", location="v1"),
+                make_checkin(user="a", location="v2", lat=37.75),
+                make_checkin(user="b", location="v1", lng=-122.40),
+            ],
+            name="test",
+        )
+
+    def test_len_iter_getitem(self):
+        assert len(self.dataset) == 3
+        assert len(list(self.dataset)) == 3
+        assert self.dataset[0].user_id == "a"
+
+    def test_users_and_locations(self):
+        assert self.dataset.users() == ["a", "b"]
+        assert self.dataset.locations() == ["v1", "v2"]
+
+    def test_by_user_grouping(self):
+        groups = self.dataset.by_user()
+        assert len(groups["a"]) == 2
+        assert len(groups["b"]) == 1
+
+    def test_by_location_and_counts(self):
+        assert len(self.dataset.by_location()["v1"]) == 2
+        assert self.dataset.location_counts()["v1"] == 2
+
+    def test_for_user(self):
+        assert len(self.dataset.for_user("a")) == 2
+
+    def test_within_region(self):
+        box = BoundingBox(37.76, -122.43, 37.78, -122.39)
+        assert len(self.dataset.within(box)) == 2
+
+    def test_bounding_box(self):
+        box = self.dataset.bounding_box()
+        assert box.min_lat == pytest.approx(37.75)
+
+    def test_bounding_box_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CheckInDataset().bounding_box()
+
+    def test_add_and_extend(self):
+        dataset = CheckInDataset()
+        dataset.add(make_checkin())
+        dataset.extend([make_checkin(), make_checkin()])
+        assert len(dataset) == 3
+
+    def test_summary(self):
+        summary = self.dataset.summary()
+        assert summary["num_checkins"] == 3
+        assert summary["num_users"] == 2
+        assert CheckInDataset().summary()["num_checkins"] == 0
+
+    def test_sort_by_time(self):
+        ordered = self.dataset.sort_by_time()
+        times = [c.timestamp for c in ordered]
+        assert times == sorted(times)
+
+
+class TestGowallaFormat:
+    VALID_LINE = "196514\t2010-07-24T13:45:06Z\t53.3648119\t-2.2723465833\t145064"
+
+    def test_parse_valid_line(self):
+        checkin = parse_gowalla_line(self.VALID_LINE)
+        assert checkin is not None
+        assert checkin.user_id == "196514"
+        assert checkin.location_id == "145064"
+        assert checkin.lat == pytest.approx(53.3648119)
+
+    def test_parse_space_separated(self):
+        checkin = parse_gowalla_line("1 2010-07-24T13:45:06Z 10.0 20.0 99")
+        assert checkin is not None and checkin.location_id == "99"
+
+    def test_parse_blank_and_malformed(self):
+        assert parse_gowalla_line("") is None
+        assert parse_gowalla_line("only three fields here") is None
+        assert parse_gowalla_line("1\tnot-a-date\t1.0\t2.0\t3") is None
+        assert parse_gowalla_line("1\t2010-07-24T13:45:06Z\t999\t2.0\t3") is None
+
+    def test_roundtrip_file(self, tmp_path):
+        path = tmp_path / "checkins.txt"
+        original = [make_checkin(user="u1"), make_checkin(user="u2", lat=37.70)]
+        assert write_gowalla(original, path) == 2
+        loaded = load_gowalla(path)
+        assert len(loaded) == 2
+        assert loaded[0].user_id == "u1"
+        assert loaded[1].lat == pytest.approx(37.70, abs=1e-6)
+
+    def test_write_to_stream(self):
+        stream = io.StringIO()
+        write_gowalla([make_checkin()], stream)
+        assert "\t" in stream.getvalue()
+
+    def test_load_with_region_filter(self, tmp_path):
+        path = tmp_path / "checkins.txt"
+        write_gowalla([make_checkin(lat=37.77), make_checkin(lat=10.0)], path)
+        loaded = load_gowalla(path, region=SAN_FRANCISCO)
+        assert len(loaded) == 1
+
+    def test_load_with_max_records(self, tmp_path):
+        path = tmp_path / "checkins.txt"
+        write_gowalla([make_checkin() for _ in range(5)], path)
+        assert len(load_gowalla(path, max_records=3)) == 3
+
+    def test_load_skips_malformed(self, tmp_path):
+        path = tmp_path / "checkins.txt"
+        path.write_text(self.VALID_LINE + "\n" + "garbage line\n", encoding="utf-8")
+        assert len(load_gowalla(path)) == 1
+
+
+class TestRegions:
+    def test_named_region_lookup(self):
+        assert named_region("sf") is SAN_FRANCISCO
+        assert named_region("Times_Square") is TIMES_SQUARE_NYC
+
+    def test_unknown_region(self):
+        with pytest.raises(KeyError):
+            named_region("atlantis")
+
+
+class TestSyntheticGenerator:
+    def test_generates_requested_size(self, synthetic_dataset):
+        assert len(synthetic_dataset) == 2_000
+
+    def test_all_checkins_in_region(self, synthetic_dataset):
+        for checkin in synthetic_dataset:
+            assert SAN_FRANCISCO.contains(checkin.lat, checkin.lng)
+
+    def test_reproducible(self):
+        config = SyntheticConfig(num_checkins=200, num_users=10, num_venues=30)
+        first = GowallaLikeGenerator(config, seed=5).generate()
+        second = GowallaLikeGenerator(config, seed=5).generate()
+        assert [(c.user_id, c.lat, c.lng) for c in first] == [(c.user_id, c.lat, c.lng) for c in second]
+
+    def test_different_seeds_differ(self):
+        config = SyntheticConfig(num_checkins=200, num_users=10, num_venues=30)
+        first = GowallaLikeGenerator(config, seed=1).generate()
+        second = GowallaLikeGenerator(config, seed=2).generate()
+        assert [(c.lat, c.lng) for c in first] != [(c.lat, c.lng) for c in second]
+
+    def test_popularity_is_skewed(self, synthetic_dataset):
+        counts = sorted(synthetic_dataset.location_counts().values(), reverse=True)
+        # The busiest venue should see several times the median traffic.
+        assert counts[0] >= 3 * counts[len(counts) // 2]
+
+    def test_home_checkins_are_mostly_at_night(self, synthetic_dataset):
+        generator = GowallaLikeGenerator(SyntheticConfig(num_checkins=800, num_users=20, num_venues=50), seed=8)
+        dataset = generator.generate()
+        truth = generator.ground_truth()
+        night, total = 0, 0
+        for checkin in dataset:
+            if checkin.location_id == truth[checkin.user_id]["home_venue"]:
+                total += 1
+                night += int(checkin.is_night)
+        assert total > 0
+        assert night / total > 0.5
+
+    def test_ground_truth_requires_generation(self):
+        generator = GowallaLikeGenerator(SyntheticConfig(num_checkins=10))
+        with pytest.raises(RuntimeError):
+            generator.ground_truth()
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(num_checkins=0).validate()
+        with pytest.raises(ValueError):
+            SyntheticConfig(home_fraction=0.9, office_fraction=0.2).validate()
+        with pytest.raises(ValueError):
+            SyntheticConfig(employed_fraction=1.5).validate()
+        with pytest.raises(ValueError):
+            SyntheticConfig(num_hotspots=0).validate()
+
+    def test_gowalla_format_compatibility(self, tmp_path, synthetic_dataset):
+        path = tmp_path / "synthetic.txt"
+        write_gowalla(list(synthetic_dataset)[:50], path)
+        assert len(load_gowalla(path)) == 50
+
+    def test_generate_small_dataset_helper(self):
+        assert len(generate_small_dataset(100, seed=1)) == 100
+
+
+class TestSplits:
+    def test_split_sizes(self, synthetic_dataset):
+        train, test = train_test_split_checkins(synthetic_dataset, 0.1, seed=0)
+        assert len(train) + len(test) == len(synthetic_dataset)
+        assert abs(len(test) - 0.1 * len(synthetic_dataset)) <= 1
+
+    def test_split_disjoint_and_complete(self, synthetic_dataset):
+        train, test = train_test_split_checkins(synthetic_dataset, 0.2, seed=1)
+        key = lambda c: (c.user_id, c.timestamp, c.lat, c.lng, c.location_id)
+        combined = sorted(map(key, train)) + sorted(map(key, test))
+        assert sorted(combined) == sorted(map(key, synthetic_dataset))
+
+    def test_split_reproducible(self, synthetic_dataset):
+        train1, _ = train_test_split_checkins(synthetic_dataset, 0.1, seed=7)
+        train2, _ = train_test_split_checkins(synthetic_dataset, 0.1, seed=7)
+        assert [c.timestamp for c in train1] == [c.timestamp for c in train2]
+
+    def test_stratified_split_covers_users(self, synthetic_dataset):
+        train, test = train_test_split_checkins(
+            synthetic_dataset, 0.2, seed=3, stratify_by_user=True
+        )
+        active_users = {u for u, cs in synthetic_dataset.by_user().items() if len(cs) >= 5}
+        assert active_users <= set(train.users())
+        assert active_users <= set(test.users())
+
+    def test_invalid_fraction(self, synthetic_dataset):
+        with pytest.raises(ValueError):
+            train_test_split_checkins(synthetic_dataset, 0.0)
+        with pytest.raises(ValueError):
+            train_test_split_checkins(synthetic_dataset, 1.0)

@@ -1,0 +1,218 @@
+"""Tests for the experiment configuration, workloads and figure drivers.
+
+The drivers are exercised at a micro scale (tiny sweeps, 2 iterations, a
+handful of trials) so the whole file stays fast while still executing every
+code path the benchmarks rely on.  Shape assertions mirror what
+EXPERIMENTS.md records against the paper.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import PAPER_SCALE, SMALL_SCALE, ExperimentConfig, get_scale
+from repro.experiments.convergence import run_convergence_experiment
+from repro.experiments.graph_approx import run_constraint_count_experiment, run_runtime_experiment
+from repro.experiments.precision_timing import run_precision_timing_experiment
+from repro.experiments.privacy_level import run_privacy_level_experiment
+from repro.experiments.privacy_params import run_privacy_params_experiment
+from repro.experiments.pruning_impact import run_pruning_impact_experiment
+from repro.experiments.runner import EXPERIMENTS, results_to_json, run_all
+from repro.experiments.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def micro_config():
+    return SMALL_SCALE.derive(
+        name="small",
+        num_checkins=1_200,
+        num_targets=10,
+        robust_iterations=2,
+        pruning_trials=4,
+        epsilon_sweep=(15.0, 17.0),
+        delta_sweep=(1, 2),
+        pruned_counts=(2, 5),
+        location_counts=(7, 14),
+        precision_location_counts=(14, 21),
+        privacy_level_choices=((1, 1), (1, 0)),
+        seed=99,
+    )
+
+
+@pytest.fixture(scope="module")
+def micro_workload(micro_config):
+    return build_workload(micro_config)
+
+
+@pytest.fixture(scope="module")
+def micro_location_set(micro_workload):
+    # A 7-leaf range keeps every LP solve in this file well under a second.
+    return micro_workload.subtree_location_set(privacy_level=1)
+
+
+class TestConfig:
+    def test_scales_exist(self):
+        assert SMALL_SCALE.name == "small"
+        assert PAPER_SCALE.name == "paper"
+        assert PAPER_SCALE.robust_iterations == 10
+        assert PAPER_SCALE.pruning_trials == 500
+
+    def test_get_scale_lookup(self, monkeypatch):
+        assert get_scale("small") is SMALL_SCALE
+        assert get_scale("paper") is PAPER_SCALE
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert get_scale() is PAPER_SCALE
+        with pytest.raises(KeyError):
+            get_scale("galactic")
+
+    def test_derive_overrides(self):
+        derived = SMALL_SCALE.derive(epsilon=20.0)
+        assert derived.epsilon == 20.0
+        assert SMALL_SCALE.epsilon == 15.0
+
+    def test_leaves_per_subtree(self):
+        assert SMALL_SCALE.leaves_per_subtree == 49
+
+
+class TestWorkload:
+    def test_workload_structure(self, micro_workload, micro_config):
+        assert len(micro_workload.tree.leaves()) == 7**micro_config.tree_height
+        assert len(micro_workload.train) + len(micro_workload.test) == len(micro_workload.dataset)
+        assert micro_workload.targets.size == micro_config.num_targets
+        assert micro_workload.tree.root.prior == pytest.approx(1.0)
+
+    def test_subtree_location_set(self, micro_workload):
+        location_set = micro_workload.subtree_location_set(privacy_level=1)
+        assert location_set.size == 7
+        assert location_set.priors.sum() == pytest.approx(1.0)
+        assert location_set.graph.is_connected()
+        assert location_set.distance_matrix_km.shape == (7, 7)
+
+    def test_subtree_index_out_of_range(self, micro_workload):
+        with pytest.raises(IndexError):
+            micro_workload.subtree_location_set(privacy_level=1, index=999)
+
+    def test_connected_location_set_sizes(self, micro_workload):
+        for size in (7, 12, 30):
+            location_set = micro_workload.connected_location_set(size)
+            assert location_set.size == size
+            assert location_set.graph.is_connected()
+
+    def test_connected_location_set_invalid_size(self, micro_workload):
+        with pytest.raises(ValueError):
+            micro_workload.connected_location_set(0)
+        with pytest.raises(ValueError):
+            micro_workload.connected_location_set(10**6)
+
+    def test_test_points_in(self, micro_workload):
+        all_leaf_ids = [leaf.node_id for leaf in micro_workload.tree.leaves()]
+        points = micro_workload.test_points_in(all_leaf_ids, limit=5)
+        assert len(points) <= 5
+
+
+class TestConvergenceExperiment:
+    def test_fig9_shape(self, micro_config, micro_workload, micro_location_set):
+        result = run_convergence_experiment(
+            micro_config, deltas=[1], workload=micro_workload, max_iterations=2
+        )
+        history = result.histories[1]
+        assert len(history) == 3  # non-robust + 2 iterations
+        assert all(value >= 0 for value in history)
+        assert len(result.differences[1]) == 2
+        assert result.table is not None and len(result.table.rows) == 3
+        assert result.iterations_to_converge[1] >= 1
+
+
+class TestGraphApproxExperiment:
+    def test_fig10b_constraint_counts(self, micro_config, micro_workload):
+        result = run_constraint_count_experiment(micro_config, workload=micro_workload)
+        for row in result.constraint_rows:
+            assert row["with_graph_approx"] <= row["without_graph_approx"]
+        # The reduction grows with the number of locations (O(K^2) vs O(K^3)).
+        reductions = [row["reduction_pct"] for row in result.constraint_rows]
+        assert reductions == sorted(reductions)
+
+    def test_fig10a_runtime(self, micro_config, micro_workload):
+        result = run_runtime_experiment(
+            micro_config, workload=micro_workload, deltas=[1], num_locations=14, iterations=1
+        )
+        row = result.runtime_rows[0]
+        assert row["with_graph_approx_s"] > 0
+        assert row["without_graph_approx_s"] > 0
+
+
+class TestPrivacyParamsExperiment:
+    def test_fig11_shape(self, micro_config, micro_workload, micro_location_set):
+        result = run_privacy_params_experiment(
+            micro_config,
+            workload=micro_workload,
+            epsilons=[15.0, 17.0],
+            deltas=[1],
+            location_set=micro_location_set,
+        )
+        assert len(result.rows) == 2
+        assert result.corgi_never_below_nonrobust()
+        for epsilon in (15.0, 17.0):
+            assert result.nonrobust_loss[epsilon] >= 0
+
+
+class TestPruningImpactExperiment:
+    def test_fig12_shape(self, micro_config, micro_workload):
+        result = run_pruning_impact_experiment(
+            micro_config,
+            workload=micro_workload,
+            deltas=[2],
+            location_counts=[49],
+            pruned_counts=[3, 7],
+            trials=4,
+        )
+        assert (49, "non-robust") in result.curves
+        assert (49, "CORGI(delta=2)") in result.curves
+        assert result.corgi_always_below_nonrobust()
+        assert result.headline
+        assert result.headline["pruned_fraction_pct"] == pytest.approx(100 * 7 / 49)
+
+
+class TestPrivacyLevelExperiment:
+    def test_fig13_shape(self, micro_config, micro_workload):
+        result = run_privacy_level_experiment(
+            micro_config,
+            workload=micro_workload,
+            epsilons=[15.0],
+            deltas=[1],
+            choices=[(2, 1), (1, 0)],
+        )
+        assert result.wider_range_costs_more()
+        assert len(result.rows) == 2
+
+
+class TestPrecisionTimingExperiment:
+    def test_fig14_shape(self, micro_config, micro_workload):
+        result = run_precision_timing_experiment(
+            micro_config,
+            workload=micro_workload,
+            location_counts=[14],
+            deltas=[1],
+            reduction_repeats=2,
+        )
+        assert result.reduction_always_faster()
+        assert 0 < result.mean_time_ratio < 1
+
+
+class TestRunner:
+    def test_registry_covers_all_figures(self):
+        assert set(EXPERIMENTS) == {
+            "convergence",
+            "graph_approx",
+            "privacy_params",
+            "pruning_impact",
+            "privacy_level",
+            "precision_timing",
+        }
+
+    def test_run_all_subset(self, micro_config, capsys):
+        results = run_all(micro_config, only=["graph_approx"], print_tables=True)
+        assert "graph_approx" in results
+        output = capsys.readouterr().out
+        assert "Fig. 10" in output
+        payload = results_to_json(results)
+        assert "graph_approx" in payload

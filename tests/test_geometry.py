@@ -1,0 +1,272 @@
+"""Tests for the geometry subpackage (haversine, projection, hexagon)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.haversine import (
+    EARTH_RADIUS_KM,
+    LatLng,
+    destination_point,
+    haversine_km,
+    haversine_matrix_km,
+    initial_bearing_deg,
+    pairwise_haversine_km,
+)
+from repro.geometry.hexagon import (
+    hexagon_apothem,
+    hexagon_area,
+    hexagon_vertices,
+    point_in_hexagon,
+    polygon_area,
+    polygon_centroid,
+)
+from repro.geometry.projection import BoundingBox, LocalProjection
+
+SF = (37.7749, -122.4194)
+NYC = (40.7128, -74.0060)
+
+lat_strategy = st.floats(min_value=-80.0, max_value=80.0, allow_nan=False)
+lng_strategy = st.floats(min_value=-179.0, max_value=179.0, allow_nan=False)
+
+
+class TestLatLng:
+    def test_valid(self):
+        point = LatLng(37.0, -122.0)
+        assert point.as_tuple() == (37.0, -122.0)
+        assert list(point) == [37.0, -122.0]
+
+    def test_invalid_latitude(self):
+        with pytest.raises(ValueError):
+            LatLng(91.0, 0.0)
+
+    def test_invalid_longitude(self):
+        with pytest.raises(ValueError):
+            LatLng(0.0, 200.0)
+
+    def test_hashable(self):
+        assert len({LatLng(1.0, 2.0), LatLng(1.0, 2.0)}) == 1
+
+    def test_distance_method(self):
+        assert LatLng(*SF).distance_km(LatLng(*SF)) == 0.0
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_km(*SF, *SF) == 0.0
+
+    def test_known_distance_sf_nyc(self):
+        # Great-circle distance SF-NYC is about 4,130 km.
+        distance = haversine_km(*SF, *NYC)
+        assert 4000 < distance < 4250
+
+    def test_symmetry(self):
+        assert haversine_km(*SF, *NYC) == pytest.approx(haversine_km(*NYC, *SF))
+
+    def test_one_degree_latitude(self):
+        distance = haversine_km(0.0, 0.0, 1.0, 0.0)
+        assert distance == pytest.approx(math.radians(1.0) * EARTH_RADIUS_KM, rel=1e-6)
+
+    @given(lat_strategy, lng_strategy, lat_strategy, lng_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_non_negative_and_symmetric(self, lat1, lng1, lat2, lng2):
+        d12 = haversine_km(lat1, lng1, lat2, lng2)
+        d21 = haversine_km(lat2, lng2, lat1, lng1)
+        assert d12 >= 0.0
+        assert d12 == pytest.approx(d21, abs=1e-9)
+        assert d12 <= math.pi * EARTH_RADIUS_KM + 1e-6
+
+    @given(lat_strategy, lng_strategy, lat_strategy, lng_strategy, lat_strategy, lng_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_inequality(self, lat1, lng1, lat2, lng2, lat3, lng3):
+        d12 = haversine_km(lat1, lng1, lat2, lng2)
+        d23 = haversine_km(lat2, lng2, lat3, lng3)
+        d13 = haversine_km(lat1, lng1, lat3, lng3)
+        assert d13 <= d12 + d23 + 1e-6
+
+
+class TestHaversineMatrix:
+    def test_matrix_matches_scalar(self):
+        points = [SF, NYC, (37.8, -122.3)]
+        matrix = haversine_matrix_km(points, points)
+        for i, a in enumerate(points):
+            for j, b in enumerate(points):
+                assert matrix[i, j] == pytest.approx(haversine_km(*a, *b), rel=1e-9)
+
+    def test_pairwise_symmetric_zero_diagonal(self):
+        points = [SF, NYC, (10.0, 10.0), (0.0, 0.0)]
+        matrix = pairwise_haversine_km(points)
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_empty_inputs(self):
+        assert haversine_matrix_km([], []).shape == (0, 0)
+
+    def test_accepts_latlng_objects(self):
+        matrix = haversine_matrix_km([LatLng(*SF)], [LatLng(*NYC)])
+        assert matrix.shape == (1, 1)
+
+
+class TestBearingAndDestination:
+    def test_bearing_due_north(self):
+        assert initial_bearing_deg(0.0, 0.0, 1.0, 0.0) == pytest.approx(0.0, abs=1e-6)
+
+    def test_bearing_due_east(self):
+        assert initial_bearing_deg(0.0, 0.0, 0.0, 1.0) == pytest.approx(90.0, abs=1e-6)
+
+    def test_destination_roundtrip(self):
+        lat, lng = destination_point(*SF, bearing_deg=45.0, distance_km=10.0)
+        assert haversine_km(*SF, lat, lng) == pytest.approx(10.0, rel=1e-4)
+
+    def test_destination_zero_distance(self):
+        assert destination_point(*SF, 123.0, 0.0) == pytest.approx(SF)
+
+    def test_destination_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            destination_point(*SF, 0.0, -1.0)
+
+    @given(lat_strategy, lng_strategy, st.floats(0, 359.9), st.floats(0, 500))
+    @settings(max_examples=50, deadline=None)
+    def test_destination_distance_consistent(self, lat, lng, bearing, distance):
+        new_lat, new_lng = destination_point(lat, lng, bearing, distance)
+        assert haversine_km(lat, lng, new_lat, new_lng) == pytest.approx(distance, rel=1e-3, abs=1e-6)
+
+
+class TestBoundingBox:
+    def test_contains(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        assert box.contains(0.5, 0.5)
+        assert not box.contains(2.0, 0.5)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            BoundingBox(1.0, 0.0, 0.0, 1.0)
+
+    def test_center(self):
+        box = BoundingBox(0.0, 0.0, 2.0, 4.0)
+        assert box.center.as_tuple() == (1.0, 2.0)
+
+    def test_extent_positive(self):
+        box = BoundingBox(37.7, -122.5, 37.8, -122.4)
+        assert box.width_km() > 0
+        assert box.height_km() > 0
+
+    def test_expand_contains_original(self):
+        box = BoundingBox(37.7, -122.5, 37.8, -122.4)
+        bigger = box.expand(5.0)
+        assert bigger.min_lat < box.min_lat
+        assert bigger.max_lng > box.max_lng
+
+    def test_from_points(self):
+        box = BoundingBox.from_points([(0.0, 0.0), (1.0, 2.0), (-1.0, 1.0)])
+        assert box.min_lat == -1.0
+        assert box.max_lng == 2.0
+
+    def test_from_points_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox.from_points([])
+
+    def test_sample_point_inside(self):
+        box = BoundingBox(10.0, 20.0, 11.0, 21.0)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            point = box.sample_point(rng)
+            assert box.contains(point.lat, point.lng)
+
+
+class TestLocalProjection:
+    def test_origin_maps_to_zero(self):
+        projection = LocalProjection(LatLng(*SF))
+        assert projection.to_xy(*SF) == pytest.approx((0.0, 0.0), abs=1e-9)
+
+    def test_roundtrip(self):
+        projection = LocalProjection(LatLng(*SF))
+        x, y = projection.to_xy(37.80, -122.40)
+        point = projection.to_latlng(x, y)
+        assert point.lat == pytest.approx(37.80, abs=1e-9)
+        assert point.lng == pytest.approx(-122.40, abs=1e-9)
+
+    def test_distance_close_to_haversine(self):
+        projection = LocalProjection(LatLng(*SF))
+        a, b = (37.76, -122.45), (37.79, -122.40)
+        planar = projection.planar_distance_km(a, b)
+        great_circle = haversine_km(*a, *b)
+        assert planar == pytest.approx(great_circle, rel=5e-3)
+
+    def test_polar_origin_rejected(self):
+        with pytest.raises(ValueError):
+            LocalProjection(LatLng(90.0, 0.0))
+
+    def test_array_projection(self):
+        projection = LocalProjection(LatLng(*SF))
+        array = projection.to_xy_array([SF, (37.8, -122.4)])
+        assert array.shape == (2, 2)
+
+    def test_for_region(self):
+        box = BoundingBox(37.7, -122.5, 37.8, -122.4)
+        projection = LocalProjection.for_region(box)
+        assert projection.origin.lat == pytest.approx(box.center.lat)
+
+    @given(st.floats(-0.1, 0.1), st.floats(-0.1, 0.1))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, dlat, dlng):
+        projection = LocalProjection(LatLng(*SF))
+        lat, lng = SF[0] + dlat, SF[1] + dlng
+        x, y = projection.to_xy(lat, lng)
+        point = projection.to_latlng(x, y)
+        assert point.lat == pytest.approx(lat, abs=1e-9)
+        assert point.lng == pytest.approx(lng, abs=1e-9)
+
+
+class TestHexagonGeometry:
+    def test_six_vertices_at_circumradius(self):
+        vertices = hexagon_vertices(0.0, 0.0, 2.0)
+        assert len(vertices) == 6
+        for x, y in vertices:
+            assert math.hypot(x, y) == pytest.approx(2.0)
+
+    def test_area_formula(self):
+        assert hexagon_area(1.0) == pytest.approx(3.0 * math.sqrt(3.0) / 2.0)
+
+    def test_area_matches_polygon_area(self):
+        vertices = hexagon_vertices(3.0, -1.0, 1.5)
+        assert polygon_area(vertices) == pytest.approx(hexagon_area(1.5), rel=1e-9)
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            hexagon_vertices(0, 0, 0)
+        with pytest.raises(ValueError):
+            hexagon_area(-1)
+
+    def test_center_inside(self):
+        assert point_in_hexagon(0.0, 0.0, 0.0, 0.0, 1.0)
+
+    def test_far_point_outside(self):
+        assert not point_in_hexagon(5.0, 5.0, 0.0, 0.0, 1.0)
+
+    def test_apothem_boundary(self):
+        apothem = hexagon_apothem(1.0)
+        assert point_in_hexagon(apothem, 0.0, 0.0, 0.0, 1.0)
+        assert not point_in_hexagon(apothem + 0.01, 0.0, 0.0, 0.0, 1.0)
+
+    def test_centroid_of_hexagon_is_center(self):
+        vertices = hexagon_vertices(2.0, 3.0, 1.0)
+        assert polygon_centroid(vertices) == pytest.approx((2.0, 3.0))
+
+    def test_polygon_area_triangle(self):
+        assert polygon_area([(0, 0), (1, 0), (0, 1)]) == pytest.approx(0.5)
+
+    def test_polygon_needs_three_vertices(self):
+        with pytest.raises(ValueError):
+            polygon_area([(0, 0), (1, 1)])
+
+    @given(st.floats(-0.99, 0.99), st.floats(-0.99, 0.99))
+    @settings(max_examples=50, deadline=None)
+    def test_vertices_of_containing_hexagon(self, fx, fy):
+        # Any point within the inscribed circle (radius = apothem) is inside.
+        apothem = hexagon_apothem(1.0)
+        x, y = fx * apothem * 0.99, fy * apothem * 0.99
+        if math.hypot(x, y) <= apothem * 0.99:
+            assert point_in_hexagon(x, y, 0.0, 0.0, 1.0)

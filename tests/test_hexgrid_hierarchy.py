@@ -1,0 +1,239 @@
+"""Property tests for the aperture-7 hierarchy and the geographic grid system."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.haversine import LatLng
+from repro.geometry.projection import BoundingBox
+from repro.hexgrid.cell import HexCell
+from repro.hexgrid.grid import HexGridSystem
+from repro.hexgrid.hierarchy import (
+    APERTURE,
+    FLOWER_OFFSETS,
+    cell_ancestor,
+    cell_children,
+    cell_descendants,
+    cell_parent,
+    center_child_axial,
+    is_ancestor,
+)
+
+cell_strategy = st.builds(
+    HexCell,
+    resolution=st.integers(1, 9),
+    q=st.integers(-60, 60),
+    r=st.integers(-60, 60),
+)
+
+
+class TestHierarchyInvariants:
+    def test_aperture_is_seven(self):
+        assert APERTURE == 7
+        assert len(FLOWER_OFFSETS) == 7
+
+    def test_children_count_and_uniqueness(self):
+        cell = HexCell(4, 3, -2)
+        children = cell_children(cell)
+        assert len(children) == 7
+        assert len(set(children)) == 7
+        assert all(child.resolution == 5 for child in children)
+
+    def test_parent_of_every_child_is_cell(self):
+        cell = HexCell(3, -4, 6)
+        for child in cell_children(cell):
+            assert cell_parent(child) == cell
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(ValueError):
+            cell_parent(HexCell(0, 0, 0))
+
+    def test_center_child_axial_determinant(self):
+        # The map (q, r) -> (2q - r, q + 3r) must scale areas by 7.
+        assert center_child_axial((1, 0)) == (2, 1)
+        assert center_child_axial((0, 1)) == (-1, 3)
+
+    @given(cell_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_every_cell_has_exactly_one_parent(self, cell):
+        parent = cell_parent(cell)
+        assert parent.resolution == cell.resolution - 1
+        assert cell in cell_children(parent)
+
+    @given(st.builds(HexCell, resolution=st.integers(0, 8), q=st.integers(-30, 30), r=st.integers(-30, 30)))
+    @settings(max_examples=80, deadline=None)
+    def test_siblings_partition(self, cell):
+        # The 7 children of neighbouring parents never overlap.
+        own_children = set(cell_children(cell))
+        for dq, dr in [(1, 0), (0, 1), (-1, 1)]:
+            neighbor = HexCell(cell.resolution, cell.q + dq, cell.r + dr)
+            assert own_children.isdisjoint(cell_children(neighbor))
+
+
+class TestAncestorsDescendants:
+    def test_ancestor_at_own_resolution(self):
+        cell = HexCell(5, 7, -2)
+        assert cell_ancestor(cell, 5) == cell
+
+    def test_ancestor_two_levels_up(self):
+        cell = HexCell(5, 7, -2)
+        ancestor = cell_ancestor(cell, 3)
+        assert ancestor.resolution == 3
+        assert is_ancestor(ancestor, cell)
+
+    def test_ancestor_below_rejected(self):
+        with pytest.raises(ValueError):
+            cell_ancestor(HexCell(3, 0, 0), 4)
+        with pytest.raises(ValueError):
+            cell_ancestor(HexCell(3, 0, 0), -1)
+
+    def test_descendants_count(self):
+        cell = HexCell(4, 1, 1)
+        assert len(cell_descendants(cell, 4)) == 1
+        assert len(cell_descendants(cell, 5)) == 7
+        assert len(cell_descendants(cell, 6)) == 49
+        assert len(set(cell_descendants(cell, 6))) == 49
+
+    def test_descendants_coarser_rejected(self):
+        with pytest.raises(ValueError):
+            cell_descendants(HexCell(4, 0, 0), 3)
+
+    def test_descendants_have_this_ancestor(self):
+        cell = HexCell(2, -3, 1)
+        for descendant in cell_descendants(cell, 4):
+            assert cell_ancestor(descendant, 2) == cell
+
+    def test_is_ancestor_false_for_finer(self):
+        assert not is_ancestor(HexCell(5, 0, 0), HexCell(3, 0, 0))
+
+    @given(cell_strategy, st.integers(1, 2))
+    @settings(max_examples=60, deadline=None)
+    def test_descendants_partition_between_siblings(self, cell, depth):
+        resolution = cell.resolution + depth
+        if resolution > 11:
+            resolution = cell.resolution + 1
+        mine = set(cell_descendants(cell, resolution))
+        sibling = HexCell(cell.resolution, cell.q + 1, cell.r)
+        theirs = set(cell_descendants(sibling, resolution))
+        assert mine.isdisjoint(theirs)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return HexGridSystem(LatLng(37.77, -122.42))
+
+
+class TestHexGridSystem:
+    def test_edge_lengths_shrink_by_sqrt7(self, grid):
+        for resolution in range(0, 10):
+            ratio = grid.edge_length_km(resolution) / grid.edge_length_km(resolution + 1)
+            assert ratio == pytest.approx(math.sqrt(7.0))
+
+    def test_neighbor_spacing(self, grid):
+        assert grid.neighbor_spacing_km(5) == pytest.approx(math.sqrt(3.0) * grid.edge_length_km(5))
+
+    def test_area_consistency(self, grid):
+        # 7 children cover the same area as their parent.
+        assert 7 * grid.cell_area_km2(6) == pytest.approx(grid.cell_area_km2(5))
+
+    def test_invalid_resolution_rejected(self, grid):
+        with pytest.raises(ValueError):
+            grid.edge_length_km(-1)
+        with pytest.raises(ValueError):
+            grid.latlng_to_cell(37.77, -122.42, 99)
+
+    def test_invalid_base_edge(self):
+        with pytest.raises(ValueError):
+            HexGridSystem(LatLng(0, 0), base_edge_km=0)
+
+    def test_origin_cell_is_zero(self, grid):
+        for resolution in (0, 3, 7):
+            cell = grid.latlng_to_cell(37.77, -122.42, resolution)
+            assert cell.axial == (0, 0)
+
+    def test_center_roundtrip(self, grid):
+        for resolution in (6, 7, 8, 9):
+            cell = grid.latlng_to_cell(37.80, -122.40, resolution)
+            center = grid.cell_center_latlng(cell)
+            assert grid.latlng_to_cell(center.lat, center.lng, resolution) == cell
+
+    @given(st.floats(-0.05, 0.05), st.floats(-0.05, 0.05), st.integers(6, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, dlat, dlng, resolution):
+        grid = HexGridSystem(LatLng(37.77, -122.42))
+        lat, lng = 37.77 + dlat, -122.42 + dlng
+        cell = grid.latlng_to_cell(lat, lng, resolution)
+        center = grid.cell_center_latlng(cell)
+        assert grid.latlng_to_cell(center.lat, center.lng, resolution) == cell
+
+    def test_neighbor_distances(self, grid):
+        cell = grid.latlng_to_cell(37.77, -122.42, 8)
+        spacing = grid.neighbor_spacing_km(8)
+        from repro.hexgrid.lattice import axial_neighbors, diagonal_neighbors
+
+        for q, r in axial_neighbors(cell.axial):
+            assert grid.cell_distance_km(cell, HexCell(8, q, r)) == pytest.approx(spacing, rel=1e-2)
+        for q, r in diagonal_neighbors(cell.axial):
+            assert grid.cell_distance_km(cell, HexCell(8, q, r)) == pytest.approx(
+                math.sqrt(3.0) * spacing, rel=1e-2
+            )
+
+    def test_boundary_has_six_vertices_at_edge_length(self, grid):
+        cell = grid.latlng_to_cell(37.78, -122.41, 7)
+        vertices = grid.cell_boundary_xy(cell)
+        cx, cy = grid.cell_center_xy(cell)
+        assert len(vertices) == 6
+        for x, y in vertices:
+            assert math.hypot(x - cx, y - cy) == pytest.approx(grid.edge_length_km(7), rel=1e-9)
+
+    def test_boundary_latlng(self, grid):
+        cell = grid.latlng_to_cell(37.78, -122.41, 7)
+        assert len(grid.cell_boundary_latlng(cell)) == 6
+
+    def test_distance_matrix_symmetric(self, grid):
+        cells = grid.subdivide(grid.latlng_to_cell(37.77, -122.42, 7), 1)
+        matrix = grid.cell_distance_matrix_km(cells)
+        assert matrix.shape == (7, 7)
+        assert (matrix >= 0).all()
+        assert abs(matrix - matrix.T).max() < 1e-12
+
+    def test_planar_vs_haversine_distance(self, grid):
+        cells = grid.subdivide(grid.latlng_to_cell(37.77, -122.42, 7), 1)
+        for cell in cells[1:]:
+            planar = grid.planar_cell_distance_km(cells[0], cell)
+            haversine = grid.cell_distance_km(cells[0], cell)
+            assert planar == pytest.approx(haversine, rel=5e-3)
+
+    def test_polyfill_covers_region(self, grid):
+        region = BoundingBox(37.74, -122.47, 37.80, -122.38)
+        cells = grid.polyfill(region, 7)
+        assert len(cells) > 5
+        for cell in cells:
+            center = grid.cell_center_latlng(cell)
+            assert region.contains(center.lat, center.lng)
+
+    def test_cells_covering_disk(self, grid):
+        center = LatLng(37.77, -122.42)
+        cells = grid.cells_covering_disk(center, 1.0, 9)
+        assert cells
+        for cell in cells:
+            assert grid.cell_center_latlng(cell).distance_km(center) <= 1.0 + 1e-6
+
+    def test_cells_covering_disk_negative_radius(self, grid):
+        with pytest.raises(ValueError):
+            grid.cells_covering_disk(LatLng(0, 0), -1.0, 5)
+
+    def test_subdivide_counts(self, grid):
+        root = grid.latlng_to_cell(37.77, -122.42, 6)
+        assert len(grid.subdivide(root, 0)) == 1
+        assert len(grid.subdivide(root, 2)) == 49
+
+    def test_subdivide_negative_rejected(self, grid):
+        with pytest.raises(ValueError):
+            grid.subdivide(HexCell(5, 0, 0), -1)
+
+    def test_for_region_constructor(self):
+        region = BoundingBox(37.7, -122.5, 37.8, -122.4)
+        grid = HexGridSystem.for_region(region)
+        assert grid.origin.lat == pytest.approx(region.center.lat)

@@ -1,0 +1,198 @@
+"""Tests for the axial hexagonal lattice math and cell identifiers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hexgrid.cell import HexCell, parse_cell_id
+from repro.hexgrid.lattice import (
+    AXIAL_DIRECTIONS,
+    DIAGONAL_DIRECTIONS,
+    are_diagonal_neighbors,
+    are_neighbors,
+    axial_add,
+    axial_distance,
+    axial_neighbors,
+    axial_ring,
+    axial_round,
+    axial_subtract,
+    axial_to_cube,
+    axial_to_xy,
+    connected,
+    cube_to_axial,
+    diagonal_neighbors,
+    disk,
+    extended_neighbors,
+    xy_to_axial,
+)
+
+axial_coord = st.tuples(st.integers(-50, 50), st.integers(-50, 50))
+
+
+class TestDirections:
+    def test_six_unique_immediate_directions(self):
+        assert len(set(AXIAL_DIRECTIONS)) == 6
+        for direction in AXIAL_DIRECTIONS:
+            assert axial_distance((0, 0), direction) == 1
+
+    def test_six_unique_diagonal_directions(self):
+        assert len(set(DIAGONAL_DIRECTIONS)) == 6
+        for direction in DIAGONAL_DIRECTIONS:
+            assert axial_distance((0, 0), direction) == 2
+
+    def test_diagonal_physical_distance_is_sqrt3(self):
+        for direction in DIAGONAL_DIRECTIONS:
+            x, y = axial_to_xy(direction, circumradius=1.0)
+            assert math.hypot(x, y) == pytest.approx(math.sqrt(3.0) * math.sqrt(3.0), rel=1e-9)
+
+    def test_immediate_physical_distance(self):
+        for direction in AXIAL_DIRECTIONS:
+            x, y = axial_to_xy(direction, circumradius=1.0)
+            assert math.hypot(x, y) == pytest.approx(math.sqrt(3.0), rel=1e-9)
+
+
+class TestBasicOps:
+    def test_add_subtract(self):
+        assert axial_add((1, 2), (3, -1)) == (4, 1)
+        assert axial_subtract((4, 1), (3, -1)) == (1, 2)
+
+    def test_cube_conversion_roundtrip(self):
+        for axial in [(0, 0), (3, -2), (-5, 1)]:
+            cube = axial_to_cube(axial)
+            assert sum(cube) == 0
+            assert cube_to_axial(cube) == axial
+
+    def test_distance_examples(self):
+        assert axial_distance((0, 0), (0, 0)) == 0
+        assert axial_distance((0, 0), (1, 0)) == 1
+        assert axial_distance((0, 0), (1, 1)) == 2
+        assert axial_distance((0, 0), (3, -1)) == 3
+
+    @given(axial_coord, axial_coord)
+    @settings(max_examples=60, deadline=None)
+    def test_distance_symmetric_nonnegative(self, a, b):
+        assert axial_distance(a, b) == axial_distance(b, a) >= 0
+
+    @given(axial_coord, axial_coord, axial_coord)
+    @settings(max_examples=60, deadline=None)
+    def test_distance_triangle_inequality(self, a, b, c):
+        assert axial_distance(a, c) <= axial_distance(a, b) + axial_distance(b, c)
+
+
+class TestRounding:
+    def test_exact_coordinates_unchanged(self):
+        assert axial_round(2.0, -3.0) == (2, -3)
+
+    def test_rounding_near_center(self):
+        assert axial_round(0.1, -0.05) == (0, 0)
+
+    @given(axial_coord)
+    @settings(max_examples=60, deadline=None)
+    def test_xy_roundtrip(self, axial):
+        x, y = axial_to_xy(axial, circumradius=0.7)
+        assert xy_to_axial(x, y, circumradius=0.7) == axial
+
+    def test_xy_to_axial_invalid_radius(self):
+        with pytest.raises(ValueError):
+            xy_to_axial(0.0, 0.0, circumradius=0.0)
+
+
+class TestNeighbors:
+    def test_immediate_neighbors_count(self):
+        neighbors = axial_neighbors((2, -1))
+        assert len(neighbors) == 6
+        assert all(axial_distance((2, -1), n) == 1 for n in neighbors)
+
+    def test_diagonal_neighbors_count(self):
+        diagonals = diagonal_neighbors((2, -1))
+        assert len(diagonals) == 6
+        assert all(axial_distance((2, -1), n) == 2 for n in diagonals)
+
+    def test_extended_neighbors_are_twelve_unique(self):
+        extended = extended_neighbors((0, 0))
+        assert len(set(extended)) == 12
+
+    def test_are_neighbors(self):
+        assert are_neighbors((0, 0), (1, 0))
+        assert not are_neighbors((0, 0), (2, 0))
+
+    def test_are_diagonal_neighbors(self):
+        assert are_diagonal_neighbors((0, 0), (1, 1))
+        assert not are_diagonal_neighbors((0, 0), (1, 0))
+
+
+class TestRingsAndDisks:
+    def test_ring_zero(self):
+        assert axial_ring((3, 3), 0) == [(3, 3)]
+
+    def test_ring_sizes(self):
+        for radius in (1, 2, 3):
+            ring = axial_ring((0, 0), radius)
+            assert len(ring) == 6 * radius
+            assert all(axial_distance((0, 0), cell) == radius for cell in ring)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            axial_ring((0, 0), -1)
+        with pytest.raises(ValueError):
+            disk((0, 0), -2)
+
+    def test_disk_sizes(self):
+        assert len(disk((0, 0), 0)) == 1
+        assert len(disk((0, 0), 1)) == 7
+        assert len(disk((0, 0), 2)) == 19
+        assert len(disk((5, -3), 3)) == 37
+
+    def test_disk_is_union_of_rings(self):
+        cells = set(disk((1, 1), 2))
+        rings = set(axial_ring((1, 1), 0)) | set(axial_ring((1, 1), 1)) | set(axial_ring((1, 1), 2))
+        assert cells == rings
+
+    def test_connected_disk(self):
+        assert connected(disk((0, 0), 2))
+
+    def test_disconnected_set(self):
+        assert not connected([(0, 0), (5, 5)])
+
+    def test_empty_set_is_connected(self):
+        assert connected([])
+
+
+class TestHexCell:
+    def test_cell_id_roundtrip(self):
+        cell = HexCell(7, 12, -3)
+        assert parse_cell_id(cell.cell_id) == cell
+
+    def test_invalid_resolution(self):
+        with pytest.raises(ValueError):
+            HexCell(-1, 0, 0)
+        with pytest.raises(ValueError):
+            HexCell(16, 0, 0)
+
+    def test_cube_coordinate(self):
+        assert HexCell(3, 2, -5).s == 3
+
+    def test_ordering_and_hashing(self):
+        cells = {HexCell(5, 1, 1), HexCell(5, 1, 1), HexCell(5, 2, 0)}
+        assert len(cells) == 2
+        assert sorted(cells)[0].resolution == 5
+
+    def test_with_axial(self):
+        assert HexCell(4, 0, 0).with_axial(3, -1) == HexCell(4, 3, -1)
+
+    def test_parse_rejects_garbage(self):
+        for text in ("", "x", "h7:1", "h7:a:b", "7:1:2", "hx:1:2"):
+            with pytest.raises(ValueError):
+                parse_cell_id(text)
+
+    def test_str_and_repr(self):
+        cell = HexCell(2, -1, 4)
+        assert str(cell) == "h2:-1:4"
+        assert "HexCell" in repr(cell)
+
+    @given(st.integers(0, 15), st.integers(-1000, 1000), st.integers(-1000, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_id_roundtrip_property(self, resolution, q, r):
+        cell = HexCell(resolution, q, r)
+        assert parse_cell_id(cell.cell_id) == cell

@@ -1,0 +1,314 @@
+"""Tests for the customization policy model: predicates, policies, attributes, evaluation."""
+
+import pytest
+
+from repro.policy.attributes import (
+    AttributeConfig,
+    LocationAttributeExtractor,
+    annotate_tree_with_dataset,
+    user_location_profile,
+)
+from repro.policy.evaluation import (
+    DeltaOverflowError,
+    DeltaOverflowStrategy,
+    evaluate_preferences,
+)
+from repro.policy.policy import CustomizationRequest, Policy, preferences_from_mapping
+from repro.policy.predicates import Operator, Predicate, parse_predicate, satisfies_all
+
+
+class TestOperator:
+    def test_symbol_aliases(self):
+        assert Operator.from_symbol("==") is Operator.EQ
+        assert Operator.from_symbol("≠") is Operator.NE
+        assert Operator.from_symbol("<=") is Operator.LE
+        assert Operator.from_symbol("≥") is Operator.GE
+
+    def test_unknown_symbol(self):
+        with pytest.raises(ValueError):
+            Operator.from_symbol("~")
+
+
+class TestPredicate:
+    def test_equality_on_bool(self):
+        assert Predicate("popular", Operator.EQ, True).evaluate({"popular": True})
+        assert not Predicate("popular", Operator.EQ, True).evaluate({"popular": False})
+
+    def test_bool_string_coercion(self):
+        predicate = Predicate("popular", Operator.EQ, "True")
+        assert predicate.evaluate({"popular": True})
+        assert Predicate("home", Operator.EQ, "False").evaluate({"home": False})
+
+    def test_string_equality_case_insensitive(self):
+        assert Predicate("kind", Operator.EQ, "Cafe").evaluate({"kind": "cafe"})
+
+    def test_numeric_comparisons(self):
+        attributes = {"distance_km": 4.2}
+        assert Predicate("distance_km", Operator.LE, 5).evaluate(attributes)
+        assert Predicate("distance_km", Operator.LT, 5).evaluate(attributes)
+        assert not Predicate("distance_km", Operator.GT, 5).evaluate(attributes)
+        assert Predicate("distance_km", Operator.GE, 4.2).evaluate(attributes)
+
+    def test_missing_attribute_conservative(self):
+        assert not Predicate("popular", Operator.EQ, True).evaluate({})
+        assert not Predicate("distance_km", Operator.LE, 5).evaluate({})
+
+    def test_missing_attribute_equals_none(self):
+        assert Predicate("home", Operator.EQ, None).evaluate({})
+        assert Predicate("home", Operator.NE, None).evaluate({"home": True})
+
+    def test_not_equal(self):
+        assert Predicate("home", Operator.NE, True).evaluate({"home": False})
+        assert not Predicate("home", Operator.NE, True).evaluate({"home": True})
+
+    def test_ordered_comparison_on_non_numeric_is_false(self):
+        assert not Predicate("distance_km", Operator.LE, 5).evaluate({"distance_km": "far"})
+
+    def test_invalid_variable(self):
+        with pytest.raises(ValueError):
+            Predicate("", Operator.EQ, 1)
+
+    def test_operator_coerced_from_string(self):
+        predicate = Predicate("x", "<=", 3)
+        assert predicate.op is Operator.LE
+
+    def test_describe(self):
+        assert "distance_km <= 5" in Predicate("distance_km", Operator.LE, 5).describe()
+
+    def test_satisfies_all(self):
+        predicates = [Predicate("a", Operator.EQ, 1), Predicate("b", Operator.GT, 2)]
+        assert satisfies_all({"a": 1, "b": 3}, predicates)
+        assert not satisfies_all({"a": 1, "b": 1}, predicates)
+        assert satisfies_all({"anything": 0}, [])
+
+
+class TestParsePredicate:
+    def test_parse_boolean(self):
+        predicate = parse_predicate("popular = True")
+        assert predicate.var == "popular" and predicate.value is True
+
+    def test_parse_number(self):
+        predicate = parse_predicate("distance_km <= 5")
+        assert predicate.op is Operator.LE and predicate.value == 5
+
+    def test_parse_float(self):
+        assert parse_predicate("distance_km < 2.5").value == 2.5
+
+    def test_parse_string_value(self):
+        assert parse_predicate("category = restaurant").value == "restaurant"
+
+    def test_parse_none(self):
+        assert parse_predicate("office = None").value is None
+
+    def test_parse_quoted_string(self):
+        assert parse_predicate("home = 'False'").value is False
+
+    def test_parse_missing_operator(self):
+        with pytest.raises(ValueError):
+            parse_predicate("no operator here")
+
+
+class TestPolicy:
+    def test_basic_policy(self):
+        policy = Policy(privacy_level=3, precision_level=0, delta=2)
+        assert policy.delta == 2
+
+    def test_precision_above_privacy_rejected(self):
+        with pytest.raises(ValueError):
+            Policy(privacy_level=1, precision_level=2)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            Policy(privacy_level=-1)
+        with pytest.raises(ValueError):
+            Policy(privacy_level=1, precision_level=-1)
+        with pytest.raises(ValueError):
+            Policy(privacy_level=1, delta=-1)
+
+    def test_string_preferences_parsed(self):
+        policy = Policy(privacy_level=2, preferences=["popular = True", "distance_km <= 5"])
+        assert len(policy.preferences) == 2
+        assert all(isinstance(p, Predicate) for p in policy.preferences)
+
+    def test_invalid_preference_type(self):
+        with pytest.raises(TypeError):
+            Policy(privacy_level=2, preferences=[42])
+
+    def test_from_strings(self):
+        policy = Policy.from_strings(3, 1, ["home = False"], delta=4)
+        assert policy.precision_level == 1
+        assert policy.preferences[0].var == "home"
+
+    def test_describe_mentions_everything(self):
+        policy = Policy(privacy_level=3, precision_level=0, preferences=["popular = True"], delta=5)
+        text = policy.describe()
+        assert "privacy_l=3" in text and "delta=5" in text and "popular" in text
+
+    def test_to_request_hides_preferences(self):
+        policy = Policy(privacy_level=2, preferences=["home = False"], delta=3)
+        request = policy.to_request()
+        assert request == CustomizationRequest(privacy_level=2, delta=3)
+
+    def test_to_request_defaults_to_zero_delta(self):
+        assert Policy(privacy_level=2).to_request().delta == 0
+
+    def test_customization_request_validation(self):
+        with pytest.raises(ValueError):
+            CustomizationRequest(privacy_level=-1, delta=0)
+        with pytest.raises(ValueError):
+            CustomizationRequest(privacy_level=0, delta=-1)
+
+    def test_preferences_from_mapping(self):
+        result = preferences_from_mapping(["a = 1", Predicate("b", Operator.EQ, 2)])
+        assert len(result) == 2
+
+
+class TestAttributeExtraction:
+    def test_global_attributes_cover_all_leaves(self, small_tree, synthetic_dataset):
+        attributes = annotate_tree_with_dataset(small_tree, synthetic_dataset)
+        leaf_ids = {leaf.node_id for leaf in small_tree.leaves()}
+        assert set(attributes) == leaf_ids
+        for values in attributes.values():
+            assert {"checkin_count", "distinct_users", "popular"} <= set(values)
+
+    def test_popular_requires_checkins(self, small_tree, synthetic_dataset):
+        attributes = annotate_tree_with_dataset(small_tree, synthetic_dataset)
+        for values in attributes.values():
+            if values["popular"]:
+                assert values["checkin_count"] > 0
+
+    def test_attributes_installed_on_tree(self, small_tree, synthetic_dataset):
+        annotate_tree_with_dataset(small_tree, synthetic_dataset)
+        assert any(leaf.get_attribute("checkin_count") is not None for leaf in small_tree.leaves())
+
+    def test_user_profile_flags(self, small_tree, synthetic_dataset):
+        user = synthetic_dataset.users()[0]
+        profile = user_location_profile(small_tree, synthetic_dataset, user)
+        assert set(profile) == {leaf.node_id for leaf in small_tree.leaves()}
+        homes = [node_id for node_id, values in profile.items() if values["home"]]
+        assert len(homes) <= 1
+        offices = [node_id for node_id, values in profile.items() if values["office"]]
+        assert len(offices) <= 1
+        if homes and offices:
+            assert homes[0] != offices[0]
+
+    def test_unknown_user_has_no_flags(self, small_tree, synthetic_dataset):
+        profile = user_location_profile(small_tree, synthetic_dataset, "nobody")
+        assert all(not v["home"] and not v["office"] and not v["outlier"] for v in profile.values())
+
+    def test_distance_attributes(self, small_tree, synthetic_dataset):
+        extractor = LocationAttributeExtractor(small_tree, synthetic_dataset)
+        center = small_tree.root.center
+        distances = extractor.distance_attributes(center.lat, center.lng)
+        assert all(v["distance_km"] >= 0 for v in distances.values())
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeConfig(popular_quantile=2.0).validate()
+        with pytest.raises(ValueError):
+            AttributeConfig(outlier_max_visits=0).validate()
+        with pytest.raises(ValueError):
+            AttributeConfig(popular_min_checkins=-1).validate()
+
+
+class TestPreferenceEvaluation:
+    def _annotated_tree(self, tree):
+        leaves = tree.leaves()
+        for index, leaf in enumerate(leaves):
+            tree.annotate(leaf.node_id, {"popular": index % 2 == 0, "home": index == 0})
+        return leaves
+
+    def test_prunes_unpopular(self, small_tree):
+        leaves = self._annotated_tree(small_tree)
+        policy = Policy(privacy_level=1, preferences=["popular = True"])
+        evaluation = evaluate_preferences(small_tree, small_tree.root.node_id, policy)
+        assert set(evaluation.prune_ids) == {leaf.node_id for i, leaf in enumerate(leaves) if i % 2 == 1}
+        assert evaluation.num_pruned == len(evaluation.prune_ids)
+        assert not evaluation.overflow
+
+    def test_empty_preferences_prune_nothing(self, small_tree):
+        self._annotated_tree(small_tree)
+        policy = Policy(privacy_level=1)
+        evaluation = evaluate_preferences(small_tree, small_tree.root.node_id, policy)
+        assert evaluation.prune_ids == []
+        assert len(evaluation.kept_ids) == 7
+
+    def test_protected_leaf_never_pruned(self, small_tree):
+        leaves = self._annotated_tree(small_tree)
+        unpopular = leaves[1].node_id
+        policy = Policy(privacy_level=1, preferences=["popular = True"])
+        evaluation = evaluate_preferences(
+            small_tree, small_tree.root.node_id, policy, protect_leaf_id=unpopular
+        )
+        assert unpopular not in evaluation.prune_ids
+
+    def test_distance_preference_uses_real_location(self, small_tree):
+        self._annotated_tree(small_tree)
+        center = small_tree.root.center
+        policy = Policy(privacy_level=1, preferences=["distance_km <= 0.01"])
+        evaluation = evaluate_preferences(
+            small_tree,
+            small_tree.root.node_id,
+            policy,
+            real_location=(center.lat, center.lng),
+        )
+        # Only the central leaf is within 10 m of the root centre.
+        assert len(evaluation.kept_ids) == 1
+
+    def test_user_attributes_override(self, small_tree):
+        leaves = self._annotated_tree(small_tree)
+        target = leaves[2].node_id
+        policy = Policy(privacy_level=1, preferences=["office = False"])
+        evaluation = evaluate_preferences(
+            small_tree,
+            small_tree.root.node_id,
+            policy,
+            user_attributes={target: {"office": True}},
+        )
+        assert target in evaluation.prune_ids
+
+    def test_failed_predicates_recorded(self, small_tree):
+        self._annotated_tree(small_tree)
+        policy = Policy(privacy_level=1, preferences=["popular = True"])
+        evaluation = evaluate_preferences(small_tree, small_tree.root.node_id, policy)
+        for node_id in evaluation.prune_ids:
+            assert evaluation.failed_predicates[node_id]
+
+    def test_overflow_favor_preferences(self, small_tree):
+        self._annotated_tree(small_tree)
+        policy = Policy(privacy_level=1, preferences=["popular = True"])
+        evaluation = evaluate_preferences(
+            small_tree,
+            small_tree.root.node_id,
+            policy,
+            delta=1,
+            overflow_strategy=DeltaOverflowStrategy.FAVOR_PREFERENCES,
+        )
+        assert evaluation.overflow
+        assert evaluation.num_pruned > 1
+
+    def test_overflow_favor_privacy(self, small_tree):
+        self._annotated_tree(small_tree)
+        policy = Policy(privacy_level=1, preferences=["popular = True"])
+        evaluation = evaluate_preferences(
+            small_tree,
+            small_tree.root.node_id,
+            policy,
+            delta=1,
+            overflow_strategy=DeltaOverflowStrategy.FAVOR_PRIVACY,
+        )
+        assert evaluation.overflow
+        assert evaluation.num_pruned == 1
+        assert evaluation.policy_violations
+
+    def test_overflow_strict_raises(self, small_tree):
+        self._annotated_tree(small_tree)
+        policy = Policy(privacy_level=1, preferences=["popular = True"])
+        with pytest.raises(DeltaOverflowError):
+            evaluate_preferences(
+                small_tree,
+                small_tree.root.node_id,
+                policy,
+                delta=1,
+                overflow_strategy=DeltaOverflowStrategy.STRICT,
+            )

@@ -1,0 +1,283 @@
+"""Tests for the location tree: structure, navigation, priors, builders."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.region import SAN_FRANCISCO
+from repro.geometry.haversine import LatLng
+from repro.tree.builder import build_location_tree, tree_for_point, tree_for_region
+from repro.tree.location_tree import LocationTree
+from repro.tree.priors import (
+    aggregate_priors,
+    checkin_counts_by_cell,
+    conditional_priors,
+    priors_from_checkins,
+    priors_from_counts,
+    uniform_priors,
+)
+from repro.hexgrid.grid import HexGridSystem
+
+
+class TestTreeStructure:
+    def test_node_counts_per_level(self, medium_tree):
+        assert medium_tree.num_nodes_at_level(2) == 1
+        assert medium_tree.num_nodes_at_level(1) == 7
+        assert medium_tree.num_nodes_at_level(0) == 49
+        assert len(medium_tree) == 57
+
+    def test_validate_passes(self, medium_tree):
+        medium_tree.validate()
+
+    def test_root_properties(self, medium_tree):
+        root = medium_tree.root
+        assert root.is_root
+        assert not root.is_leaf
+        assert root.level == medium_tree.height
+
+    def test_leaves_are_level_zero(self, medium_tree):
+        assert all(leaf.is_leaf and leaf.level == 0 for leaf in medium_tree.leaves())
+
+    def test_level_resolution_mapping(self, medium_tree):
+        assert medium_tree.level_to_resolution(medium_tree.height) == medium_tree.root_cell.resolution
+        assert medium_tree.level_to_resolution(0) == medium_tree.leaf_resolution
+        assert medium_tree.resolution_to_level(medium_tree.leaf_resolution) == 0
+
+    def test_invalid_level_rejected(self, medium_tree):
+        with pytest.raises(ValueError):
+            medium_tree.nodes_at_level(medium_tree.height + 1)
+        with pytest.raises(ValueError):
+            medium_tree.level_to_resolution(-1)
+
+    def test_unknown_node_rejected(self, medium_tree):
+        with pytest.raises(KeyError):
+            medium_tree.node("h1:999:999")
+
+    def test_contains(self, medium_tree):
+        assert medium_tree.root.node_id in medium_tree
+        assert "nonsense" not in medium_tree
+
+    def test_bfs_visits_all_nodes_once(self, medium_tree):
+        visited = [node.node_id for node in medium_tree.bfs()]
+        assert len(visited) == len(medium_tree)
+        assert len(set(visited)) == len(medium_tree)
+        assert visited[0] == medium_tree.root.node_id
+
+    def test_dfs_visits_all_nodes_once(self, medium_tree):
+        visited = [node.node_id for node in medium_tree.dfs()]
+        assert len(set(visited)) == len(medium_tree)
+
+    def test_height_must_be_positive(self, medium_tree):
+        with pytest.raises(ValueError):
+            LocationTree(medium_tree.grid, medium_tree.root_cell, 0)
+
+    def test_height_beyond_max_resolution_rejected(self):
+        grid = HexGridSystem(LatLng(37.77, -122.42), max_resolution=8)
+        root = grid.latlng_to_cell(37.77, -122.42, 7)
+        with pytest.raises(ValueError):
+            LocationTree(grid, root, 2)
+
+
+class TestNavigation:
+    def test_parent_child_links(self, medium_tree):
+        for node in medium_tree.nodes_at_level(1):
+            parent = medium_tree.parent(node.node_id)
+            assert parent is not None and parent.node_id == medium_tree.root.node_id
+            children = medium_tree.children(node.node_id)
+            assert len(children) == 7
+            assert all(child.parent_id == node.node_id for child in children)
+
+    def test_root_has_no_parent(self, medium_tree):
+        assert medium_tree.parent(medium_tree.root.node_id) is None
+
+    def test_ancestor_at_level(self, medium_tree):
+        leaf = medium_tree.leaves()[10]
+        assert medium_tree.ancestor_at_level(leaf.node_id, 0) == leaf
+        ancestor = medium_tree.ancestor_at_level(leaf.node_id, 2)
+        assert ancestor.node_id == medium_tree.root.node_id
+
+    def test_ancestor_below_level_rejected(self, medium_tree):
+        with pytest.raises(ValueError):
+            medium_tree.ancestor_at_level(medium_tree.root.node_id, 0)
+
+    def test_descendant_leaves_counts(self, medium_tree):
+        assert len(medium_tree.descendant_leaves(medium_tree.root.node_id)) == 49
+        level1 = medium_tree.nodes_at_level(1)[0]
+        assert len(medium_tree.descendant_leaves(level1.node_id)) == 7
+
+    def test_descendants_above_level_rejected(self, medium_tree):
+        leaf = medium_tree.leaves()[0]
+        with pytest.raises(ValueError):
+            medium_tree.descendants_at_level(leaf.node_id, 1)
+
+    def test_subtree_node_ids(self, medium_tree):
+        level1 = medium_tree.nodes_at_level(1)[0]
+        subtree = medium_tree.subtree_node_ids(level1.node_id)
+        assert len(subtree) == 1 + 7
+        assert subtree[0] == level1.node_id
+
+    def test_descendant_leaves_partition_root(self, medium_tree):
+        all_leaves = {leaf.node_id for leaf in medium_tree.leaves()}
+        union = set()
+        for node in medium_tree.nodes_at_level(1):
+            leaves = {leaf.node_id for leaf in medium_tree.descendant_leaves(node.node_id)}
+            assert union.isdisjoint(leaves)
+            union |= leaves
+        assert union == all_leaves
+
+
+class TestGeography:
+    def test_leaf_for_latlng_center(self, medium_tree):
+        leaf = medium_tree.leaves()[5]
+        found = medium_tree.leaf_for_latlng(leaf.center.lat, leaf.center.lng)
+        assert found.node_id == leaf.node_id
+
+    def test_point_outside_raises(self, medium_tree):
+        with pytest.raises(KeyError):
+            medium_tree.leaf_for_latlng(0.0, 0.0)
+
+    def test_contains_latlng(self, medium_tree):
+        root_center = medium_tree.root.center
+        assert medium_tree.contains_latlng(root_center.lat, root_center.lng)
+        assert not medium_tree.contains_latlng(0.0, 0.0)
+
+    def test_node_for_latlng_levels(self, medium_tree):
+        center = medium_tree.root.center
+        node1 = medium_tree.node_for_latlng(center.lat, center.lng, 1)
+        assert node1.level == 1
+        node2 = medium_tree.node_for_latlng(center.lat, center.lng, 2)
+        assert node2.node_id == medium_tree.root.node_id
+
+    def test_distance_matrix(self, medium_tree):
+        ids = [leaf.node_id for leaf in medium_tree.leaves()[:5]]
+        matrix = medium_tree.distance_matrix_km(ids)
+        assert matrix.shape == (5, 5)
+        assert np.allclose(np.diag(matrix), 0.0)
+        assert np.allclose(matrix, matrix.T)
+
+    def test_distance_km_symmetric(self, medium_tree):
+        a, b = medium_tree.leaves()[0].node_id, medium_tree.leaves()[1].node_id
+        assert medium_tree.distance_km(a, b) == pytest.approx(medium_tree.distance_km(b, a))
+
+    def test_centers(self, medium_tree):
+        ids = [leaf.node_id for leaf in medium_tree.leaves()[:3]]
+        centers = medium_tree.centers(ids)
+        assert len(centers) == 3
+
+
+class TestPriors:
+    def test_set_leaf_priors_normalises_and_aggregates(self, medium_tree):
+        leaf_ids = [leaf.node_id for leaf in medium_tree.leaves()]
+        medium_tree.set_leaf_priors({leaf_ids[0]: 3.0, leaf_ids[1]: 1.0})
+        priors = medium_tree.leaf_priors()
+        assert priors.sum() == pytest.approx(1.0)
+        assert priors[0] == pytest.approx(0.75)
+        assert medium_tree.root.prior == pytest.approx(1.0)
+
+    def test_priors_on_non_leaf_rejected(self, medium_tree):
+        with pytest.raises(ValueError):
+            medium_tree.set_leaf_priors({medium_tree.root.node_id: 1.0})
+
+    def test_priors_unknown_node_rejected(self, medium_tree):
+        with pytest.raises(KeyError):
+            medium_tree.set_leaf_priors({"h0:99:99": 1.0})
+
+    def test_conditional_leaf_priors_uniform_fallback(self, medium_tree):
+        leaf_ids = [leaf.node_id for leaf in medium_tree.leaves()]
+        medium_tree.set_leaf_priors({leaf_ids[0]: 1.0})
+        subtree = medium_tree.nodes_at_level(1)[-1]
+        sub_ids = [leaf.node_id for leaf in medium_tree.descendant_leaves(subtree.node_id)]
+        if leaf_ids[0] not in sub_ids:
+            conditional = medium_tree.conditional_leaf_priors(sub_ids)
+            assert np.allclose(conditional, 1.0 / len(sub_ids))
+
+    def test_leaf_priors_rejects_internal_nodes(self, medium_tree):
+        with pytest.raises(ValueError):
+            medium_tree.leaf_priors([medium_tree.root.node_id])
+
+    def test_priors_from_checkins(self, small_tree, synthetic_dataset):
+        priors = priors_from_checkins(small_tree, synthetic_dataset, apply=True)
+        assert sum(priors.values()) == pytest.approx(1.0)
+        assert all(p >= 0 for p in priors.values())
+        assert small_tree.root.prior == pytest.approx(1.0)
+
+    def test_priors_from_checkins_no_smoothing(self, small_tree, synthetic_dataset):
+        priors = priors_from_checkins(small_tree, synthetic_dataset, smoothing=0.0, apply=False)
+        assert sum(priors.values()) == pytest.approx(1.0)
+
+    def test_priors_negative_smoothing_rejected(self, small_tree, synthetic_dataset):
+        with pytest.raises(ValueError):
+            priors_from_checkins(small_tree, synthetic_dataset, smoothing=-1.0)
+
+    def test_checkin_counts(self, small_tree, synthetic_dataset):
+        counts = checkin_counts_by_cell(small_tree, synthetic_dataset)
+        assert all(count >= 0 for count in counts.values())
+        assert set(counts) <= {leaf.node_id for leaf in small_tree.leaves()}
+
+    def test_uniform_priors(self, medium_tree):
+        priors = uniform_priors(medium_tree)
+        values = list(priors.values())
+        assert all(v == pytest.approx(values[0]) for v in values)
+
+    def test_aggregate_and_conditional_priors(self, medium_tree):
+        uniform_priors(medium_tree)
+        level1_ids = [node.node_id for node in medium_tree.nodes_at_level(1)]
+        aggregated = aggregate_priors(medium_tree, level1_ids)
+        assert aggregated.sum() == pytest.approx(1.0)
+        conditional = conditional_priors(medium_tree, level1_ids[:3])
+        assert conditional.sum() == pytest.approx(1.0)
+
+    def test_priors_from_counts(self, medium_tree):
+        leaf_ids = [leaf.node_id for leaf in medium_tree.leaves()]
+        priors = priors_from_counts(medium_tree, {leaf_ids[0]: 10, leaf_ids[1]: 30})
+        assert priors[leaf_ids[1]] == pytest.approx(0.75)
+
+    def test_priors_from_counts_rejects_unknown(self, medium_tree):
+        with pytest.raises(KeyError):
+            priors_from_counts(medium_tree, {"bogus": 1.0})
+
+    def test_priors_from_counts_rejects_negative(self, medium_tree):
+        leaf = medium_tree.leaves()[0].node_id
+        with pytest.raises(ValueError):
+            priors_from_counts(medium_tree, {leaf: -5.0})
+
+
+class TestAttributesOnNodes:
+    def test_annotate_single(self, medium_tree):
+        leaf = medium_tree.leaves()[0]
+        medium_tree.annotate(leaf.node_id, {"popular": True})
+        assert medium_tree.node(leaf.node_id).get_attribute("popular") is True
+
+    def test_annotate_many(self, medium_tree):
+        ids = [leaf.node_id for leaf in medium_tree.leaves()[:3]]
+        medium_tree.annotate_many({node_id: {"checkin_count": 5} for node_id in ids})
+        assert all(medium_tree.node(node_id).get_attribute("checkin_count") == 5 for node_id in ids)
+
+    def test_get_attribute_default(self, medium_tree):
+        assert medium_tree.root.get_attribute("missing", "fallback") == "fallback"
+
+
+class TestBuilders:
+    def test_tree_for_region_covers_center(self):
+        tree = tree_for_region(SAN_FRANCISCO, height=1, root_resolution=7)
+        center = SAN_FRANCISCO.center
+        assert tree.contains_latlng(center.lat, center.lng)
+        assert tree.num_nodes_at_level(0) == 7
+
+    def test_tree_for_point(self):
+        tree = tree_for_point(LatLng(40.75, -73.98), height=1, root_resolution=8)
+        assert tree.contains_latlng(40.75, -73.98)
+
+    def test_build_location_tree_summary(self, medium_tree):
+        summary = medium_tree.summary()
+        assert summary["num_leaves"] == 49
+        assert summary["height"] == 2
+
+    def test_build_with_existing_grid(self):
+        grid = HexGridSystem(LatLng(37.77, -122.42))
+        root = grid.latlng_to_cell(37.77, -122.42, 8)
+        tree = build_location_tree(grid, root, 1)
+        assert len(tree.leaves()) == 7
+
+    def test_repr(self, medium_tree):
+        assert "LocationTree" in repr(medium_tree)
+        assert "LocationNode" in repr(medium_tree.root)

@@ -1,0 +1,101 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.rng import as_rng, choice_from_distribution, spawn_rngs, stable_hash_seed
+
+
+class TestAsRng:
+    def test_int_seed_is_deterministic(self):
+        assert as_rng(5).random() == as_rng(5).random()
+
+    def test_different_seeds_differ(self):
+        assert as_rng(1).random() != as_rng(2).random()
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_rng(rng) is rng
+
+    def test_seed_sequence_accepted(self):
+        sequence = np.random.SeedSequence(9)
+        rng = as_rng(sequence)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_streams_are_independent(self):
+        a, b = spawn_rngs(3, 2)
+        assert a.random() != b.random()
+
+    def test_deterministic_from_int_seed(self):
+        first = [rng.random() for rng in spawn_rngs(11, 3)]
+        second = [rng.random() for rng in spawn_rngs(11, 3)]
+        assert first == second
+
+    def test_spawn_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(1), 2)
+        assert len(children) == 2
+
+
+class TestChoiceFromDistribution:
+    def test_degenerate_distribution(self):
+        rng = as_rng(0)
+        assert choice_from_distribution(rng, ["a", "b"], [0.0, 1.0]) == "b"
+
+    def test_unnormalised_probabilities_accepted(self):
+        rng = as_rng(0)
+        result = choice_from_distribution(rng, ["a", "b"], [2.0, 2.0])
+        assert result in ("a", "b")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            choice_from_distribution(as_rng(0), ["a"], [0.5, 0.5])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            choice_from_distribution(as_rng(0), [], [])
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ValueError):
+            choice_from_distribution(as_rng(0), ["a", "b"], [-0.5, 1.5])
+
+    def test_zero_sum_rejected(self):
+        with pytest.raises(ValueError):
+            choice_from_distribution(as_rng(0), ["a", "b"], [0.0, 0.0])
+
+
+class TestStableHashSeed:
+    def test_deterministic(self):
+        assert stable_hash_seed("exp", 1, 2) == stable_hash_seed("exp", 1, 2)
+
+    def test_distinct_inputs_differ(self):
+        assert stable_hash_seed("exp", 1) != stable_hash_seed("exp", 2)
+
+    def test_in_63_bit_range(self):
+        value = stable_hash_seed("anything", 123456)
+        assert 0 <= value < 2**63
+
+    def test_base_seed_changes_result(self):
+        assert stable_hash_seed("x", base_seed=1) != stable_hash_seed("x", base_seed=2)
+
+    @given(st.text(max_size=20), st.integers(min_value=0, max_value=10**9))
+    def test_always_valid_seed(self, text, number):
+        value = stable_hash_seed(text, number)
+        assert 0 <= value < 2**63
+        # Usable as a numpy seed.
+        as_rng(value)

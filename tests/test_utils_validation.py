@@ -1,0 +1,191 @@
+"""Tests for repro.utils.validation and repro.utils.timing."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.timing import Stopwatch, Timer, format_seconds, summarize_times, time_call
+from repro.utils.validation import (
+    ensure_in_range,
+    ensure_index_subset,
+    ensure_positive,
+    ensure_probability_vector,
+    ensure_square,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes(self):
+        require(True, "never shown")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+
+class TestEnsurePositive:
+    def test_positive_ok(self):
+        assert ensure_positive(2.5, "x") == 2.5
+
+    def test_zero_rejected_when_strict(self):
+        with pytest.raises(ValueError):
+            ensure_positive(0.0, "x")
+
+    def test_zero_ok_when_not_strict(self):
+        assert ensure_positive(0.0, "x", strict=False) == 0.0
+
+    def test_negative_always_rejected(self):
+        with pytest.raises(ValueError):
+            ensure_positive(-1.0, "x", strict=False)
+
+
+class TestEnsureInRange:
+    def test_inside(self):
+        assert ensure_in_range(0.5, "x", 0.0, 1.0) == 0.5
+
+    def test_below_low(self):
+        with pytest.raises(ValueError):
+            ensure_in_range(-0.1, "x", 0.0, 1.0)
+
+    def test_above_high(self):
+        with pytest.raises(ValueError):
+            ensure_in_range(1.1, "x", 0.0, 1.0)
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            ensure_in_range(0.0, "x", 0.0, 1.0, inclusive=False)
+
+    def test_only_low_bound(self):
+        assert ensure_in_range(10.0, "x", low=0.0) == 10.0
+
+
+class TestEnsureProbabilityVector:
+    def test_valid_vector(self):
+        result = ensure_probability_vector([0.25, 0.75])
+        assert result.sum() == pytest.approx(1.0)
+
+    def test_normalize_option(self):
+        result = ensure_probability_vector([2.0, 2.0], normalize=True)
+        assert np.allclose(result, [0.5, 0.5])
+
+    def test_bad_sum_rejected(self):
+        with pytest.raises(ValueError):
+            ensure_probability_vector([0.2, 0.2])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ensure_probability_vector([-0.5, 1.5])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ensure_probability_vector([])
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValueError):
+            ensure_probability_vector(np.ones((2, 2)))
+
+    def test_zero_sum_rejected_even_with_normalize(self):
+        with pytest.raises(ValueError):
+            ensure_probability_vector([0.0, 0.0], normalize=True)
+
+
+class TestEnsureSquare:
+    def test_square_ok(self):
+        assert ensure_square(np.zeros((3, 3))).shape == (3, 3)
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(ValueError):
+            ensure_square(np.zeros((2, 3)))
+
+    def test_one_dimensional_rejected(self):
+        with pytest.raises(ValueError):
+            ensure_square(np.zeros(4))
+
+
+class TestEnsureIndexSubset:
+    def test_valid_subset(self):
+        assert ensure_index_subset([0, 2], 3) == [0, 2]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ensure_index_subset([3], 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ensure_index_subset([-1], 3)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            ensure_index_subset([1, 1], 3)
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.005
+
+    def test_reusable(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.elapsed
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= first
+
+
+class TestStopwatch:
+    def test_accumulates_segments(self):
+        watch = Stopwatch()
+        watch.start("a")
+        time.sleep(0.005)
+        watch.stop("a")
+        watch.start("a")
+        watch.stop("a")
+        assert watch.segments["a"] > 0
+        assert watch.total() == pytest.approx(sum(watch.as_dict().values()))
+
+    def test_stop_unknown_segment(self):
+        with pytest.raises(KeyError):
+            Stopwatch().stop("missing")
+
+
+class TestTimeCall:
+    def test_returns_result_and_time(self):
+        result, elapsed = time_call(lambda x: x * 2, 21)
+        assert result == 42
+        assert elapsed >= 0.0
+
+    def test_repeats_must_be_positive(self):
+        with pytest.raises(ValueError):
+            time_call(lambda: None, repeats=0)
+
+    def test_best_of_repeats(self):
+        _, elapsed = time_call(time.sleep, 0.002, repeats=3)
+        assert elapsed < 0.1
+
+
+class TestFormatting:
+    def test_format_microseconds(self):
+        assert "us" in format_seconds(5e-6)
+
+    def test_format_milliseconds(self):
+        assert "ms" in format_seconds(5e-3)
+
+    def test_format_seconds(self):
+        assert format_seconds(2.0).endswith("s")
+
+    def test_format_minutes(self):
+        assert "min" in format_seconds(300.0)
+
+    def test_summarize_times_empty(self):
+        assert summarize_times([])["count"] == 0
+
+    def test_summarize_times_values(self):
+        stats = summarize_times([1.0, 3.0])
+        assert stats["min"] == 1.0
+        assert stats["max"] == 3.0
+        assert stats["mean"] == 2.0
