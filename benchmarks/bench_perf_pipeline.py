@@ -1,0 +1,167 @@
+"""Perf trajectory for the matrix-generation pipeline.
+
+Times three forest-generation regimes at small scale and records them in
+``BENCH_pipeline.json`` (repo root) so future PRs can track the trend:
+
+* **cold** — a fresh server, every per-sub-tree LP solved from scratch;
+* **warm (matrix cache)** — forest-level cache dropped, per-sub-tree
+  problems served from the content-addressed :class:`MatrixCache`;
+* **warm (forest cache)** — the full forest served from the forest cache.
+
+An LP-level microbenchmark separately compares rebuild-everything
+constraint assembly (one fresh :class:`ObfuscationLP` per solve, the
+seed's behaviour) against the incremental structure-reuse path.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_perf_pipeline.py -s
+
+The test is additionally marked ``perf`` so marker-based selections can
+exclude it; tier-1 (`python -m pytest`) never collects ``bench_*.py``
+files in the first place.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.lp import ObfuscationLP
+from repro.core.objective import QualityLossModel, TargetDistribution
+from repro.geometry.haversine import LatLng
+from repro.core.graphapprox import HexNeighborhoodGraph
+from repro.server.server import CORGIServer, ServerConfig
+from repro.tree.builder import tree_for_point
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+
+#: Small-scale workload: a 49-leaf tree, privacy level 1 → 7 sub-trees of 7
+#: leaves, 3 robust iterations each (4 LP solves per sub-tree).
+TREE_HEIGHT = 2
+PRIVACY_LEVEL = 1
+EPSILON = 2.0
+DELTA = 1
+ITERATIONS = 3
+
+
+def _build_server(**config_overrides) -> CORGIServer:
+    tree = tree_for_point(LatLng(37.77, -122.42), height=TREE_HEIGHT, root_resolution=7)
+    config = ServerConfig(
+        epsilon=EPSILON,
+        num_targets=10,
+        robust_iterations=ITERATIONS,
+        **config_overrides,
+    )
+    return CORGIServer(tree, config)
+
+
+def _timed(func, *args, **kwargs):
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+@pytest.mark.perf
+def test_perf_pipeline_speedups():
+    server = _build_server()
+
+    cold_forest, cold_s = _timed(
+        server.generate_forest, PRIVACY_LEVEL, DELTA
+    )
+    assert cold_forest.is_complete()
+    cold_misses = server.matrix_cache.stats.misses
+
+    # Warm path 1: forest cache dropped, per-sub-tree problems unchanged →
+    # served from the matrix cache without a single LP solve.
+    server._forest_cache.clear()
+    warm_matrix_forest, warm_matrix_s = _timed(
+        server.generate_forest, PRIVACY_LEVEL, DELTA
+    )
+    assert server.matrix_cache.stats.misses == cold_misses
+    assert server.matrix_cache.stats.hits >= len(warm_matrix_forest)
+
+    # Warm path 2: full forest cache hit.
+    warm_forest, warm_forest_s = _timed(
+        server.generate_forest, PRIVACY_LEVEL, DELTA
+    )
+    assert warm_forest is warm_matrix_forest
+
+    for root_id, matrix in warm_matrix_forest:
+        assert np.allclose(matrix.values, cold_forest.matrix_for_subtree(root_id).values)
+
+    # LP-level microbenchmark: rebuild-everything vs incremental refresh
+    # across the t solves of Algorithm 1 (same problem, same budgets).
+    leaves = server.tree.descendant_leaves(
+        server.tree.nodes_at_level(PRIVACY_LEVEL)[0].node_id
+    )
+    node_ids = [leaf.node_id for leaf in leaves]
+    centers = [leaf.center.as_tuple() for leaf in leaves]
+    graph = HexNeighborhoodGraph(server.tree.grid, [leaf.cell for leaf in leaves])
+    distance_matrix = graph.euclidean_distance_matrix()
+    constraint_set = graph.constraint_set()
+    targets = TargetDistribution.sample_from_centers(centers, 10, seed=1)
+    quality_model = QualityLossModel(centers, targets)
+    solves = 8
+
+    def lp_cold():
+        for _ in range(solves):
+            ObfuscationLP(
+                node_ids,
+                distance_matrix,
+                quality_model,
+                EPSILON,
+                constraint_set=constraint_set,
+            ).solve_nonrobust()
+
+    def lp_incremental():
+        lp = ObfuscationLP(
+            node_ids,
+            distance_matrix,
+            quality_model,
+            EPSILON,
+            constraint_set=constraint_set,
+        )
+        for _ in range(solves):
+            lp.solve_nonrobust()
+
+    _, lp_cold_s = _timed(lp_cold)
+    _, lp_incremental_s = _timed(lp_incremental)
+
+    payload = {
+        "workload": {
+            "tree_height": TREE_HEIGHT,
+            "privacy_level": PRIVACY_LEVEL,
+            "subtrees": len(cold_forest),
+            "epsilon": EPSILON,
+            "delta": DELTA,
+            "robust_iterations": ITERATIONS,
+            "lp_solves_in_microbench": solves,
+        },
+        "forest_generation_s": {
+            "cold": cold_s,
+            "warm_matrix_cache": warm_matrix_s,
+            "warm_forest_cache": warm_forest_s,
+        },
+        "speedup_vs_cold": {
+            "warm_matrix_cache": cold_s / warm_matrix_s if warm_matrix_s else float("inf"),
+            "warm_forest_cache": cold_s / warm_forest_s if warm_forest_s else float("inf"),
+        },
+        "lp_incremental_s": {
+            "rebuild_every_solve": lp_cold_s,
+            "structure_reuse": lp_incremental_s,
+            "speedup": lp_cold_s / lp_incremental_s if lp_incremental_s else float("inf"),
+        },
+        "matrix_cache_stats": server.matrix_cache.stats.as_dict(),
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {RESULT_PATH}")
+    print(json.dumps(payload["forest_generation_s"], indent=2))
+    print(json.dumps(payload["speedup_vs_cold"], indent=2))
+
+    # Acceptance: warm forest generation is at least 2x faster than cold.
+    assert payload["speedup_vs_cold"]["warm_matrix_cache"] >= 2.0
+    assert payload["speedup_vs_cold"]["warm_forest_cache"] >= 2.0

@@ -20,6 +20,14 @@ from repro.experiments.config import ExperimentConfig, get_scale
 from repro.experiments.workloads import build_workload
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf: performance-trajectory benchmarks (bench_perf_pipeline.py); "
+        "excluded from tier-1, deselect with -m 'not perf'",
+    )
+
+
 @pytest.fixture(scope="session")
 def config() -> ExperimentConfig:
     """The experiment configuration used by every benchmark in this session."""

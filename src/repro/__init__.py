@@ -50,6 +50,7 @@ from repro.datasets import (
 )
 from repro.geometry import BoundingBox, LatLng, haversine_km
 from repro.hexgrid import HexCell, HexGridSystem
+from repro.pipeline import CacheStats, MatrixCache, RobustGenerationTask, run_robust_tasks
 from repro.policy import Policy, Predicate, annotate_tree_with_dataset, user_location_profile
 from repro.server import CORGIServer, PrivacyForest, ServerConfig
 from repro.tree import LocationTree, build_location_tree, priors_from_checkins, tree_for_region
@@ -92,6 +93,11 @@ __all__ = [
     "check_geo_ind",
     "prune_matrix",
     "precision_reduction",
+    # Pipeline
+    "MatrixCache",
+    "CacheStats",
+    "RobustGenerationTask",
+    "run_robust_tasks",
     # Server / client
     "CORGIServer",
     "ServerConfig",

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.baselines.base import ObfuscationMechanism
 from repro.core.geoind import GeoIndConstraintSet
-from repro.core.lp import LPSolution, ObfuscationLP
+from repro.core.lp import ConstraintStructure, LPSolution, ObfuscationLP
 from repro.core.matrix import ObfuscationMatrix
 from repro.core.objective import QualityLossModel
 from repro.utils.rng import RandomState, as_rng
@@ -40,6 +40,9 @@ class NonRobustLPMechanism(ObfuscationMechanism):
         efficient O(K²) formulation).
     solver_method:
         scipy ``linprog`` method.
+    structure:
+        Optional shared :class:`~repro.core.lp.ConstraintStructure` (e.g.
+        one structure reused across every point of an ε sweep).
     """
 
     name = "non-robust"
@@ -53,6 +56,7 @@ class NonRobustLPMechanism(ObfuscationMechanism):
         *,
         constraint_set: Optional[GeoIndConstraintSet] = None,
         solver_method: str = "highs",
+        structure: Optional[ConstraintStructure] = None,
         level: int = 0,
     ) -> None:
         super().__init__(node_ids)
@@ -63,6 +67,7 @@ class NonRobustLPMechanism(ObfuscationMechanism):
             epsilon,
             constraint_set=constraint_set,
             level=level,
+            structure=structure,
         )
         self._solver_method = solver_method
         self._solution: Optional[LPSolution] = None

@@ -34,9 +34,9 @@ from repro.core.geoind import (
     neighbor_constraints,
 )
 from repro.core.graphapprox import HexNeighborhoodGraph
-from repro.core.lp import LPSolution, ObfuscationLP
+from repro.core.lp import ConstraintStructure, LPSolution, ObfuscationLP
 from repro.core.matrix import ObfuscationMatrix
-from repro.core.objective import QualityLossModel, TargetDistribution
+from repro.core.objective import LinearQualityModel, QualityLossModel, TargetDistribution
 from repro.core.precision import precision_reduction
 from repro.core.pruning import prune_matrix
 from repro.core.robust import (
@@ -57,11 +57,13 @@ __all__ = [
     "neighbor_constraints",
     "count_constraints",
     "check_geo_ind",
+    "LinearQualityModel",
     "QualityLossModel",
     "TargetDistribution",
     "HexNeighborhoodGraph",
     "ObfuscationLP",
     "LPSolution",
+    "ConstraintStructure",
     "RobustMatrixGenerator",
     "RobustGenerationResult",
     "reserved_privacy_budget_exact",

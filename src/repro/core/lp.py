@@ -10,9 +10,17 @@ only difference is the effective ε used per pair, so one builder serves
 both, taking an optional reserved-privacy-budget matrix.
 
 The LP is solved with scipy's HiGHS backend.  Constraints are assembled as
-sparse COO matrices: with the graph approximation the problem has ``K²``
+sparse matrices: with the graph approximation the problem has ``K²``
 variables, ``K`` equality rows and ``~24·K·K`` inequality rows — a few tens
 of thousands of rows for the paper's K = 49, well within HiGHS territory.
+
+Constraint assembly is split into a one-time *structural* part and a cheap
+per-iteration *coefficient refresh* (:class:`ConstraintStructure`).  The
+sparse row/column index pattern, the equality block and the objective
+vector depend only on the location set and the constraint pairs; between
+the ``t`` solves of Algorithm 1 (and across an ε/δ sweep over the same
+location set) only the ``e^{ε_eff·d}`` coefficients change, so the CSC
+matrix is built once and its data vector is rewritten in place.
 """
 
 from __future__ import annotations
@@ -36,6 +44,95 @@ logger = get_logger(__name__)
 #: Effective ε (km⁻¹) is clamped to at least this value so that a reserved
 #: budget larger than ε cannot flip the constraint direction.
 MIN_EFFECTIVE_EPSILON = 1e-6
+
+
+class ConstraintStructure:
+    """Reusable structural part of the obfuscation-LP constraint system.
+
+    The sparsity pattern of ``A_ub`` (one ``+1`` entry on ``z_{i,k}`` and one
+    ``-e^{ε_eff d}`` entry on ``z_{j,k}`` per pair/column), the equality
+    block ``A_eq`` and the right-hand sides depend only on ``(K,
+    constraint_set)`` — not on ε, δ or the reserved budget.  Building the
+    index arrays and the CSC conversion is the dominant cost of a cold
+    ``A_ub`` assembly, so this class does it exactly once;
+    :meth:`inequality_matrix` then refreshes only the coefficient data in
+    place.
+
+    One structure can be shared by every :class:`ObfuscationLP` over the
+    same location set — all ``t`` robust iterations of Algorithm 1 and all
+    points of an ε/δ sweep.
+    """
+
+    def __init__(self, size: int, constraint_set: GeoIndConstraintSet) -> None:
+        self.size = int(size)
+        if self.size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        self.constraint_set = constraint_set
+        pairs = constraint_set.pairs
+        self.num_pairs = int(pairs.shape[0])
+        self.num_inequality_rows = self.num_pairs * self.size
+        size = self.size
+        with Timer() as timer:
+            columns = np.tile(np.arange(size), self.num_pairs)
+            row_indices = np.arange(self.num_inequality_rows)
+            i_vars = np.repeat(pairs[:, 0], size) * size + columns
+            j_vars = np.repeat(pairs[:, 1], size) * size + columns
+            rows = np.concatenate([row_indices, row_indices])
+            cols = np.concatenate([i_vars, j_vars])
+            nnz = rows.shape[0]
+            # Build the CSC matrix once with 1-based entry numbers as data so
+            # the conversion tells us where each COO entry landed; afterwards
+            # only `.data` is rewritten.  (i ≠ j for every pair, so no two
+            # entries share a (row, col) slot and the conversion never merges.)
+            template = coo_matrix(
+                (np.arange(1, nnz + 1, dtype=float), (rows, cols)),
+                shape=(self.num_inequality_rows, size * size),
+            ).tocsc()
+            self._csc_positions = template.data.astype(np.int64) - 1
+            self._a_ub = template
+            self._coo_rows = rows
+            self._coo_cols = cols
+            self._ones = np.ones(self.num_inequality_rows)
+            self._scratch = np.empty(nnz)
+            eq_rows = np.repeat(np.arange(size), size)
+            eq_cols = np.arange(size * size)
+            self.a_eq = coo_matrix(
+                (np.ones(size * size), (eq_rows, eq_cols)), shape=(size, size * size)
+            ).tocsr()
+            self.b_ub = np.zeros(self.num_inequality_rows)
+            self.b_eq = np.ones(size)
+        self.build_time_s = timer.elapsed
+        self.refresh_count = 0
+
+    def compatible_with(self, size: int, constraint_set: GeoIndConstraintSet) -> bool:
+        """Whether this structure was built for the given problem geometry."""
+        if size != self.size:
+            return False
+        if constraint_set is self.constraint_set:
+            return True
+        return bool(
+            constraint_set.pairs.shape == self.constraint_set.pairs.shape
+            and np.array_equal(constraint_set.pairs, self.constraint_set.pairs)
+        )
+
+    def inequality_matrix(self, factors: np.ndarray):
+        """``A_ub`` with the per-pair factors ``e^{ε_eff d}`` written in place.
+
+        The returned CSC matrix is owned by the structure and is overwritten
+        by the next refresh; callers that need to retain it must copy.
+        """
+        factors = np.asarray(factors, dtype=float)
+        if factors.shape != (self.num_pairs,):
+            raise ValueError(
+                f"expected {self.num_pairs} per-pair factors, got shape {factors.shape}"
+            )
+        scratch = self._scratch
+        half = self._ones.shape[0]
+        scratch[:half] = self._ones
+        np.negative(np.repeat(factors, self.size), out=scratch[half:])
+        self._a_ub.data[:] = scratch[self._csc_positions]
+        self.refresh_count += 1
+        return self._a_ub
 
 
 @dataclass
@@ -87,6 +184,11 @@ class ObfuscationLP:
         for the O(K²) graph approximation.
     level:
         Tree level recorded on the produced matrices.
+    structure:
+        Optional pre-built :class:`ConstraintStructure` to reuse (e.g. one
+        structure shared across every point of an ε/δ sweep over the same
+        location set).  When omitted, a structure is built lazily on the
+        first solve and reused by later solves of this instance.
     """
 
     def __init__(
@@ -98,6 +200,7 @@ class ObfuscationLP:
         *,
         constraint_set: Optional[GeoIndConstraintSet] = None,
         level: int = 0,
+        structure: Optional[ConstraintStructure] = None,
     ) -> None:
         if epsilon <= 0:
             raise ValueError(f"epsilon must be positive, got {epsilon}")
@@ -116,8 +219,20 @@ class ObfuscationLP:
             )
         self.quality_model = quality_model
         self.epsilon = float(epsilon)
+        if constraint_set is None and structure is not None:
+            constraint_set = structure.constraint_set
         self.constraint_set = constraint_set or all_pairs_constraints(self.distance_matrix_km)
         self.level = level
+        self._structure: Optional[ConstraintStructure] = None
+        self._structure_shared = False
+        if structure is not None:
+            if not structure.compatible_with(self.size, self.constraint_set):
+                raise ValueError(
+                    "shared ConstraintStructure was built for a different location set "
+                    f"(size {structure.size}, {structure.num_pairs} pairs)"
+                )
+            self._structure = structure
+            self._structure_shared = True
 
     # ------------------------------------------------------------------ #
     # Problem construction
@@ -132,6 +247,13 @@ class ObfuscationLP:
     def num_inequality_constraints(self) -> int:
         """Number of Geo-Ind inequality rows (pairs × columns)."""
         return self.constraint_set.num_pairs * self.size
+
+    @property
+    def structure(self) -> ConstraintStructure:
+        """The (lazily built) structural part of the constraint system."""
+        if self._structure is None:
+            self._structure = ConstraintStructure(self.size, self.constraint_set)
+        return self._structure
 
     def effective_epsilons(self, reserved_budget: Optional[np.ndarray] = None) -> np.ndarray:
         """Per-pair effective ε after subtracting the reserved budget ε'_{i,j}.
@@ -160,30 +282,21 @@ class ObfuscationLP:
             )
         return clamped
 
-    def build_inequalities(self, reserved_budget: Optional[np.ndarray] = None) -> coo_matrix:
-        """Sparse ``A_ub`` for ``z_{i,k} - e^{ε_eff d_{i,j}} z_{j,k} <= 0``."""
-        size = self.size
-        pairs = self.constraint_set.pairs
-        distances = self.constraint_set.distances_km
-        num_pairs = pairs.shape[0]
-        factors = np.exp(self.effective_epsilons(reserved_budget) * distances)
-        # Row t = p * size + k corresponds to pair p, column k.
-        row_indices = np.arange(num_pairs * size)
-        columns = np.tile(np.arange(size), num_pairs)
-        i_vars = np.repeat(pairs[:, 0], size) * size + columns
-        j_vars = np.repeat(pairs[:, 1], size) * size + columns
-        data = np.concatenate([np.ones(num_pairs * size), -np.repeat(factors, size)])
-        rows = np.concatenate([row_indices, row_indices])
-        cols = np.concatenate([i_vars, j_vars])
-        return coo_matrix((data, (rows, cols)), shape=(num_pairs * size, size * size))
+    def build_inequalities(self, reserved_budget: Optional[np.ndarray] = None):
+        """Sparse ``A_ub`` for ``z_{i,k} - e^{ε_eff d_{i,j}} z_{j,k} <= 0``.
 
-    def build_equalities(self) -> coo_matrix:
+        Row ``t = p * size + k`` corresponds to pair ``p``, column ``k``.  The
+        index pattern comes from the cached :attr:`structure`; only the
+        ``e^{ε_eff d}`` coefficients are recomputed.  The returned CSC matrix
+        is shared with the structure and overwritten by the next call.
+        """
+        distances = self.constraint_set.distances_km
+        factors = np.exp(self.effective_epsilons(reserved_budget) * distances)
+        return self.structure.inequality_matrix(factors)
+
+    def build_equalities(self):
         """Sparse ``A_eq`` for the row-stochasticity constraints (Eq. 5)."""
-        size = self.size
-        rows = np.repeat(np.arange(size), size)
-        cols = np.arange(size * size)
-        data = np.ones(size * size)
-        return coo_matrix((data, (rows, cols)), shape=(size, size * size))
+        return self.structure.a_eq
 
     # ------------------------------------------------------------------ #
     # Solving
@@ -216,10 +329,13 @@ class ObfuscationLP:
             If the solver reports infeasibility or fails to converge.
         """
         objective = self.quality_model.objective_vector()
-        a_ub = self.build_inequalities(reserved_budget)
-        b_ub = np.zeros(a_ub.shape[0])
-        a_eq = self.build_equalities()
-        b_eq = np.ones(self.size)
+        structure = self.structure
+        structure_was_fresh = structure.refresh_count == 0
+        with Timer() as build_timer:
+            a_ub = self.build_inequalities(reserved_budget)
+        b_ub = structure.b_ub
+        a_eq = structure.a_eq
+        b_eq = structure.b_eq
         with Timer() as timer:
             result = linprog(
                 c=objective,
@@ -259,7 +375,15 @@ class ObfuscationLP:
             num_variables=self.num_variables,
             num_inequality_constraints=a_ub.shape[0],
             num_equality_constraints=self.size,
-            diagnostics={"scipy_status": int(result.status), "iterations": _iteration_count(result)},
+            diagnostics={
+                "scipy_status": int(result.status),
+                "iterations": _iteration_count(result),
+                "matrix_build_time_s": build_timer.elapsed,
+                "structure_build_time_s": structure.build_time_s,
+                "structure_refresh_count": structure.refresh_count,
+                "structure_reused": not structure_was_fresh,
+                "structure_shared": self._structure_shared,
+            },
         )
 
     def solve_nonrobust(self, *, solver_method: str = "highs") -> LPSolution:

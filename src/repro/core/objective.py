@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.matrix import ObfuscationMatrix
 from repro.geometry.haversine import haversine_matrix_km
+from repro.utils.hashing import array_digest
 from repro.utils.rng import RandomState, as_rng
 from repro.utils.validation import ensure_probability_vector
 
@@ -106,30 +107,34 @@ class TargetDistribution:
         return cls.uniform(chosen)
 
 
-class QualityLossModel:
-    """Pre-computed linear quality-loss model over a fixed location set.
+class LinearQualityModel:
+    """A linear quality-loss model given directly by its cost matrix.
+
+    This is the minimal interface the LP layer needs: a ``(K, K)`` cost
+    matrix ``C`` and a prior ``p`` such that ``Δ(Z) = Σ_i p_i Σ_l z_{i,l}
+    C[i, l]``.  :class:`QualityLossModel` derives the cost matrix from
+    centres/targets; this base class lets the matrix-generation pipeline
+    rebuild an identical objective from plain arrays (e.g. in a worker
+    process or from a cache entry) without re-computing haversine distances.
 
     Parameters
     ----------
-    centers:
-        ``(lat, lng)`` of the K candidate locations, in matrix order.
-    targets:
-        Distribution over service target locations.
+    cost_matrix:
+        ``(K, K)`` array with ``C[i, l]`` the expected error of reporting
+        ``v_l`` from ``v_i``, in km.
     priors:
         Prior probability of each real location (defaults to uniform).
     """
 
     def __init__(
         self,
-        centers: Sequence[Tuple[float, float]],
-        targets: TargetDistribution,
+        cost_matrix: np.ndarray,
         priors: Optional[Sequence[float]] = None,
     ) -> None:
-        if not centers:
-            raise ValueError("centers must not be empty")
-        self.centers = [(float(lat), float(lng)) for lat, lng in centers]
-        self.targets = targets
-        size = len(self.centers)
+        cost = np.asarray(cost_matrix, dtype=float)
+        if cost.ndim != 2 or cost.shape[0] != cost.shape[1] or cost.shape[0] == 0:
+            raise ValueError(f"cost matrix must be square and non-empty, got shape {cost.shape}")
+        size = cost.shape[0]
         if priors is None:
             self.priors = np.full(size, 1.0 / size)
         else:
@@ -140,14 +145,7 @@ class QualityLossModel:
                 raise ValueError(
                     f"priors must have one entry per centre ({size}), got {self.priors.shape[0]}"
                 )
-        self._cost = self._build_cost_matrix()
-
-    def _build_cost_matrix(self) -> np.ndarray:
-        # center_to_target[i, n] = d(v_i, v_n)
-        center_to_target = haversine_matrix_km(self.centers, self.targets.locations)
-        # cost[i, l] = sum_n Pr(Q = n) |d(i, n) - d(l, n)|
-        diff = np.abs(center_to_target[:, None, :] - center_to_target[None, :, :])
-        return np.tensordot(diff, self.targets.probabilities, axes=([2], [0]))
+        self._cost = cost
 
     @property
     def cost_matrix(self) -> np.ndarray:
@@ -157,7 +155,16 @@ class QualityLossModel:
     @property
     def size(self) -> int:
         """Number of candidate locations K."""
-        return len(self.centers)
+        return self._cost.shape[0]
+
+    def digest(self) -> str:
+        """Content hash of the model (cost matrix + priors).
+
+        Used by the matrix-generation pipeline as the quality-model part of
+        cache fingerprints: two models with bit-identical cost matrices and
+        priors produce bit-identical LP objectives.
+        """
+        return array_digest(self._cost, self.priors)
 
     def expected_loss(self, matrix: ObfuscationMatrix | np.ndarray) -> float:
         """Expected estimation error Δ(Z) of Eq. (7), in km."""
@@ -208,3 +215,36 @@ class QualityLossModel:
                 total += float(self._cost[row_index, int(reported_index)])
                 count += 1
         return total / count if count else 0.0
+
+
+class QualityLossModel(LinearQualityModel):
+    """Pre-computed linear quality-loss model over a fixed location set.
+
+    Parameters
+    ----------
+    centers:
+        ``(lat, lng)`` of the K candidate locations, in matrix order.
+    targets:
+        Distribution over service target locations.
+    priors:
+        Prior probability of each real location (defaults to uniform).
+    """
+
+    def __init__(
+        self,
+        centers: Sequence[Tuple[float, float]],
+        targets: TargetDistribution,
+        priors: Optional[Sequence[float]] = None,
+    ) -> None:
+        if not centers:
+            raise ValueError("centers must not be empty")
+        self.centers = [(float(lat), float(lng)) for lat, lng in centers]
+        self.targets = targets
+        super().__init__(self._build_cost_matrix(), priors)
+
+    def _build_cost_matrix(self) -> np.ndarray:
+        # center_to_target[i, n] = d(v_i, v_n)
+        center_to_target = haversine_matrix_km(self.centers, self.targets.locations)
+        # cost[i, l] = sum_n Pr(Q = n) |d(i, n) - d(l, n)|
+        diff = np.abs(center_to_target[:, None, :] - center_to_target[None, :, :])
+        return np.tensordot(diff, self.targets.probabilities, axes=([2], [0]))

@@ -21,14 +21,13 @@ is actually sufficient, so ``basis_row="real"`` (row *i*) is the default;
 from __future__ import annotations
 
 import itertools
-import math
 from dataclasses import dataclass, field
 from typing import List, Literal, Optional, Sequence
 
 import numpy as np
 
 from repro.core.geoind import GeoIndConstraintSet
-from repro.core.lp import LPSolution, ObfuscationLP
+from repro.core.lp import ConstraintStructure, LPSolution, ObfuscationLP
 from repro.core.matrix import ObfuscationMatrix
 from repro.core.objective import QualityLossModel
 from repro.utils.logging import get_logger
@@ -130,22 +129,26 @@ def reserved_privacy_budget_exact(
     if delta == 0:
         return budget
     delta = min(delta, size)
-    columns = range(size)
-    subsets: List[tuple] = []
+    # remaining[r, s] = 1 - min(Σ_{l ∈ S_s} z_{r,l}, ceiling): the row mass
+    # left after pruning subset S_s.  Subsets are enumerated in the same
+    # order as itertools.combinations by increasing cardinality; summing the
+    # gathered (K, S_c, c) block over its last axis adds the same elements in
+    # the same order as the scalar loop did, keeping results bit-identical.
+    remaining_blocks = []
     for cardinality in range(1, delta + 1):
-        subsets.extend(itertools.combinations(columns, cardinality))
+        subsets_c = np.fromiter(
+            itertools.chain.from_iterable(itertools.combinations(range(size), cardinality)),
+            dtype=np.intp,
+        ).reshape(-1, cardinality)
+        remaining_blocks.append(values[:, subsets_c].sum(axis=2))
+    remaining = 1.0 - np.minimum(np.concatenate(remaining_blocks, axis=1), _MASS_CEILING)
+    valid = distances > 0
+    np.fill_diagonal(valid, False)
     for i in range(size):
-        for j in range(size):
-            if i == j or distances[i, j] <= 0:
-                continue
-            best_ratio = 1.0
-            for subset in subsets:
-                removed_i = min(values[i, list(subset)].sum(), _MASS_CEILING)
-                removed_j = min(values[j, list(subset)].sum(), _MASS_CEILING)
-                ratio = (1.0 - removed_j) / (1.0 - removed_i)
-                if ratio > best_ratio:
-                    best_ratio = ratio
-            budget[i, j] = math.log(best_ratio) / distances[i, j]
+        # best[j] = max_S (1 - removed_j) / (1 - removed_i): shape (K,).
+        best = np.maximum((remaining / remaining[i]).max(axis=1), 1.0)
+        row = np.where(valid[i], np.log(best), 0.0)
+        budget[i] = np.divide(row, distances[i], out=row, where=valid[i])
     return budget
 
 
@@ -215,6 +218,12 @@ class RobustMatrixGenerator:
         ``"approx"`` (Eq. 14, default) or ``"exact"`` (Eq. 12, exponential).
     basis_row:
         Passed through to :func:`reserved_privacy_budget_approx`.
+    solver_method:
+        scipy ``linprog`` method used for every solve.
+    structure:
+        Optional shared :class:`~repro.core.lp.ConstraintStructure`; when
+        omitted the LP builds (and reuses) its own across the ``t``
+        iterations.
     """
 
     def __init__(
@@ -231,6 +240,8 @@ class RobustMatrixGenerator:
         stop_on_convergence: bool = False,
         rpb_method: Literal["approx", "exact"] = "approx",
         basis_row: BasisRow = "real",
+        solver_method: str = "highs",
+        structure: Optional["ConstraintStructure"] = None,
         level: int = 0,
     ) -> None:
         if delta < 0:
@@ -246,7 +257,9 @@ class RobustMatrixGenerator:
             epsilon,
             constraint_set=constraint_set,
             level=level,
+            structure=structure,
         )
+        self.solver_method = str(solver_method)
         self.quality_model = quality_model
         self.distance_matrix_km = np.asarray(distance_matrix_km, dtype=float)
         self.epsilon = float(epsilon)
@@ -274,7 +287,7 @@ class RobustMatrixGenerator:
         objective_history: List[float] = []
         solve_times: List[float] = []
 
-        initial = self.lp.solve_nonrobust()
+        initial = self.lp.solve_nonrobust(solver_method=self.solver_method)
         solutions.append(initial)
         objective_history.append(initial.objective_value)
         solve_times.append(initial.solve_time_s)
@@ -298,7 +311,9 @@ class RobustMatrixGenerator:
 
         for iteration in range(1, self.max_iterations + 1):
             reserved = self._reserved_budget(current.values)
-            solution = self.lp.solve(reserved_budget=reserved, delta=self.delta)
+            solution = self.lp.solve(
+                reserved_budget=reserved, delta=self.delta, solver_method=self.solver_method
+            )
             solutions.append(solution)
             objective_history.append(solution.objective_value)
             solve_times.append(solution.solve_time_s)

@@ -64,6 +64,9 @@ class ExperimentConfig:
     #: LP solver and RNG seed.
     solver_method: str = "highs-ipm"
     seed: int = 20230331
+    #: Worker processes for independent LP generations (1 = serial; results
+    #: are identical for every value — see repro.pipeline.executor).
+    max_workers: int = 1
 
     def derive(self, **overrides) -> "ExperimentConfig":
         """Return a copy with some fields replaced."""

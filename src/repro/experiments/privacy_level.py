@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.tables import ResultTable
+from repro.core.lp import ConstraintStructure
 from repro.core.precision import precision_reduction
 from repro.core.robust import RobustMatrixGenerator
 from repro.experiments.config import ExperimentConfig
@@ -79,6 +80,9 @@ def run_privacy_level_experiment(
     )
     for privacy_level, precision_level in choices:
         location_set = workload.subtree_location_set(privacy_level=privacy_level)
+        # One structural build per obfuscation range; every (ε, δ) point of
+        # the sweep refreshes only the constraint coefficients.
+        structure = ConstraintStructure(location_set.size, location_set.constraint_set)
         for epsilon in epsilons:
             for delta in deltas:
                 generator = RobustMatrixGenerator(
@@ -89,6 +93,8 @@ def run_privacy_level_experiment(
                     delta,
                     constraint_set=location_set.constraint_set,
                     max_iterations=config.robust_iterations,
+                    solver_method=config.solver_method,
+                    structure=structure,
                 )
                 generation = generator.generate()
                 matrix = generation.matrix

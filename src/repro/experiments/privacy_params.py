@@ -15,9 +15,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.tables import ResultTable
 from repro.baselines.nonrobust import NonRobustLPMechanism
+from repro.core.lp import ConstraintStructure
 from repro.core.robust import RobustMatrixGenerator
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.workloads import ExperimentWorkload, LocationSet, build_workload
+from repro.pipeline.executor import RobustGenerationTask, run_robust_tasks
 from repro.utils.logging import get_logger
 
 logger = get_logger(__name__)
@@ -67,6 +69,10 @@ def run_privacy_params_experiment(
         title="Fig. 11 - quality loss (estimation error, km) vs epsilon and delta",
         columns=["epsilon_per_km", "delta", "corgi_loss_km", "nonrobust_loss_km"],
     )
+    # The whole sweep runs over one location set, so the sparse constraint
+    # pattern is built once and every LP (baseline and robust, every ε and δ)
+    # refreshes only the e^{ε_eff d} coefficients.
+    structure = ConstraintStructure(location_set.size, location_set.constraint_set)
     for epsilon in epsilons:
         baseline = NonRobustLPMechanism(
             location_set.node_ids,
@@ -75,36 +81,77 @@ def run_privacy_params_experiment(
             epsilon,
             constraint_set=location_set.constraint_set,
             solver_method=config.solver_method,
+            structure=structure,
         )
         nonrobust_loss = location_set.quality_model.expected_loss(baseline.matrix)
         result.nonrobust_loss[float(epsilon)] = float(nonrobust_loss)
-        for delta in deltas:
-            generator = RobustMatrixGenerator(
-                location_set.node_ids,
-                location_set.distance_matrix_km,
-                location_set.quality_model,
-                epsilon,
-                delta,
-                constraint_set=location_set.constraint_set,
-                max_iterations=config.robust_iterations,
-            )
-            generation = generator.generate()
-            corgi_loss = location_set.quality_model.expected_loss(generation.matrix)
-            result.corgi_loss[(float(epsilon), int(delta))] = float(corgi_loss)
-            row = {
-                "epsilon_per_km": float(epsilon),
-                "delta": int(delta),
-                "corgi_loss_km": float(corgi_loss),
-                "nonrobust_loss_km": float(nonrobust_loss),
-            }
-            result.rows.append(row)
-            table.add_row(**row)
-            logger.info(
-                "privacy params: epsilon=%.1f delta=%d corgi=%.4f nonrobust=%.4f",
-                epsilon,
-                delta,
-                corgi_loss,
-                nonrobust_loss,
-            )
+
+    sweep = [(float(epsilon), int(delta)) for epsilon in epsilons for delta in deltas]
+    generations = _generate_sweep(config, location_set, sweep, structure)
+    for (epsilon, delta), generation in zip(sweep, generations):
+        corgi_loss = location_set.quality_model.expected_loss(generation.matrix)
+        result.corgi_loss[(epsilon, delta)] = float(corgi_loss)
+        row = {
+            "epsilon_per_km": epsilon,
+            "delta": delta,
+            "corgi_loss_km": float(corgi_loss),
+            "nonrobust_loss_km": result.nonrobust_loss[epsilon],
+        }
+        result.rows.append(row)
+        table.add_row(**row)
+        logger.info(
+            "privacy params: epsilon=%.1f delta=%d corgi=%.4f nonrobust=%.4f",
+            epsilon,
+            delta,
+            corgi_loss,
+            result.nonrobust_loss[epsilon],
+        )
     result.table = table
     return result
+
+
+def _generate_sweep(
+    config: ExperimentConfig,
+    location_set: LocationSet,
+    sweep: Sequence[Tuple[float, int]],
+    structure: ConstraintStructure,
+):
+    """Robust generations for every (ε, δ) point, in sweep order.
+
+    With ``config.max_workers > 1`` the independent points fan out across
+    worker processes through the pipeline executor; otherwise they run
+    serially, sharing the pre-built constraint structure.
+    """
+    if config.max_workers > 1:
+        tasks = [
+            RobustGenerationTask(
+                key=f"eps={epsilon}:delta={delta}",
+                node_ids=location_set.node_ids,
+                distance_matrix_km=location_set.distance_matrix_km,
+                cost_matrix=location_set.quality_model.cost_matrix,
+                priors=location_set.quality_model.priors,
+                epsilon=epsilon,
+                delta=delta,
+                constraint_pairs=location_set.constraint_set.pairs,
+                constraint_distances_km=location_set.constraint_set.distances_km,
+                constraint_description=location_set.constraint_set.description,
+                max_iterations=config.robust_iterations,
+                solver_method=config.solver_method,
+            )
+            for epsilon, delta in sweep
+        ]
+        return run_robust_tasks(tasks, max_workers=config.max_workers)
+    return [
+        RobustMatrixGenerator(
+            location_set.node_ids,
+            location_set.distance_matrix_km,
+            location_set.quality_model,
+            epsilon,
+            delta,
+            constraint_set=location_set.constraint_set,
+            max_iterations=config.robust_iterations,
+            solver_method=config.solver_method,
+            structure=structure,
+        ).generate()
+        for epsilon, delta in sweep
+    ]

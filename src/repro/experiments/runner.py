@@ -93,6 +93,13 @@ def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(description="Reproduce the CORGI evaluation figures")
     parser.add_argument("--scale", default=None, help="small (default) or paper")
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for independent LP generations (default 1 = serial; "
+        "results are identical for every value)",
+    )
+    parser.add_argument(
         "--only",
         nargs="*",
         default=None,
@@ -104,6 +111,10 @@ def main(argv: Optional[list] = None) -> int:
 
     configure_cli_logging(verbose=args.verbose)
     config = get_scale(args.scale)
+    if args.workers is not None:
+        if args.workers < 1:
+            parser.error("--workers must be >= 1")
+        config = config.derive(max_workers=args.workers)
     results = run_all(config, only=args.only)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:

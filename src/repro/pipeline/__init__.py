@@ -1,0 +1,46 @@
+"""Matrix-generation pipeline: incremental structure reuse, caching, parallelism.
+
+This package turns the LP hot path of Algorithms 1 and 3 into a staged
+pipeline:
+
+* :mod:`repro.pipeline.fingerprint` — canonical content-addressed keys for
+  LP / robust-generation problems;
+* :mod:`repro.pipeline.cache` — an LRU :class:`MatrixCache` with hit/miss
+  statistics, keyed by those fingerprints;
+* :mod:`repro.pipeline.executor` — process-parallel fan-out of independent
+  per-sub-tree robust generations with deterministic, order-stable results.
+
+The structural half of the incremental story lives in
+:class:`repro.core.lp.ConstraintStructure`, which the LP builds once per
+location set and refreshes per iteration.  See PERFORMANCE.md for the
+architecture overview and the perf harness.
+"""
+
+from repro.pipeline.cache import CacheStats, MatrixCache
+from repro.pipeline.executor import (
+    RobustGenerationTask,
+    execute_robust_task,
+    run_robust_tasks,
+)
+from repro.pipeline.fingerprint import (
+    FINGERPRINT_VERSION,
+    array_digest,
+    constraint_set_digest,
+    fingerprint_fields,
+    geometry_fingerprint,
+    problem_fingerprint,
+)
+
+__all__ = [
+    "CacheStats",
+    "MatrixCache",
+    "RobustGenerationTask",
+    "execute_robust_task",
+    "run_robust_tasks",
+    "FINGERPRINT_VERSION",
+    "array_digest",
+    "constraint_set_digest",
+    "fingerprint_fields",
+    "geometry_fingerprint",
+    "problem_fingerprint",
+]

@@ -1,0 +1,118 @@
+"""Process-parallel execution of independent robust-generation problems.
+
+Algorithm 3 generates one robust matrix per sub-tree at the privacy level;
+the problems share no state, so they fan out across worker processes.  A
+task carries only plain arrays (node ids, distances, cost matrix, priors,
+constraint pairs) plus scalar knobs, which keeps pickling cheap and avoids
+shipping the whole location tree to every worker; the worker rebuilds the
+LP objective with :class:`~repro.core.objective.LinearQualityModel`.
+
+Determinism: results are returned in task order regardless of worker count
+or completion order (``ProcessPoolExecutor.map`` semantics), and every
+worker runs the exact same serial code path as ``max_workers=1``, so the
+output is bit-identical to the serial loop.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.geoind import GeoIndConstraintSet
+from repro.core.objective import LinearQualityModel
+from repro.core.robust import RobustGenerationResult, RobustMatrixGenerator
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+
+@dataclass
+class RobustGenerationTask:
+    """One self-contained robust-generation problem (picklable).
+
+    Attributes mirror the :class:`~repro.core.robust.RobustMatrixGenerator`
+    arguments; ``key`` is an opaque caller-side identifier (the sub-tree
+    root id on the server) carried through to correlate results.
+    """
+
+    key: str
+    node_ids: List[str]
+    distance_matrix_km: np.ndarray
+    cost_matrix: np.ndarray
+    priors: Optional[np.ndarray]
+    epsilon: float
+    delta: int
+    constraint_pairs: Optional[np.ndarray] = None
+    constraint_distances_km: Optional[np.ndarray] = None
+    constraint_description: str = "custom"
+    max_iterations: int = 10
+    rpb_method: str = "approx"
+    basis_row: str = "real"
+    solver_method: str = "highs"
+    level: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    def constraint_set(self) -> Optional[GeoIndConstraintSet]:
+        """Rebuild the constraint set, or None for the all-pairs default."""
+        if self.constraint_pairs is None:
+            return None
+        return GeoIndConstraintSet(
+            pairs=self.constraint_pairs,
+            distances_km=self.constraint_distances_km,
+            description=self.constraint_description,
+        )
+
+
+def execute_robust_task(task: RobustGenerationTask) -> RobustGenerationResult:
+    """Run Algorithm 1 for one task (the worker entry point)."""
+    quality_model = LinearQualityModel(task.cost_matrix, task.priors)
+    generator = RobustMatrixGenerator(
+        task.node_ids,
+        task.distance_matrix_km,
+        quality_model,
+        task.epsilon,
+        task.delta,
+        constraint_set=task.constraint_set(),
+        max_iterations=task.max_iterations,
+        rpb_method=task.rpb_method,  # type: ignore[arg-type]
+        basis_row=task.basis_row,  # type: ignore[arg-type]
+        solver_method=task.solver_method,
+        level=task.level,
+    )
+    result = generator.generate()
+    result.matrix.metadata.update(task.metadata)
+    return result
+
+
+def run_robust_tasks(
+    tasks: Sequence[RobustGenerationTask],
+    *,
+    max_workers: int = 1,
+) -> List[RobustGenerationResult]:
+    """Execute every task, serially or across processes, in task order.
+
+    ``max_workers <= 1`` (or a single task) runs the plain serial loop.
+    When worker processes cannot be spawned (restricted environments), the
+    executor logs a warning and falls back to the serial path rather than
+    failing the request.
+    """
+    if max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    tasks = list(tasks)
+    if max_workers == 1 or len(tasks) <= 1:
+        return [execute_robust_task(task) for task in tasks]
+    try:
+        with ProcessPoolExecutor(max_workers=min(max_workers, len(tasks))) as pool:
+            return list(pool.map(execute_robust_task, tasks))
+    except (OSError, BrokenProcessPool) as error:
+        # OSError: workers could not be spawned at all; BrokenProcessPool: a
+        # worker died mid-run (OOM kill, spawn re-import failure).  Task-level
+        # exceptions (e.g. infeasible LPs) propagate with their original type.
+        logger.warning(
+            "parallel generation unavailable (%s); falling back to serial", error
+        )
+        return [execute_robust_task(task) for task in tasks]

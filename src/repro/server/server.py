@@ -8,26 +8,47 @@ them with Algorithm 1.  The Geo-Ind constraints are formulated on the
 ``d_{i,j}`` are measured in the projected plane so that the graph weights,
 the LP constraints and the violation checks all use one consistent metric.
 
-Generated forests are cached per ``(privacy_level, delta, epsilon)`` so that
-repeated user requests (or many users sharing the same parameters) do not
-re-trigger the expensive LP solves.
+Matrix generation runs through the pipeline layer of
+:mod:`repro.pipeline`: each per-sub-tree problem is fingerprinted
+(node-set geometry, ε, δ, weighting, basis row, quality-model digest,
+solver knobs) and served from a content-addressed
+:class:`~repro.pipeline.cache.MatrixCache` when an identical problem was
+solved before — across requests, across privacy levels and across ε/δ
+sweeps.  Cache keys fold in the *full* effective configuration, so
+changing any ``ServerConfig`` field that affects the result invalidates
+the entry instead of returning a stale forest (the old
+``(privacy_level, delta, epsilon)`` key could not tell the difference).
+Independent sub-tree generations fan out across worker processes when
+``ServerConfig.max_workers > 1``; results are deterministic and identical
+to the serial path regardless of worker count.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, fields
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.graphapprox import HexNeighborhoodGraph, Weighting
 from repro.core.objective import QualityLossModel, TargetDistribution
-from repro.core.robust import BasisRow, RobustGenerationResult, RobustMatrixGenerator
+from repro.core.robust import BasisRow, RobustGenerationResult
+from repro.pipeline.cache import MatrixCache
+from repro.pipeline.executor import (
+    RobustGenerationTask,
+    execute_robust_task,
+    run_robust_tasks,
+)
+from repro.pipeline.fingerprint import (
+    array_digest,
+    constraint_set_digest,
+    fingerprint_fields,
+    problem_fingerprint,
+)
 from repro.server.messages import ObfuscationRequest, PrivacyForestResponse
 from repro.server.privacy_forest import PrivacyForest
 from repro.tree.location_tree import LocationTree
 from repro.utils.logging import get_logger
-from repro.utils.rng import RandomState, as_rng
 from repro.utils.timing import Stopwatch
 
 logger = get_logger(__name__)
@@ -57,12 +78,18 @@ class ServerConfig:
     rpb_method / rpb_basis_row:
         Reserved-privacy-budget estimator options (Eq. 12 vs Eq. 14).
     solver_method:
-        scipy ``linprog`` method.
+        scipy ``linprog`` method, threaded through every LP solve.
     target_seed:
         Seed for sampling the default target distribution.
     keep_generation_results:
         Retain per-sub-tree convergence traces in the forest (used by the
         convergence experiment; off by default to save memory).
+    max_workers:
+        Worker processes for per-sub-tree generation fan-out; 1 = serial.
+        Results are identical for every value.
+    matrix_cache_entries:
+        Bound on the content-addressed per-sub-tree matrix cache (LRU);
+        0 disables matrix caching.
     """
 
     epsilon: float = 15.0
@@ -75,6 +102,8 @@ class ServerConfig:
     solver_method: str = "highs"
     target_seed: int = 13
     keep_generation_results: bool = False
+    max_workers: int = 1
+    matrix_cache_entries: int = 256
 
     def validate(self) -> None:
         """Raise :class:`ValueError` for inconsistent settings."""
@@ -86,6 +115,10 @@ class ServerConfig:
             raise ValueError("robust_iterations must be non-negative")
         if self.rpb_method not in ("approx", "exact"):
             raise ValueError(f"unknown rpb_method {self.rpb_method!r}")
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if self.matrix_cache_entries < 0:
+            raise ValueError("matrix_cache_entries must be non-negative")
 
 
 class CORGIServer:
@@ -115,7 +148,8 @@ class CORGIServer:
         self.config = config or ServerConfig()
         self.config.validate()
         self.targets = targets or self._default_targets()
-        self._forest_cache: Dict[Tuple[int, int, float], PrivacyForest] = {}
+        self._forest_cache: Dict[str, PrivacyForest] = {}
+        self.matrix_cache = MatrixCache(self.config.matrix_cache_entries)
         self.stopwatch = Stopwatch()
 
     # ------------------------------------------------------------------ #
@@ -128,6 +162,47 @@ class CORGIServer:
             centers,
             min(self.config.num_targets, len(centers)),
             seed=self.config.target_seed,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Cache fingerprints
+    # ------------------------------------------------------------------ #
+
+    def _targets_digest(self) -> str:
+        return array_digest(
+            np.asarray(self.targets.locations, dtype=float), self.targets.probabilities
+        )
+
+    #: Config fields that do not affect the generated forest (execution
+    #: strategy / cache sizing only).  Everything else is fingerprinted, so a
+    #: future result-affecting field is keyed automatically — forgetting to
+    #: update this list can only over-invalidate, never serve a stale forest.
+    _NON_RESULT_CONFIG_FIELDS = frozenset({"epsilon", "max_workers", "matrix_cache_entries"})
+
+    def _forest_fingerprint(self, privacy_level: int, delta: int, epsilon: float) -> str:
+        """Cache key folding the full effective configuration.
+
+        Every :class:`ServerConfig` field except the explicit non-result list
+        is part of the key (``epsilon`` enters as the per-request effective
+        value), together with the target distribution and the tree's identity
+        and leaf priors — so mutating any result-affecting input between
+        requests can never return a stale forest.
+        """
+        config_fields = {
+            spec.name: getattr(self.config, spec.name)
+            for spec in fields(self.config)
+            if spec.name not in self._NON_RESULT_CONFIG_FIELDS
+        }
+        leaves = self.tree.leaves()
+        return fingerprint_fields(
+            privacy_level=int(privacy_level),
+            delta=int(delta),
+            epsilon=float(epsilon),
+            config=config_fields,
+            targets=self._targets_digest(),
+            tree_root=str(self.tree.root.node_id),
+            tree_leaves=len(leaves),
+            leaf_priors=array_digest(np.array([leaf.prior for leaf in leaves], dtype=float)),
         )
 
     # ------------------------------------------------------------------ #
@@ -146,39 +221,66 @@ class CORGIServer:
         epsilon = float(epsilon if epsilon is not None else self.config.epsilon)
         if delta < 0:
             raise ValueError(f"delta must be non-negative, got {delta}")
-        cache_key = (int(privacy_level), int(delta), epsilon)
-        if use_cache and cache_key in self._forest_cache:
-            return self._forest_cache[cache_key]
+        forest_key = self._forest_fingerprint(privacy_level, delta, epsilon)
+        if use_cache and forest_key in self._forest_cache:
+            return self._forest_cache[forest_key]
 
         forest = PrivacyForest(self.tree, privacy_level, delta, epsilon)
         self.stopwatch.start("forest_generation")
-        for root in self.tree.nodes_at_level(privacy_level):
-            matrix, result = self._generate_subtree_matrix(root.node_id, delta, epsilon)
+        roots = self.tree.nodes_at_level(privacy_level)
+        prepared = [self._subtree_task(root.node_id, delta, epsilon) for root in roots]
+
+        results: Dict[str, RobustGenerationResult] = {}
+        pending: List[Tuple[RobustGenerationTask, str]] = []
+        for task, problem_key in prepared:
+            hit = self.matrix_cache.get(problem_key) if use_cache else None
+            if hit is not None:
+                results[task.key] = hit
+            else:
+                pending.append((task, problem_key))
+        generated = run_robust_tasks(
+            [task for task, _ in pending], max_workers=self.config.max_workers
+        )
+        for (task, problem_key), result in zip(pending, generated):
+            if use_cache:
+                self.matrix_cache.put(problem_key, result)
+            results[task.key] = result
+
+        for root in roots:
+            result = results[root.node_id]
             forest.add(
                 root.node_id,
-                matrix,
+                result.matrix,
                 result if self.config.keep_generation_results else None,
             )
         elapsed = self.stopwatch.stop("forest_generation")
         logger.info(
-            "generated privacy forest: level=%d delta=%d epsilon=%.2f subtrees=%d (%.2f s)",
+            "generated privacy forest: level=%d delta=%d epsilon=%.2f subtrees=%d "
+            "(%d cached, %d solved, %d workers, %.2f s)",
             privacy_level,
             delta,
             epsilon,
             len(forest),
+            len(forest) - len(pending),
+            len(pending),
+            self.config.max_workers,
             elapsed,
         )
         if use_cache:
-            self._forest_cache[cache_key] = forest
+            self._forest_cache[forest_key] = forest
         return forest
 
-    def _generate_subtree_matrix(
+    #: Alias used by callers that think in terms of "the forest" rather than
+    #: "the privacy forest" (and by the perf harness).
+    generate_forest = generate_privacy_forest
+
+    def _subtree_task(
         self,
         subtree_root_id: str,
         delta: int,
         epsilon: float,
-    ) -> Tuple:
-        """Generate the robust leaf-level matrix for one sub-tree (Algorithm 1)."""
+    ) -> Tuple[RobustGenerationTask, str]:
+        """Build the picklable generation task and cache key for one sub-tree."""
         leaves = self.tree.descendant_leaves(subtree_root_id)
         node_ids = [leaf.node_id for leaf in leaves]
         cells = [leaf.cell for leaf in leaves]
@@ -194,20 +296,52 @@ class CORGIServer:
         constraint_set = graph.constraint_set() if self.config.use_graph_approximation else None
 
         quality_model = QualityLossModel(centers, self.targets, priors)
-        generator = RobustMatrixGenerator(
+        task = RobustGenerationTask(
+            key=subtree_root_id,
+            node_ids=node_ids,
+            distance_matrix_km=distance_matrix,
+            cost_matrix=quality_model.cost_matrix,
+            priors=quality_model.priors,
+            epsilon=epsilon,
+            delta=int(delta),
+            constraint_pairs=None if constraint_set is None else constraint_set.pairs,
+            constraint_distances_km=None if constraint_set is None else constraint_set.distances_km,
+            constraint_description="custom" if constraint_set is None else constraint_set.description,
+            max_iterations=self.config.robust_iterations,
+            rpb_method=self.config.rpb_method,
+            basis_row=self.config.rpb_basis_row,
+            solver_method=self.config.solver_method,
+            level=0,
+            metadata={"subtree_root": subtree_root_id},
+        )
+        problem_key = problem_fingerprint(
             node_ids,
             distance_matrix,
-            quality_model,
             epsilon,
             delta,
-            constraint_set=constraint_set,
-            max_iterations=self.config.robust_iterations,
-            rpb_method=self.config.rpb_method,  # type: ignore[arg-type]
-            basis_row=self.config.rpb_basis_row,
-            level=0,
+            quality_digest=quality_model.digest(),
+            constraint_digest=constraint_set_digest(constraint_set),
+            weighting=str(self.config.graph_weighting),
+            basis_row=str(self.config.rpb_basis_row),
+            rpb_method=str(self.config.rpb_method),
+            max_iterations=int(self.config.robust_iterations),
+            solver_method=str(self.config.solver_method),
         )
-        result = generator.generate()
-        result.matrix.metadata["subtree_root"] = subtree_root_id
+        return task, problem_key
+
+    def _generate_subtree_matrix(
+        self,
+        subtree_root_id: str,
+        delta: int,
+        epsilon: float,
+    ) -> Tuple:
+        """Generate the robust leaf-level matrix for one sub-tree (Algorithm 1).
+
+        Kept as the uncached single-sub-tree entry point; forest generation
+        goes through the pipeline in :meth:`generate_privacy_forest`.
+        """
+        task, _ = self._subtree_task(subtree_root_id, delta, epsilon)
+        result = execute_robust_task(task)
         return result.matrix, result
 
     # ------------------------------------------------------------------ #
@@ -234,9 +368,19 @@ class CORGIServer:
         return {leaf.node_id: leaf.prior for leaf in leaves}
 
     def clear_cache(self) -> None:
-        """Drop every cached privacy forest."""
+        """Drop every cached privacy forest and per-sub-tree matrix."""
         self._forest_cache.clear()
+        self.matrix_cache.clear()
 
     def cache_size(self) -> int:
         """Number of cached forests."""
         return len(self._forest_cache)
+
+    def cache_diagnostics(self) -> Dict[str, object]:
+        """Forest- and matrix-cache state for monitoring and the perf harness."""
+        return {
+            "forest_entries": len(self._forest_cache),
+            "matrix_entries": len(self.matrix_cache),
+            "matrix_stats": self.matrix_cache.stats.as_dict(),
+            "max_workers": self.config.max_workers,
+        }

@@ -1,0 +1,459 @@
+"""Tests for the matrix-generation pipeline.
+
+Covers the incremental constraint-structure reuse in the LP layer, the
+content-addressed MatrixCache (hit/miss, eviction, fingerprint
+sensitivity), the process-parallel executor (parallel == serial), the
+server's full-configuration cache keys (no stale forests after a config
+change) and the vectorised exact reserved-privacy-budget path
+(bit-identical to the original subset-enumeration loop).
+"""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.lp import ConstraintStructure, ObfuscationLP
+from repro.core.objective import LinearQualityModel
+from repro.core.robust import (
+    RobustMatrixGenerator,
+    _MASS_CEILING,
+    reserved_privacy_budget_exact,
+)
+from repro.pipeline.cache import MatrixCache
+from repro.pipeline.executor import RobustGenerationTask, run_robust_tasks
+from repro.pipeline.fingerprint import (
+    array_digest,
+    constraint_set_digest,
+    fingerprint_fields,
+    geometry_fingerprint,
+    problem_fingerprint,
+)
+from repro.server.server import CORGIServer, ServerConfig
+
+from tests.conftest import TEST_EPSILON
+
+
+def _fresh_lp(small_location_set, epsilon=TEST_EPSILON, **kwargs):
+    return ObfuscationLP(
+        small_location_set["node_ids"],
+        small_location_set["distance_matrix"],
+        small_location_set["quality_model"],
+        epsilon,
+        constraint_set=small_location_set["graph"].constraint_set(),
+        **kwargs,
+    )
+
+
+class TestConstraintStructure:
+    def test_refreshed_matrix_matches_cold_assembly(self, small_location_set):
+        """The in-place coefficient refresh reproduces a from-scratch A_ub exactly."""
+        lp = _fresh_lp(small_location_set)
+        budget = np.full((7, 7), 0.3)
+        np.fill_diagonal(budget, 0.0)
+        refreshed = lp.build_inequalities(budget).toarray()
+
+        # Reference: the seed's one-shot COO assembly.
+        size = lp.size
+        pairs = lp.constraint_set.pairs
+        num_pairs = pairs.shape[0]
+        factors = np.exp(lp.effective_epsilons(budget) * lp.constraint_set.distances_km)
+        columns = np.tile(np.arange(size), num_pairs)
+        rows = np.arange(num_pairs * size)
+        i_vars = np.repeat(pairs[:, 0], size) * size + columns
+        j_vars = np.repeat(pairs[:, 1], size) * size + columns
+        reference = np.zeros((num_pairs * size, size * size))
+        reference[rows, i_vars] = 1.0
+        reference[rows, j_vars] = -np.repeat(factors, size)
+        assert np.array_equal(refreshed, reference)
+
+    def test_incremental_resolve_equals_cold_solve(self, small_location_set):
+        """Re-solving through one LP instance equals a cold LP per solve."""
+        budgets = [None, np.full((7, 7), 0.2), np.full((7, 7), 0.5)]
+        for budget in budgets:
+            if budget is not None:
+                np.fill_diagonal(budget, 0.0)
+
+        incremental_lp = _fresh_lp(small_location_set)
+        for budget in budgets:
+            cold = _fresh_lp(small_location_set).solve(reserved_budget=budget)
+            warm = incremental_lp.solve(reserved_budget=budget)
+            assert warm.status == cold.status == "optimal"
+            assert warm.objective_value == pytest.approx(cold.objective_value, abs=1e-12)
+            assert np.allclose(warm.matrix.values, cold.matrix.values, atol=1e-12)
+        assert incremental_lp.structure.refresh_count == len(budgets)
+
+    def test_structure_shared_across_epsilons(self, small_location_set):
+        structure = ConstraintStructure(7, small_location_set["graph"].constraint_set())
+        for epsilon in (1.0, 2.0, 4.0):
+            shared = _fresh_lp(small_location_set, epsilon=epsilon, structure=structure)
+            cold = _fresh_lp(small_location_set, epsilon=epsilon)
+            warm_solution = shared.solve_nonrobust()
+            cold_solution = cold.solve_nonrobust()
+            assert np.allclose(
+                warm_solution.matrix.values, cold_solution.matrix.values, atol=1e-12
+            )
+            assert warm_solution.diagnostics["structure_shared"] is True
+
+    def test_incompatible_structure_rejected(self, small_location_set):
+        wrong = ConstraintStructure(
+            7,
+            small_location_set["graph"].constraint_set(),
+        )
+        # Same size but different pairs: drop one pair.
+        constraints = small_location_set["graph"].constraint_set()
+        trimmed = type(constraints)(
+            pairs=constraints.pairs[:-2],
+            distances_km=constraints.distances_km[:-2],
+            description="trimmed",
+        )
+        with pytest.raises(ValueError):
+            ObfuscationLP(
+                small_location_set["node_ids"],
+                small_location_set["distance_matrix"],
+                small_location_set["quality_model"],
+                TEST_EPSILON,
+                constraint_set=trimmed,
+                structure=wrong,
+            )
+
+    def test_diagnostics_report_reuse(self, small_location_set):
+        lp = _fresh_lp(small_location_set)
+        first = lp.solve_nonrobust()
+        second = lp.solve_nonrobust()
+        assert first.diagnostics["structure_reused"] is False
+        assert second.diagnostics["structure_reused"] is True
+        assert second.diagnostics["structure_refresh_count"] == 2
+        assert first.diagnostics["matrix_build_time_s"] >= 0.0
+
+    def test_generator_reuses_structure_across_iterations(self, small_location_set):
+        generator = RobustMatrixGenerator(
+            small_location_set["node_ids"],
+            small_location_set["distance_matrix"],
+            small_location_set["quality_model"],
+            TEST_EPSILON,
+            delta=1,
+            constraint_set=small_location_set["graph"].constraint_set(),
+            max_iterations=3,
+        )
+        result = generator.generate()
+        # Non-robust solve + 3 robust iterations over one shared structure.
+        assert generator.lp.structure.refresh_count == 4
+        assert result.solutions[-1].diagnostics["structure_reused"] is True
+
+
+class TestFingerprints:
+    def test_fingerprint_stable(self):
+        a = fingerprint_fields(epsilon=2.0, delta=1, name="x")
+        b = fingerprint_fields(delta=1, epsilon=2.0, name="x")
+        assert a == b
+
+    def test_fingerprint_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            fingerprint_fields(value=object())
+
+    def test_array_digest_sensitive_to_dtype_and_shape(self):
+        data = np.arange(6, dtype=float)
+        assert array_digest(data) != array_digest(data.astype(np.float32))
+        assert array_digest(data) != array_digest(data.reshape(2, 3))
+
+    def test_geometry_fingerprint_sensitive_to_order(self):
+        distances = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert geometry_fingerprint(["a", "b"], distances) != geometry_fingerprint(
+            ["b", "a"], distances
+        )
+
+    def test_problem_fingerprint_sensitive_to_every_field(self, small_location_set):
+        constraints = small_location_set["graph"].constraint_set()
+        base = dict(
+            quality_digest=small_location_set["quality_model"].digest(),
+            constraint_digest=constraint_set_digest(constraints),
+            weighting="paper",
+            basis_row="real",
+            rpb_method="approx",
+            max_iterations=4,
+            solver_method="highs",
+        )
+        args = (small_location_set["node_ids"], small_location_set["distance_matrix"], 2.0, 1)
+        reference = problem_fingerprint(*args, **base)
+        assert problem_fingerprint(*args, **base) == reference
+
+        variations = dict(
+            quality_digest="0" * 64,
+            constraint_digest="all-pairs-default",
+            weighting="euclidean",
+            basis_row="max",
+            rpb_method="exact",
+            max_iterations=5,
+            solver_method="highs-ipm",
+        )
+        for field_name, changed in variations.items():
+            kwargs = dict(base)
+            kwargs[field_name] = changed
+            assert problem_fingerprint(*args, **kwargs) != reference, field_name
+        # Scalars in the positional part.
+        assert problem_fingerprint(args[0], args[1], 3.0, 1, **base) != reference
+        assert problem_fingerprint(args[0], args[1], 2.0, 2, **base) != reference
+
+
+class TestMatrixCache:
+    def test_hit_miss_statistics(self):
+        cache = MatrixCache(max_entries=4)
+        assert cache.get("missing") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_get_or_compute(self):
+        cache = MatrixCache(max_entries=4)
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return "value"
+
+        assert cache.get_or_compute("k", factory) == "value"
+        assert cache.get_or_compute("k", factory) == "value"
+        assert len(calls) == 1
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_lru_eviction(self):
+        cache = MatrixCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh recency of "a"
+        cache.put("c", 3)  # evicts "b"
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_zero_entries_disables_storage(self):
+        cache = MatrixCache(max_entries=0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_clear_and_reset(self):
+        cache = MatrixCache(max_entries=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+        cache.reset_stats()
+        assert cache.stats.lookups == 0
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            MatrixCache(max_entries=-1)
+
+
+class TestExecutor:
+    def _tasks(self, small_location_set):
+        constraints = small_location_set["graph"].constraint_set()
+        model = small_location_set["quality_model"]
+        return [
+            RobustGenerationTask(
+                key=f"delta={delta}",
+                node_ids=small_location_set["node_ids"],
+                distance_matrix_km=small_location_set["distance_matrix"],
+                cost_matrix=model.cost_matrix,
+                priors=model.priors,
+                epsilon=TEST_EPSILON,
+                delta=delta,
+                constraint_pairs=constraints.pairs,
+                constraint_distances_km=constraints.distances_km,
+                constraint_description=constraints.description,
+                max_iterations=2,
+            )
+            for delta in (0, 1)
+        ]
+
+    def test_parallel_equals_serial(self, small_location_set):
+        tasks = self._tasks(small_location_set)
+        serial = run_robust_tasks(tasks, max_workers=1)
+        parallel = run_robust_tasks(tasks, max_workers=2)
+        assert len(serial) == len(parallel) == len(tasks)
+        for serial_result, parallel_result in zip(serial, parallel):
+            assert np.allclose(
+                serial_result.matrix.values, parallel_result.matrix.values, atol=1e-12
+            )
+            assert serial_result.objective_history == parallel_result.objective_history
+
+    def test_task_equals_direct_generator(self, small_location_set):
+        task = self._tasks(small_location_set)[1]
+        [from_task] = run_robust_tasks([task], max_workers=1)
+        direct = RobustMatrixGenerator(
+            small_location_set["node_ids"],
+            small_location_set["distance_matrix"],
+            small_location_set["quality_model"],
+            TEST_EPSILON,
+            delta=1,
+            constraint_set=small_location_set["graph"].constraint_set(),
+            max_iterations=2,
+        ).generate()
+        assert np.allclose(from_task.matrix.values, direct.matrix.values, atol=1e-12)
+        assert from_task.objective_history == pytest.approx(direct.objective_history, abs=1e-12)
+
+    def test_invalid_worker_count(self, small_location_set):
+        with pytest.raises(ValueError):
+            run_robust_tasks(self._tasks(small_location_set), max_workers=0)
+
+
+@pytest.fixture()
+def pipeline_server(small_tree_with_priors):
+    config = ServerConfig(
+        epsilon=2.0,
+        num_targets=5,
+        robust_iterations=2,
+        keep_generation_results=False,
+    )
+    return CORGIServer(small_tree_with_priors, config)
+
+
+class TestServerPipeline:
+    def test_forest_cache_hit(self, pipeline_server):
+        first = pipeline_server.generate_privacy_forest(privacy_level=1, delta=1)
+        second = pipeline_server.generate_privacy_forest(privacy_level=1, delta=1)
+        assert first is second
+
+    def test_config_change_invalidates_cache(self, pipeline_server):
+        """Satellite fix: mutating result-affecting config fields must not serve stale forests."""
+        first = pipeline_server.generate_privacy_forest(privacy_level=1, delta=1)
+        pipeline_server.config.robust_iterations = 1
+        second = pipeline_server.generate_privacy_forest(privacy_level=1, delta=1)
+        assert first is not second
+        pipeline_server.config.rpb_basis_row = "max"
+        third = pipeline_server.generate_privacy_forest(privacy_level=1, delta=1)
+        assert third is not second
+
+    def test_prior_change_invalidates_cache(self, pipeline_server):
+        first = pipeline_server.generate_privacy_forest(privacy_level=1, delta=0)
+        leaf = pipeline_server.tree.leaves()[0]
+        original_prior = leaf.prior
+        try:
+            leaf.prior = original_prior * 0.5 + 0.01
+            second = pipeline_server.generate_privacy_forest(privacy_level=1, delta=0)
+        finally:
+            leaf.prior = original_prior
+        assert first is not second
+
+    def test_matrix_cache_serves_repeat_subproblems(self, pipeline_server):
+        pipeline_server.generate_privacy_forest(privacy_level=1, delta=1)
+        solved = pipeline_server.matrix_cache.stats.misses
+        assert solved >= 1
+        # Drop only the forest-level cache: the per-sub-tree problems are
+        # unchanged, so the rebuild is served from the matrix cache.
+        pipeline_server._forest_cache.clear()
+        rebuilt = pipeline_server.generate_privacy_forest(privacy_level=1, delta=1)
+        assert pipeline_server.matrix_cache.stats.hits >= 1
+        assert pipeline_server.matrix_cache.stats.misses == solved
+        assert rebuilt.is_complete()
+
+    def test_parallel_forest_equals_serial(self, small_tree_with_priors):
+        serial_server = CORGIServer(
+            small_tree_with_priors,
+            ServerConfig(epsilon=2.0, num_targets=5, robust_iterations=2, max_workers=1),
+        )
+        parallel_server = CORGIServer(
+            small_tree_with_priors,
+            ServerConfig(epsilon=2.0, num_targets=5, robust_iterations=2, max_workers=2),
+        )
+        serial_forest = serial_server.generate_privacy_forest(privacy_level=0, delta=0)
+        parallel_forest = parallel_server.generate_privacy_forest(privacy_level=0, delta=0)
+        assert len(serial_forest) == len(parallel_forest) == 7
+        for (root_id, serial_matrix), (parallel_root, parallel_matrix) in zip(
+            serial_forest, parallel_forest
+        ):
+            assert root_id == parallel_root
+            assert np.allclose(serial_matrix.values, parallel_matrix.values, atol=1e-12)
+
+    def test_cache_diagnostics(self, pipeline_server):
+        pipeline_server.generate_privacy_forest(privacy_level=1, delta=0)
+        diagnostics = pipeline_server.cache_diagnostics()
+        assert diagnostics["forest_entries"] >= 1
+        assert diagnostics["matrix_entries"] >= 1
+        assert 0.0 <= diagnostics["matrix_stats"]["hit_rate"] <= 1.0
+
+    def test_clear_cache_drops_both_layers(self, pipeline_server):
+        pipeline_server.generate_privacy_forest(privacy_level=1, delta=0)
+        pipeline_server.clear_cache()
+        assert pipeline_server.cache_size() == 0
+        assert len(pipeline_server.matrix_cache) == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ServerConfig(max_workers=0).validate()
+        with pytest.raises(ValueError):
+            ServerConfig(matrix_cache_entries=-1).validate()
+
+
+class TestLinearQualityModel:
+    def test_digest_matches_content(self, small_location_set):
+        model = small_location_set["quality_model"]
+        clone = LinearQualityModel(model.cost_matrix.copy(), model.priors.copy())
+        assert clone.digest() == model.digest()
+        perturbed = LinearQualityModel(model.cost_matrix + 1e-9, model.priors)
+        assert perturbed.digest() != model.digest()
+
+    def test_objective_vector_matches(self, small_location_set):
+        model = small_location_set["quality_model"]
+        clone = LinearQualityModel(model.cost_matrix, model.priors)
+        assert np.array_equal(clone.objective_vector(), model.objective_vector())
+
+    def test_invalid_cost_matrix(self):
+        with pytest.raises(ValueError):
+            LinearQualityModel(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            LinearQualityModel(np.zeros((0, 0)))
+
+
+def _reference_exact_rpb(values, distance_matrix_km, delta):
+    """The seed's scalar subset-enumeration loop, kept verbatim as the oracle."""
+    values = np.asarray(values, dtype=float)
+    distances = np.asarray(distance_matrix_km, dtype=float)
+    size = values.shape[0]
+    budget = np.zeros((size, size))
+    if delta == 0:
+        return budget
+    delta = min(delta, size)
+    subsets = []
+    for cardinality in range(1, delta + 1):
+        subsets.extend(itertools.combinations(range(size), cardinality))
+    for i in range(size):
+        for j in range(size):
+            if i == j or distances[i, j] <= 0:
+                continue
+            best_ratio = 1.0
+            for subset in subsets:
+                removed_i = min(values[i, list(subset)].sum(), _MASS_CEILING)
+                removed_j = min(values[j, list(subset)].sum(), _MASS_CEILING)
+                ratio = (1.0 - removed_j) / (1.0 - removed_i)
+                if ratio > best_ratio:
+                    best_ratio = ratio
+            budget[i, j] = math.log(best_ratio) / distances[i, j]
+    return budget
+
+
+class TestExactRPBVectorization:
+    @pytest.mark.parametrize("size,delta", [(4, 1), (5, 2), (6, 3), (3, 5)])
+    def test_bit_identical_to_reference(self, size, delta):
+        rng = np.random.default_rng(size * 10 + delta)
+        values = rng.random((size, size))
+        values /= values.sum(axis=1, keepdims=True)
+        distances = rng.random((size, size))
+        distances = (distances + distances.T) / 2.0
+        np.fill_diagonal(distances, 0.0)
+        expected = _reference_exact_rpb(values, distances, delta)
+        actual = reserved_privacy_budget_exact(values, distances, delta)
+        assert np.array_equal(actual, expected)
+
+    def test_bit_identical_on_lp_solution(self, nonrobust_solution, small_location_set):
+        values = nonrobust_solution.matrix.values
+        distances = small_location_set["distance_matrix"]
+        expected = _reference_exact_rpb(values, distances, 2)
+        actual = reserved_privacy_budget_exact(values, distances, 2)
+        assert np.array_equal(actual, expected)
