@@ -1,0 +1,131 @@
+"""Perf trajectory for the service layer: coalesced vs uncoalesced serving.
+
+Simulates a burst of concurrent identical requests — the workload the
+single-flight gate exists for — in two regimes:
+
+* **uncoalesced** — every request drives the engine directly with caching
+  disabled, the cost a naive server pays when N users ask for the same
+  ``(privacy_level, δ, ε)`` forest at once;
+* **coalesced** — the same burst through :class:`CORGIService`: one leader
+  builds, everyone else waits on the shared result.
+
+Results (wall time, throughput, the service metrics proving exactly one
+engine build ran) are recorded in ``BENCH_service.json`` so future PRs can
+track the trend.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_perf_service.py -s
+
+The test is marked ``perf``; tier-1 (`python -m pytest`) never collects
+``bench_*.py`` files.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.geometry.haversine import LatLng
+from repro.server.engine import ForestEngine, ServerConfig
+from repro.service.service import CORGIService, ServiceConfig
+from repro.tree.builder import tree_for_point
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+#: Burst shape: N concurrent identical requests for a 7×7-leaf forest.
+TREE_HEIGHT = 2
+PRIVACY_LEVEL = 1
+EPSILON = 2.0
+DELTA = 1
+ITERATIONS = 2
+BURST_SIZE = 8
+
+
+def _build_engine() -> ForestEngine:
+    tree = tree_for_point(LatLng(37.77, -122.42), height=TREE_HEIGHT, root_resolution=7)
+    return ForestEngine(
+        tree,
+        ServerConfig(epsilon=EPSILON, num_targets=10, robust_iterations=ITERATIONS),
+    )
+
+
+def _run_burst(target) -> float:
+    """Run BURST_SIZE concurrent calls of *target*; return wall seconds."""
+    barrier = threading.Barrier(BURST_SIZE)
+    errors = []
+
+    def worker():
+        try:
+            barrier.wait(timeout=30)
+            target()
+        except Exception as error:  # pragma: no cover - failure reporting
+            errors.append(error)
+
+    threads = [threading.Thread(target=worker) for _ in range(BURST_SIZE)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    assert not errors, errors
+    return elapsed
+
+
+@pytest.mark.perf
+def test_perf_service_coalescing():
+    # Uncoalesced: every request pays a full forest build (use_cache=False
+    # models N requests that a cache-less, coalescing-less server computes).
+    uncoalesced_engine = _build_engine()
+    uncoalesced_s = _run_burst(
+        lambda: uncoalesced_engine.build_forest(
+            PRIVACY_LEVEL, DELTA, use_cache=False
+        )
+    )
+
+    # Coalesced: the same burst through the service's single-flight gate.
+    service = CORGIService(
+        _build_engine(), ServiceConfig(max_in_flight=4, max_queue_depth=32)
+    )
+    coalesced_s = _run_burst(
+        lambda: service.generate_privacy_forest(PRIVACY_LEVEL, DELTA)
+    )
+    snapshot = service.metrics.snapshot()
+
+    payload = {
+        "workload": {
+            "tree_height": TREE_HEIGHT,
+            "privacy_level": PRIVACY_LEVEL,
+            "epsilon": EPSILON,
+            "delta": DELTA,
+            "robust_iterations": ITERATIONS,
+            "burst_size": BURST_SIZE,
+        },
+        "burst_wall_s": {
+            "uncoalesced": uncoalesced_s,
+            "coalesced": coalesced_s,
+        },
+        "throughput_rps": {
+            "uncoalesced": BURST_SIZE / uncoalesced_s if uncoalesced_s else float("inf"),
+            "coalesced": BURST_SIZE / coalesced_s if coalesced_s else float("inf"),
+        },
+        "speedup": uncoalesced_s / coalesced_s if coalesced_s else float("inf"),
+        "service_metrics": snapshot,
+        "structure_sharing": service.engine.cache_diagnostics()["structure_sharing"],
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {RESULT_PATH}")
+    print(json.dumps(payload["burst_wall_s"], indent=2))
+    print(json.dumps(payload["throughput_rps"], indent=2))
+    print("speedup:", payload["speedup"])
+
+    # Acceptance: the burst triggered exactly one engine build, and
+    # coalescing beats naive per-request computation clearly.
+    assert snapshot["engine_builds"] == 1
+    assert snapshot["coalesced"] == BURST_SIZE - 1 or snapshot["engine_cache_hits"] > 0
+    assert payload["speedup"] >= 2.0

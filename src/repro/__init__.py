@@ -27,7 +27,14 @@ between the paper's sections and the modules here.
 
 from repro.attacks import BayesianAttacker, expected_inference_error_km
 from repro.baselines import NonRobustLPMechanism, PlanarLaplaceMechanism, UniformMechanism
-from repro.client import CORGIClient, ObfuscationOutcome, ObfuscationSession
+from repro.client import (
+    CORGIClient,
+    HTTPTransport,
+    InProcessTransport,
+    ObfuscationOutcome,
+    ObfuscationSession,
+    TransportForestProvider,
+)
 from repro.core import (
     HexNeighborhoodGraph,
     ObfuscationLP,
@@ -52,7 +59,8 @@ from repro.geometry import BoundingBox, LatLng, haversine_km
 from repro.hexgrid import HexCell, HexGridSystem
 from repro.pipeline import CacheStats, MatrixCache, RobustGenerationTask, run_robust_tasks
 from repro.policy import Policy, Predicate, annotate_tree_with_dataset, user_location_profile
-from repro.server import CORGIServer, PrivacyForest, ServerConfig
+from repro.server import CORGIServer, ForestEngine, PrivacyForest, ServerConfig
+from repro.service import CORGIHTTPServer, CORGIService, ServiceConfig
 from repro.tree import LocationTree, build_location_tree, priors_from_checkins, tree_for_region
 
 __version__ = "1.0.0"
@@ -98,13 +106,20 @@ __all__ = [
     "CacheStats",
     "RobustGenerationTask",
     "run_robust_tasks",
-    # Server / client
+    # Server / service / client
     "CORGIServer",
+    "ForestEngine",
     "ServerConfig",
     "PrivacyForest",
+    "CORGIService",
+    "ServiceConfig",
+    "CORGIHTTPServer",
     "CORGIClient",
     "ObfuscationOutcome",
     "ObfuscationSession",
+    "InProcessTransport",
+    "HTTPTransport",
+    "TransportForestProvider",
     # Baselines / attacks
     "NonRobustLPMechanism",
     "PlanarLaplaceMechanism",

@@ -10,5 +10,25 @@ the obfuscated location to hand to location-based applications.
 
 from repro.client.client import CORGIClient, ObfuscationOutcome
 from repro.client.session import ObfuscationSession
+from repro.client.transport import (
+    ForestTransport,
+    HTTPTransport,
+    InProcessTransport,
+    ResponseForest,
+    TransportError,
+    TransportForestProvider,
+    as_forest_provider,
+)
 
-__all__ = ["CORGIClient", "ObfuscationOutcome", "ObfuscationSession"]
+__all__ = [
+    "CORGIClient",
+    "ObfuscationOutcome",
+    "ObfuscationSession",
+    "ForestTransport",
+    "HTTPTransport",
+    "InProcessTransport",
+    "ResponseForest",
+    "TransportError",
+    "TransportForestProvider",
+    "as_forest_provider",
+]

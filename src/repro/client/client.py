@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro.client.transport import as_forest_provider
 from repro.core.matrix import ObfuscationMatrix
 from repro.core.precision import ancestor_row_for, precision_reduction
 from repro.core.pruning import prune_matrix
@@ -28,7 +29,6 @@ from repro.geometry.haversine import LatLng
 from repro.policy.attributes import LocationAttributeExtractor
 from repro.policy.evaluation import DeltaOverflowStrategy, PreferenceEvaluation, evaluate_preferences
 from repro.policy.policy import Policy
-from repro.server.server import CORGIServer
 from repro.tree.location_tree import LocationTree
 from repro.utils.logging import get_logger
 from repro.utils.rng import RandomState, as_rng
@@ -86,8 +86,15 @@ class CORGIClient:
         The shared location tree (steps 2-3 of Figure 1: the server
         publishes it, the user uses it to express preferences).
     server:
-        The server (or any object with a compatible
-        ``generate_privacy_forest``) used for matrix generation.
+        Where privacy forests come from: a
+        :class:`~repro.server.server.CORGIServer`, a
+        :class:`~repro.server.engine.ForestEngine`, a coalescing
+        :class:`~repro.service.service.CORGIService`, a client transport
+        (:class:`~repro.client.transport.InProcessTransport` /
+        :class:`~repro.client.transport.HTTPTransport`), or any object with
+        a compatible ``generate_privacy_forest``.  Transports are adapted
+        via :func:`~repro.client.transport.as_forest_provider`, so the
+        client pipeline is identical in-process and over the wire.
     user_id / history:
         Optional identity and check-in history of the user; when provided,
         per-user attributes (home / office / outlier) are derived locally so
@@ -100,14 +107,14 @@ class CORGIClient:
     def __init__(
         self,
         tree: LocationTree,
-        server: CORGIServer,
+        server: object,
         *,
         user_id: Optional[str] = None,
         history: Optional[CheckInDataset] = None,
         overflow_strategy: DeltaOverflowStrategy = DeltaOverflowStrategy.FAVOR_PREFERENCES,
     ) -> None:
         self.tree = tree
-        self.server = server
+        self.server = as_forest_provider(server)
         self.user_id = user_id
         self.history = history
         self.overflow_strategy = overflow_strategy

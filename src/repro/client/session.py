@@ -38,8 +38,11 @@ class ObfuscationSession:
     Parameters
     ----------
     client:
-        The underlying :class:`CORGIClient` (provides tree, server and the
-        user's private attributes).
+        The underlying :class:`CORGIClient` (provides tree, forest provider
+        and the user's private attributes).  The provider may sit on any
+        transport — see :mod:`repro.client.transport` — since the session
+        only needs ``generate_privacy_forest`` and the returned forest's
+        ``matrix_for_subtree`` / ``delta``.
     policy:
         The policy in force for the whole session.
     epsilon:

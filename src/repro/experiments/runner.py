@@ -1,10 +1,19 @@
-"""Run every figure experiment end to end.
+"""Run every figure experiment end to end — or serve the workload.
 
 ``python -m repro.experiments.runner --scale small`` reproduces all six
 figures of Section 6.2, prints the result tables and (optionally) writes
 them to a JSON file.  The benchmark harness wraps the same driver functions
 individually; this runner exists so the whole evaluation can be reproduced
 with one command and its output pasted into EXPERIMENTS.md.
+
+``--serve`` switches the runner into serving mode: it builds the same
+workload tree (region, priors, annotations) and exposes it through the
+engine → service → transport stack instead of running experiments.
+``--transport http`` (default) starts the stdlib HTTP JSON server of
+:mod:`repro.service.http` and blocks; ``--transport inprocess`` runs one
+demonstration request through an
+:class:`~repro.client.transport.InProcessTransport` and prints the service
+metrics — a network-free smoke path for CI and scripts.
 """
 
 from __future__ import annotations
@@ -88,6 +97,46 @@ def results_to_json(results: Dict[str, object]) -> Dict[str, object]:
     return payload
 
 
+def serve(config: ExperimentConfig, args: argparse.Namespace) -> int:
+    """Serve the workload tree through the engine → service → transport stack."""
+    from repro.client.transport import InProcessTransport, TransportForestProvider
+    from repro.server.engine import ForestEngine, ServerConfig
+    from repro.service.http import CORGIHTTPServer
+    from repro.service.service import CORGIService
+
+    workload = build_workload(config)
+    server_config = ServerConfig(
+        epsilon=config.epsilon,
+        num_targets=config.num_targets,
+        robust_iterations=config.robust_iterations,
+        solver_method=config.solver_method,
+        max_workers=config.max_workers,
+    )
+    engine = ForestEngine(workload.tree, server_config, targets=workload.targets)
+    service = CORGIService(engine)
+
+    if args.transport == "inprocess":
+        # Network-free smoke path: one coalesced request through the full
+        # client-transport plumbing, then a metrics dump.
+        provider = TransportForestProvider(InProcessTransport(service))
+        privacy_level = min(2, workload.tree.height)
+        forest = provider.generate_privacy_forest(privacy_level, config.delta)
+        print(
+            f"served privacy forest: level={privacy_level} delta={config.delta} "
+            f"subtrees={len(forest)}"
+        )
+        print(json.dumps(service.snapshot(), indent=2, default=str))
+        return 0
+
+    server = CORGIHTTPServer(service, host=args.host, port=args.port)
+    print(f"serving CORGI forests on {server.url} (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.shutdown()
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(description="Reproduce the CORGI evaluation figures")
@@ -107,6 +156,23 @@ def main(argv: Optional[list] = None) -> int:
     )
     parser.add_argument("--output", default=None, help="write results as JSON to this path")
     parser.add_argument("--verbose", action="store_true", help="enable debug logging")
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="serve the workload tree (engine → service → transport) instead of "
+        "running experiments",
+    )
+    parser.add_argument(
+        "--transport",
+        choices=("http", "inprocess"),
+        default="http",
+        help="serving transport: 'http' starts the JSON server and blocks; "
+        "'inprocess' runs one demo request through the client transport and exits",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address for --serve")
+    parser.add_argument(
+        "--port", type=int, default=8350, help="bind port for --serve (0 = ephemeral)"
+    )
     args = parser.parse_args(argv)
 
     configure_cli_logging(verbose=args.verbose)
@@ -115,6 +181,8 @@ def main(argv: Optional[list] = None) -> int:
         if args.workers < 1:
             parser.error("--workers must be >= 1")
         config = config.derive(max_workers=args.workers)
+    if args.serve:
+        return serve(config, args)
     results = run_all(config, only=args.only)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:

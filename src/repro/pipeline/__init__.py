@@ -20,6 +20,8 @@ from repro.pipeline.cache import CacheStats, MatrixCache
 from repro.pipeline.executor import (
     RobustGenerationTask,
     execute_robust_task,
+    execute_robust_task_group,
+    run_robust_task_groups,
     run_robust_tasks,
 )
 from repro.pipeline.fingerprint import (
@@ -29,6 +31,7 @@ from repro.pipeline.fingerprint import (
     fingerprint_fields,
     geometry_fingerprint,
     problem_fingerprint,
+    structure_fingerprint,
 )
 
 __all__ = [
@@ -36,6 +39,8 @@ __all__ = [
     "MatrixCache",
     "RobustGenerationTask",
     "execute_robust_task",
+    "execute_robust_task_group",
+    "run_robust_task_groups",
     "run_robust_tasks",
     "FINGERPRINT_VERSION",
     "array_digest",
@@ -43,4 +48,5 @@ __all__ = [
     "fingerprint_fields",
     "geometry_fingerprint",
     "problem_fingerprint",
+    "structure_fingerprint",
 ]

@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.core.geoind import GeoIndConstraintSet
+from repro.core.lp import ConstraintStructure
 from repro.core.objective import LinearQualityModel
 from repro.core.robust import RobustGenerationResult, RobustMatrixGenerator
 from repro.utils.logging import get_logger
@@ -67,8 +68,19 @@ class RobustGenerationTask:
         )
 
 
-def execute_robust_task(task: RobustGenerationTask) -> RobustGenerationResult:
-    """Run Algorithm 1 for one task (the worker entry point)."""
+def execute_robust_task(
+    task: RobustGenerationTask,
+    *,
+    structure: Optional[ConstraintStructure] = None,
+) -> RobustGenerationResult:
+    """Run Algorithm 1 for one task (the worker entry point).
+
+    ``structure`` optionally injects a pre-built
+    :class:`~repro.core.lp.ConstraintStructure` congruent with the task's
+    constraint pairs, so sibling problems with identical geometry skip the
+    structural assembly; the refreshed coefficients are identical to a cold
+    build, so results do not depend on whether a structure was shared.
+    """
     quality_model = LinearQualityModel(task.cost_matrix, task.priors)
     generator = RobustMatrixGenerator(
         task.node_ids,
@@ -81,11 +93,39 @@ def execute_robust_task(task: RobustGenerationTask) -> RobustGenerationResult:
         rpb_method=task.rpb_method,  # type: ignore[arg-type]
         basis_row=task.basis_row,  # type: ignore[arg-type]
         solver_method=task.solver_method,
+        structure=structure,
         level=task.level,
     )
     result = generator.generate()
     result.matrix.metadata.update(task.metadata)
     return result
+
+
+def execute_robust_task_group(
+    tasks: Sequence[RobustGenerationTask],
+) -> List[RobustGenerationResult]:
+    """Execute a batch of congruent tasks sharing one constraint structure.
+
+    The first graph-constrained task builds the structure; every later task
+    whose pairs match reuses it (refresh-in-place).  Tasks without explicit
+    constraint pairs — the all-pairs formulation, whose constraint set is
+    derived from each task's own distance matrix — run unshared, as do tasks
+    whose geometry turns out not to match (defensive; the caller groups by
+    :func:`~repro.pipeline.fingerprint.structure_fingerprint`, which already
+    prevents that).
+    """
+    structure: Optional[ConstraintStructure] = None
+    results: List[RobustGenerationResult] = []
+    for task in tasks:
+        constraint_set = task.constraint_set()
+        if constraint_set is None:
+            results.append(execute_robust_task(task))
+            continue
+        size = len(task.node_ids)
+        if structure is None or not structure.compatible_with(size, constraint_set):
+            structure = ConstraintStructure(size, constraint_set)
+        results.append(execute_robust_task(task, structure=structure))
+    return results
 
 
 def run_robust_tasks(
@@ -116,3 +156,31 @@ def run_robust_tasks(
             "parallel generation unavailable (%s); falling back to serial", error
         )
         return [execute_robust_task(task) for task in tasks]
+
+
+def run_robust_task_groups(
+    groups: Sequence[Sequence[RobustGenerationTask]],
+    *,
+    max_workers: int = 1,
+) -> List[List[RobustGenerationResult]]:
+    """Execute groups of congruent tasks, serially or across processes.
+
+    Each group shares one constraint structure (built inside the executing
+    worker, so nothing scipy-sparse crosses a process boundary); groups are
+    independent and fan out exactly like individual tasks in
+    :func:`run_robust_tasks`.  Results are returned per group, in group and
+    task order, identical for every worker count.
+    """
+    if max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    groups = [list(group) for group in groups]
+    if max_workers == 1 or len(groups) <= 1:
+        return [execute_robust_task_group(group) for group in groups]
+    try:
+        with ProcessPoolExecutor(max_workers=min(max_workers, len(groups))) as pool:
+            return list(pool.map(execute_robust_task_group, groups))
+    except (OSError, BrokenProcessPool) as error:
+        logger.warning(
+            "parallel generation unavailable (%s); falling back to serial", error
+        )
+        return [execute_robust_task_group(group) for group in groups]

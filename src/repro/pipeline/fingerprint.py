@@ -33,6 +33,7 @@ __all__ = [
     "fingerprint_fields",
     "geometry_fingerprint",
     "problem_fingerprint",
+    "structure_fingerprint",
 ]
 
 
@@ -78,6 +79,26 @@ def constraint_set_digest(constraint_set: Optional[GeoIndConstraintSet]) -> str:
     if constraint_set is None:
         return "all-pairs-default"
     return array_digest(constraint_set.pairs, constraint_set.distances_km)
+
+
+def structure_fingerprint(size: int, constraint_pairs: Optional[np.ndarray]) -> str:
+    """Digest of what a :class:`~repro.core.lp.ConstraintStructure` depends on.
+
+    The structural part of the obfuscation LP — the sparse index pattern of
+    ``A_ub``, the equality block and the right-hand sides — is a function of
+    the location count and the constraint *pairs* only (not of distances,
+    ε, δ or the quality model).  Two problems with equal structure
+    fingerprints are *congruent*: they can share one built structure, which
+    is how sibling sub-trees with identical hexagon geometry avoid repeated
+    structural assembly.  ``None`` pairs (the all-pairs formulation resolved
+    against a per-problem distance matrix) fingerprint to an ``unshared``
+    bucket: such tasks may be *executed* together but never share a
+    structure, because the structure would carry another problem's distances.
+    """
+    if constraint_pairs is None:
+        return f"v{FINGERPRINT_VERSION}:unshared:{int(size)}"
+    pairs = np.ascontiguousarray(np.asarray(constraint_pairs, dtype=np.int64))
+    return f"v{FINGERPRINT_VERSION}:{int(size)}:{array_digest(pairs)}"
 
 
 def geometry_fingerprint(node_ids: Sequence[str], distance_matrix_km: np.ndarray) -> str:

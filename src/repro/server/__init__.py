@@ -9,12 +9,14 @@ learn which sub-tree contains the user.  The resulting
 for customization.
 """
 
+from repro.server.engine import ForestEngine
 from repro.server.messages import ObfuscationRequest, PrivacyForestResponse
 from repro.server.privacy_forest import PrivacyForest
 from repro.server.server import CORGIServer, ServerConfig
 
 __all__ = [
     "CORGIServer",
+    "ForestEngine",
     "ServerConfig",
     "PrivacyForest",
     "ObfuscationRequest",

@@ -1,0 +1,507 @@
+"""The forest engine: pure matrix generation over the pipeline layer.
+
+This module is the *computation* half of the server-side split.  A
+:class:`ForestEngine` knows how to turn ``(privacy_level, δ, ε)`` into a
+:class:`~repro.server.privacy_forest.PrivacyForest` — iterating over every
+node at the privacy level, fingerprinting each per-sub-tree problem,
+serving repeats from the content-addressed
+:class:`~repro.pipeline.cache.MatrixCache`, sharing one
+:class:`~repro.core.lp.ConstraintStructure` across sibling sub-trees with
+congruent geometry, and fanning independent generations out across worker
+processes.  It carries **no request semantics**: validation, coalescing,
+admission control and wire formats live in :mod:`repro.service`, and
+transports in :mod:`repro.service.http` / :mod:`repro.client.transport`.
+
+Configuration ownership: the engine snapshots the :class:`ServerConfig` it
+is given (copy-on-configure), so mutating the caller's config object after
+construction is inert.  Mutating ``engine.config`` *is* supported — every
+result-affecting field is folded into the forest fingerprint and derived
+state (the default target distribution) is re-derived when the fields it
+depends on change — so a config change can never serve a stale forest.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, fields, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.graphapprox import HexNeighborhoodGraph, Weighting
+from repro.core.objective import QualityLossModel, TargetDistribution
+from repro.core.robust import BasisRow, RobustGenerationResult
+from repro.pipeline.cache import CacheStats, MatrixCache
+from repro.pipeline.executor import (
+    RobustGenerationTask,
+    execute_robust_task,
+    run_robust_task_groups,
+)
+from repro.pipeline.fingerprint import (
+    array_digest,
+    constraint_set_digest,
+    fingerprint_fields,
+    problem_fingerprint,
+    structure_fingerprint,
+)
+from repro.server.privacy_forest import PrivacyForest
+from repro.tree.location_tree import LocationTree
+from repro.utils.logging import get_logger
+from repro.utils.timing import Stopwatch, Timer
+
+logger = get_logger(__name__)
+
+
+@dataclass
+class ServerConfig:
+    """Tunable parameters of the server-side matrix generation.
+
+    Attributes
+    ----------
+    epsilon:
+        Default privacy budget ε in km⁻¹ (the paper sweeps 15–20 /km).
+    num_targets:
+        Number of service-target locations sampled from the leaf nodes when a
+        request does not supply its own target distribution (paper:
+        ``NR_TARGET = 49``).
+    robust_iterations:
+        Algorithm 1 iteration count ``t`` (paper: 10; convergence by ~4).
+    use_graph_approximation:
+        Enforce Geo-Ind only on the 12-neighbour graph (True, the paper's
+        efficient formulation) or on every pair (False, the O(K³) baseline
+        formulation used in Fig. 10's comparison).
+    graph_weighting:
+        Edge weighting of the neighbourhood graph (see
+        :class:`~repro.core.graphapprox.HexNeighborhoodGraph`).
+    rpb_method / rpb_basis_row:
+        Reserved-privacy-budget estimator options (Eq. 12 vs Eq. 14).
+    solver_method:
+        scipy ``linprog`` method, threaded through every LP solve.
+    target_seed:
+        Seed for sampling the default target distribution.
+    keep_generation_results:
+        Retain per-sub-tree convergence traces in the forest (used by the
+        convergence experiment; off by default to save memory).
+    max_workers:
+        Worker processes for per-sub-tree generation fan-out; 1 = serial.
+        Results are identical for every value.
+    matrix_cache_entries:
+        Bound on the content-addressed per-sub-tree matrix cache (LRU);
+        0 disables matrix caching.  Snapshot at engine construction — the
+        cache is not resized by later mutation.
+    share_structures:
+        Share one :class:`~repro.core.lp.ConstraintStructure` across sibling
+        sub-trees whose constraint pairs are congruent (the common case for
+        hexagon sub-trees at one level).  Execution strategy only — results
+        are identical either way.
+
+    Mutation semantics
+    ------------------
+    The engine stores a private *copy* of the config it is constructed
+    with, so mutating the original object afterwards has no effect.
+    Mutating ``engine.config`` itself is safe for every result-affecting
+    field: the forest cache key folds all of them in, and the derived
+    default target distribution is refreshed when ``num_targets`` /
+    ``target_seed`` change.  ``max_workers`` and ``share_structures`` take
+    effect on the next build; ``matrix_cache_entries`` is applied only at
+    construction.
+    """
+
+    epsilon: float = 15.0
+    num_targets: int = 49
+    robust_iterations: int = 10
+    use_graph_approximation: bool = True
+    graph_weighting: Weighting = "paper"
+    rpb_method: str = "approx"
+    rpb_basis_row: BasisRow = "real"
+    solver_method: str = "highs"
+    target_seed: int = 13
+    keep_generation_results: bool = False
+    max_workers: int = 1
+    matrix_cache_entries: int = 256
+    share_structures: bool = True
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` for inconsistent settings."""
+        if self.epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        if self.num_targets <= 0:
+            raise ValueError("num_targets must be positive")
+        if self.robust_iterations < 0:
+            raise ValueError("robust_iterations must be non-negative")
+        if self.rpb_method not in ("approx", "exact"):
+            raise ValueError(f"unknown rpb_method {self.rpb_method!r}")
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if self.matrix_cache_entries < 0:
+            raise ValueError("matrix_cache_entries must be non-negative")
+
+
+class ForestEngine:
+    """Pure privacy-forest generation over the pipeline layer.
+
+    Parameters
+    ----------
+    tree:
+        The location tree for the area of interest (step 1 of Figure 1); its
+        leaf priors should already be set from public check-in statistics.
+    config:
+        Generation parameters (defaults follow the paper's experimental
+        setup).  Snapshot at construction — see the mutation-semantics note
+        on :class:`ServerConfig`.
+    targets:
+        Optional explicit service-target distribution; when omitted, targets
+        are sampled uniformly from the tree's leaf centres (and re-derived
+        if ``config.num_targets`` / ``config.target_seed`` are changed).
+    """
+
+    def __init__(
+        self,
+        tree: LocationTree,
+        config: Optional[ServerConfig] = None,
+        *,
+        targets: Optional[TargetDistribution] = None,
+    ) -> None:
+        self.tree = tree
+        # Copy-on-configure: the engine owns its config; the caller keeps theirs.
+        self.config = replace(config) if config is not None else ServerConfig()
+        self.config.validate()
+        self._explicit_targets = targets
+        self._derived_targets: Optional[TargetDistribution] = None
+        self._derived_targets_key: Optional[Tuple[int, int]] = None
+        self._forest_cache: Dict[str, PrivacyForest] = {}
+        self.forest_cache_stats = CacheStats()
+        self.matrix_cache = MatrixCache(self.config.matrix_cache_entries)
+        self._structure_stats: Dict[str, int] = {"groups": 0, "builds": 0, "reuses": 0}
+        self.stopwatch = Stopwatch()
+        # Guards the caches, counters and stopwatch: the engine performs no
+        # request coalescing (that is the service's job) but it must tolerate
+        # concurrent builds for *distinct* keys, which the service runs up to
+        # ``max_in_flight`` of in parallel.  LP work happens outside the lock.
+        self._state_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Target workload
+    # ------------------------------------------------------------------ #
+
+    @property
+    def targets(self) -> TargetDistribution:
+        """The service-target distribution (explicit, or derived and cached).
+
+        Derived targets are keyed on ``(num_targets, target_seed)`` so a
+        config mutation after construction regenerates them instead of
+        serving a distribution built for the old settings.
+        """
+        if self._explicit_targets is not None:
+            return self._explicit_targets
+        key = (int(self.config.num_targets), int(self.config.target_seed))
+        if self._derived_targets is None or self._derived_targets_key != key:
+            self._derived_targets = self._default_targets()
+            self._derived_targets_key = key
+        return self._derived_targets
+
+    @targets.setter
+    def targets(self, value: Optional[TargetDistribution]) -> None:
+        self._explicit_targets = value
+        self._derived_targets = None
+        self._derived_targets_key = None
+
+    def _default_targets(self) -> TargetDistribution:
+        centers = [leaf.center.as_tuple() for leaf in self.tree.leaves()]
+        return TargetDistribution.sample_from_centers(
+            centers,
+            min(self.config.num_targets, len(centers)),
+            seed=self.config.target_seed,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Cache fingerprints
+    # ------------------------------------------------------------------ #
+
+    def _targets_digest(self) -> str:
+        targets = self.targets
+        return array_digest(
+            np.asarray(targets.locations, dtype=float), targets.probabilities
+        )
+
+    #: Config fields that do not affect the generated forest (execution
+    #: strategy / cache sizing only).  Everything else is fingerprinted, so a
+    #: future result-affecting field is keyed automatically — forgetting to
+    #: update this list can only over-invalidate, never serve a stale forest.
+    _NON_RESULT_CONFIG_FIELDS = frozenset(
+        {"epsilon", "max_workers", "matrix_cache_entries", "share_structures"}
+    )
+
+    def _forest_fingerprint(self, privacy_level: int, delta: int, epsilon: float) -> str:
+        """Cache key folding the full effective configuration.
+
+        Every :class:`ServerConfig` field except the explicit non-result list
+        is part of the key (``epsilon`` enters as the per-request effective
+        value), together with the target distribution and the tree's identity
+        and leaf priors — so mutating any result-affecting input between
+        requests can never return a stale forest.
+        """
+        config_fields = {
+            spec.name: getattr(self.config, spec.name)
+            for spec in fields(self.config)
+            if spec.name not in self._NON_RESULT_CONFIG_FIELDS
+        }
+        leaves = self.tree.leaves()
+        return fingerprint_fields(
+            privacy_level=int(privacy_level),
+            delta=int(delta),
+            epsilon=float(epsilon),
+            config=config_fields,
+            targets=self._targets_digest(),
+            tree_root=str(self.tree.root.node_id),
+            tree_leaves=len(leaves),
+            leaf_priors=array_digest(np.array([leaf.prior for leaf in leaves], dtype=float)),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Matrix generation (Algorithm 3)
+    # ------------------------------------------------------------------ #
+
+    def build_forest(
+        self,
+        privacy_level: int,
+        delta: int,
+        *,
+        epsilon: Optional[float] = None,
+        use_cache: bool = True,
+    ) -> PrivacyForest:
+        """Generate (or fetch from cache) the privacy forest for the given parameters."""
+        forest, _ = self.build_forest_traced(
+            privacy_level, delta, epsilon=epsilon, use_cache=use_cache
+        )
+        return forest
+
+    #: Aliases so the engine satisfies the same forest-provider duck type as
+    #: :class:`~repro.server.server.CORGIServer` and
+    #: :class:`~repro.service.service.CORGIService`.
+    generate_privacy_forest = build_forest
+    generate_forest = build_forest
+
+    def build_forest_traced(
+        self,
+        privacy_level: int,
+        delta: int,
+        *,
+        epsilon: Optional[float] = None,
+        use_cache: bool = True,
+    ) -> Tuple[PrivacyForest, bool]:
+        """:meth:`build_forest`, additionally reporting whether the forest cache served it.
+
+        The boolean lets the service layer count engine cache hits without
+        racing on shared counters.
+        """
+        epsilon = float(epsilon if epsilon is not None else self.config.epsilon)
+        if delta < 0:
+            raise ValueError(f"delta must be non-negative, got {delta}")
+        forest_key = self._forest_fingerprint(privacy_level, delta, epsilon)
+        with self._state_lock:
+            if use_cache and forest_key in self._forest_cache:
+                self.forest_cache_stats.hits += 1
+                return self._forest_cache[forest_key], True
+            self.forest_cache_stats.misses += 1
+
+        forest = PrivacyForest(self.tree, privacy_level, delta, epsilon)
+        with Timer() as timer:
+            roots = self.tree.nodes_at_level(privacy_level)
+            prepared = [self._subtree_task(root.node_id, delta, epsilon) for root in roots]
+
+            results: Dict[str, RobustGenerationResult] = {}
+            pending: List[Tuple[RobustGenerationTask, str]] = []
+            for task, problem_key in prepared:
+                if use_cache:
+                    with self._state_lock:
+                        hit = self.matrix_cache.get(problem_key)
+                else:
+                    hit = None
+                if hit is not None:
+                    results[task.key] = hit
+                else:
+                    pending.append((task, problem_key))
+            generated = self._run_pending([task for task, _ in pending])
+            for (task, problem_key), result in zip(pending, generated):
+                if use_cache:
+                    with self._state_lock:
+                        self.matrix_cache.put(problem_key, result)
+                results[task.key] = result
+
+            for root in roots:
+                result = results[root.node_id]
+                forest.add(
+                    root.node_id,
+                    result.matrix,
+                    result if self.config.keep_generation_results else None,
+                )
+        with self._state_lock:
+            elapsed = self.stopwatch.record("forest_generation", timer.elapsed)
+        logger.info(
+            "generated privacy forest: level=%d delta=%d epsilon=%.2f subtrees=%d "
+            "(%d cached, %d solved, %d workers, %.2f s)",
+            privacy_level,
+            delta,
+            epsilon,
+            len(forest),
+            len(forest) - len(pending),
+            len(pending),
+            self.config.max_workers,
+            elapsed,
+        )
+        if use_cache:
+            with self._state_lock:
+                self._forest_cache[forest_key] = forest
+        return forest, False
+
+    def _run_pending(self, tasks: List[RobustGenerationTask]) -> List[RobustGenerationResult]:
+        """Execute uncached sub-tree tasks, sharing structures across congruent siblings.
+
+        Tasks are grouped by :func:`structure_fingerprint`; each group shares
+        one :class:`~repro.core.lp.ConstraintStructure` (the ROADMAP lever —
+        sibling hexagon sub-trees at one level are usually all congruent).
+        When fanning out, groups are split into chunks so structure sharing
+        never *reduces* parallelism below what ungrouped execution had: each
+        worker then builds one structure for its chunk.  Results are in task
+        order and identical to unshared serial execution.
+        """
+        if not tasks:
+            return []
+        if not self.config.share_structures:
+            groups: Dict[str, List[int]] = {f"task-{index}": [index] for index in range(len(tasks))}
+        else:
+            groups = {}
+            for index, task in enumerate(tasks):
+                key = structure_fingerprint(len(task.node_ids), task.constraint_pairs)
+                groups.setdefault(key, []).append(index)
+
+        index_chunks: List[List[int]] = []
+        max_workers = self.config.max_workers
+        chunk_size = len(tasks) if max_workers <= 1 else max(1, math.ceil(len(tasks) / max_workers))
+        for indices in groups.values():
+            for offset in range(0, len(indices), chunk_size):
+                index_chunks.append(indices[offset : offset + chunk_size])
+
+        chunk_results = run_robust_task_groups(
+            [[tasks[index] for index in chunk] for chunk in index_chunks],
+            max_workers=max_workers,
+        )
+        results: List[Optional[RobustGenerationResult]] = [None] * len(tasks)
+        for chunk, chunk_result in zip(index_chunks, chunk_results):
+            for index, result in zip(chunk, chunk_result):
+                results[index] = result
+
+        with self._state_lock:
+            self._structure_stats["groups"] += len(index_chunks)
+            for chunk in index_chunks:
+                constrained = sum(
+                    1 for index in chunk if tasks[index].constraint_pairs is not None
+                )
+                if constrained:
+                    self._structure_stats["builds"] += 1
+                    self._structure_stats["reuses"] += constrained - 1
+        return results  # type: ignore[return-value]
+
+    def _subtree_task(
+        self,
+        subtree_root_id: str,
+        delta: int,
+        epsilon: float,
+    ) -> Tuple[RobustGenerationTask, str]:
+        """Build the picklable generation task and cache key for one sub-tree."""
+        leaves = self.tree.descendant_leaves(subtree_root_id)
+        node_ids = [leaf.node_id for leaf in leaves]
+        cells = [leaf.cell for leaf in leaves]
+        centers = [leaf.center.as_tuple() for leaf in leaves]
+        priors = self.tree.conditional_leaf_priors(node_ids)
+
+        graph = HexNeighborhoodGraph(
+            self.tree.grid,
+            cells,
+            weighting=self.config.graph_weighting,
+        )
+        distance_matrix = graph.euclidean_distance_matrix()
+        constraint_set = graph.constraint_set() if self.config.use_graph_approximation else None
+
+        quality_model = QualityLossModel(centers, self.targets, priors)
+        task = RobustGenerationTask(
+            key=subtree_root_id,
+            node_ids=node_ids,
+            distance_matrix_km=distance_matrix,
+            cost_matrix=quality_model.cost_matrix,
+            priors=quality_model.priors,
+            epsilon=epsilon,
+            delta=int(delta),
+            constraint_pairs=None if constraint_set is None else constraint_set.pairs,
+            constraint_distances_km=None if constraint_set is None else constraint_set.distances_km,
+            constraint_description="custom" if constraint_set is None else constraint_set.description,
+            max_iterations=self.config.robust_iterations,
+            rpb_method=self.config.rpb_method,
+            basis_row=self.config.rpb_basis_row,
+            solver_method=self.config.solver_method,
+            level=0,
+            metadata={"subtree_root": subtree_root_id},
+        )
+        problem_key = problem_fingerprint(
+            node_ids,
+            distance_matrix,
+            epsilon,
+            delta,
+            quality_digest=quality_model.digest(),
+            constraint_digest=constraint_set_digest(constraint_set),
+            weighting=str(self.config.graph_weighting),
+            basis_row=str(self.config.rpb_basis_row),
+            rpb_method=str(self.config.rpb_method),
+            max_iterations=int(self.config.robust_iterations),
+            solver_method=str(self.config.solver_method),
+        )
+        return task, problem_key
+
+    def generate_subtree_matrix(
+        self,
+        subtree_root_id: str,
+        delta: int,
+        epsilon: float,
+    ) -> Tuple:
+        """Generate the robust leaf-level matrix for one sub-tree (Algorithm 1).
+
+        Kept as the uncached single-sub-tree entry point; forest generation
+        goes through the pipeline in :meth:`build_forest`.
+        """
+        task, _ = self._subtree_task(subtree_root_id, delta, epsilon)
+        result = execute_robust_task(task)
+        return result.matrix, result
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def publish_leaf_priors(self, subtree_root_id: str) -> Dict[str, float]:
+        """Leaf priors of one sub-tree (the small vector footnote 5 lets users query)."""
+        leaves = self.tree.descendant_leaves(subtree_root_id)
+        return {leaf.node_id: leaf.prior for leaf in leaves}
+
+    def clear_cache(self) -> None:
+        """Drop every cached privacy forest and per-sub-tree matrix."""
+        with self._state_lock:
+            self._forest_cache.clear()
+            self.matrix_cache.clear()
+
+    def cache_size(self) -> int:
+        """Number of cached forests."""
+        with self._state_lock:
+            return len(self._forest_cache)
+
+    def cache_diagnostics(self) -> Dict[str, object]:
+        """Forest-, matrix- and structure-cache state for monitoring and the perf harness."""
+        with self._state_lock:
+            return {
+                "forest_entries": len(self._forest_cache),
+                "forest_stats": self.forest_cache_stats.as_dict(),
+                "matrix_entries": len(self.matrix_cache),
+                "matrix_stats": self.matrix_cache.stats.as_dict(),
+                "structure_sharing": dict(self._structure_stats),
+                "max_workers": self.config.max_workers,
+            }

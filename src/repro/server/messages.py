@@ -49,11 +49,26 @@ class ObfuscationRequest:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "ObfuscationRequest":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`.
+
+        Every field is coerced to its declared type before construction —
+        notably ``epsilon`` to ``float`` (a JSON producer may well send
+        ``"epsilon": "1.5"``), so ``__post_init__`` validation always runs
+        against a number and a malformed value fails loudly here rather
+        than deep inside the LP layer.  A missing required field raises
+        :class:`ValueError` (not ``KeyError``): it is a malformed payload,
+        and transports map ``ValueError`` to a client error (HTTP 400).
+        """
+        try:
+            privacy_level = payload["privacy_level"]
+            delta = payload["delta"]
+        except KeyError as error:
+            raise ValueError(f"missing required request field {error.args[0]!r}") from None
+        epsilon = payload.get("epsilon")
         return cls(
-            privacy_level=int(payload["privacy_level"]),  # type: ignore[arg-type]
-            delta=int(payload["delta"]),  # type: ignore[arg-type]
-            epsilon=payload.get("epsilon"),  # type: ignore[arg-type]
+            privacy_level=int(privacy_level),  # type: ignore[arg-type]
+            delta=int(delta),  # type: ignore[arg-type]
+            epsilon=None if epsilon is None else float(epsilon),  # type: ignore[arg-type]
         )
 
 

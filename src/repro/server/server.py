@@ -1,4 +1,4 @@
-"""CORGI server (Algorithm 3).
+"""CORGI server (Algorithm 3): the in-process facade over the forest engine.
 
 Given a customization request carrying only the privacy level and the prune
 count δ, the server iterates over every node at the privacy level, collects
@@ -8,117 +8,31 @@ them with Algorithm 1.  The Geo-Ind constraints are formulated on the
 ``d_{i,j}`` are measured in the projected plane so that the graph weights,
 the LP constraints and the violation checks all use one consistent metric.
 
-Matrix generation runs through the pipeline layer of
-:mod:`repro.pipeline`: each per-sub-tree problem is fingerprinted
-(node-set geometry, ε, δ, weighting, basis row, quality-model digest,
-solver knobs) and served from a content-addressed
-:class:`~repro.pipeline.cache.MatrixCache` when an identical problem was
-solved before — across requests, across privacy levels and across ε/δ
-sweeps.  Cache keys fold in the *full* effective configuration, so
-changing any ``ServerConfig`` field that affects the result invalidates
-the entry instead of returning a stale forest (the old
-``(privacy_level, delta, epsilon)`` key could not tell the difference).
-Independent sub-tree generations fan out across worker processes when
-``ServerConfig.max_workers > 1``; results are deterministic and identical
-to the serial path regardless of worker count.
+Since the engine/transport split, the heavy lifting lives in
+:class:`~repro.server.engine.ForestEngine` (pure matrix generation over the
+pipeline layer: fingerprinting, matrix/forest caches, constraint-structure
+sharing across congruent sibling sub-trees, worker fan-out).
+:class:`CORGIServer` remains the stable in-process entry point — it owns an
+engine and forwards to it — while request-level serving concerns
+(validation, single-flight coalescing, batching, admission control,
+metrics) live in :class:`~repro.service.service.CORGIService` and the wire
+transports in :mod:`repro.service.http` / :mod:`repro.client.transport`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
-import numpy as np
-
-from repro.core.graphapprox import HexNeighborhoodGraph, Weighting
-from repro.core.objective import QualityLossModel, TargetDistribution
-from repro.core.robust import BasisRow, RobustGenerationResult
-from repro.pipeline.cache import MatrixCache
-from repro.pipeline.executor import (
-    RobustGenerationTask,
-    execute_robust_task,
-    run_robust_tasks,
-)
-from repro.pipeline.fingerprint import (
-    array_digest,
-    constraint_set_digest,
-    fingerprint_fields,
-    problem_fingerprint,
-)
+from repro.core.objective import TargetDistribution
+from repro.server.engine import ForestEngine, ServerConfig
 from repro.server.messages import ObfuscationRequest, PrivacyForestResponse
 from repro.server.privacy_forest import PrivacyForest
 from repro.tree.location_tree import LocationTree
 from repro.utils.logging import get_logger
-from repro.utils.timing import Stopwatch
 
 logger = get_logger(__name__)
 
-
-@dataclass
-class ServerConfig:
-    """Tunable parameters of the server-side matrix generation.
-
-    Attributes
-    ----------
-    epsilon:
-        Default privacy budget ε in km⁻¹ (the paper sweeps 15–20 /km).
-    num_targets:
-        Number of service-target locations sampled from the leaf nodes when a
-        request does not supply its own target distribution (paper:
-        ``NR_TARGET = 49``).
-    robust_iterations:
-        Algorithm 1 iteration count ``t`` (paper: 10; convergence by ~4).
-    use_graph_approximation:
-        Enforce Geo-Ind only on the 12-neighbour graph (True, the paper's
-        efficient formulation) or on every pair (False, the O(K³) baseline
-        formulation used in Fig. 10's comparison).
-    graph_weighting:
-        Edge weighting of the neighbourhood graph (see
-        :class:`~repro.core.graphapprox.HexNeighborhoodGraph`).
-    rpb_method / rpb_basis_row:
-        Reserved-privacy-budget estimator options (Eq. 12 vs Eq. 14).
-    solver_method:
-        scipy ``linprog`` method, threaded through every LP solve.
-    target_seed:
-        Seed for sampling the default target distribution.
-    keep_generation_results:
-        Retain per-sub-tree convergence traces in the forest (used by the
-        convergence experiment; off by default to save memory).
-    max_workers:
-        Worker processes for per-sub-tree generation fan-out; 1 = serial.
-        Results are identical for every value.
-    matrix_cache_entries:
-        Bound on the content-addressed per-sub-tree matrix cache (LRU);
-        0 disables matrix caching.
-    """
-
-    epsilon: float = 15.0
-    num_targets: int = 49
-    robust_iterations: int = 10
-    use_graph_approximation: bool = True
-    graph_weighting: Weighting = "paper"
-    rpb_method: str = "approx"
-    rpb_basis_row: BasisRow = "real"
-    solver_method: str = "highs"
-    target_seed: int = 13
-    keep_generation_results: bool = False
-    max_workers: int = 1
-    matrix_cache_entries: int = 256
-
-    def validate(self) -> None:
-        """Raise :class:`ValueError` for inconsistent settings."""
-        if self.epsilon <= 0:
-            raise ValueError("epsilon must be positive")
-        if self.num_targets <= 0:
-            raise ValueError("num_targets must be positive")
-        if self.robust_iterations < 0:
-            raise ValueError("robust_iterations must be non-negative")
-        if self.rpb_method not in ("approx", "exact"):
-            raise ValueError(f"unknown rpb_method {self.rpb_method!r}")
-        if self.max_workers < 1:
-            raise ValueError("max_workers must be >= 1")
-        if self.matrix_cache_entries < 0:
-            raise ValueError("matrix_cache_entries must be non-negative")
+__all__ = ["CORGIServer", "ServerConfig", "ForestEngine"]
 
 
 class CORGIServer:
@@ -131,7 +45,10 @@ class CORGIServer:
         leaf priors should already be set from public check-in statistics.
     config:
         Generation parameters (defaults follow the paper's experimental
-        setup).
+        setup).  The engine snapshots the config (copy-on-configure):
+        mutating the object you passed in afterwards is inert, while
+        mutating ``server.config`` invalidates derived state — see
+        :class:`~repro.server.engine.ServerConfig`.
     targets:
         Optional explicit service-target distribution; when omitted, targets
         are sampled uniformly from the tree's leaf centres.
@@ -144,66 +61,44 @@ class CORGIServer:
         *,
         targets: Optional[TargetDistribution] = None,
     ) -> None:
-        self.tree = tree
-        self.config = config or ServerConfig()
-        self.config.validate()
-        self.targets = targets or self._default_targets()
-        self._forest_cache: Dict[str, PrivacyForest] = {}
-        self.matrix_cache = MatrixCache(self.config.matrix_cache_entries)
-        self.stopwatch = Stopwatch()
+        self.engine = ForestEngine(tree, config, targets=targets)
 
     # ------------------------------------------------------------------ #
-    # Target workload
+    # Engine state (delegated)
     # ------------------------------------------------------------------ #
 
-    def _default_targets(self) -> TargetDistribution:
-        centers = [leaf.center.as_tuple() for leaf in self.tree.leaves()]
-        return TargetDistribution.sample_from_centers(
-            centers,
-            min(self.config.num_targets, len(centers)),
-            seed=self.config.target_seed,
-        )
+    @property
+    def tree(self) -> LocationTree:
+        """The location tree served by the engine."""
+        return self.engine.tree
 
-    # ------------------------------------------------------------------ #
-    # Cache fingerprints
-    # ------------------------------------------------------------------ #
+    @property
+    def config(self) -> ServerConfig:
+        """The engine's (owned) configuration."""
+        return self.engine.config
 
-    def _targets_digest(self) -> str:
-        return array_digest(
-            np.asarray(self.targets.locations, dtype=float), self.targets.probabilities
-        )
+    @property
+    def targets(self) -> TargetDistribution:
+        """The service-target distribution used in the LP objective."""
+        return self.engine.targets
 
-    #: Config fields that do not affect the generated forest (execution
-    #: strategy / cache sizing only).  Everything else is fingerprinted, so a
-    #: future result-affecting field is keyed automatically — forgetting to
-    #: update this list can only over-invalidate, never serve a stale forest.
-    _NON_RESULT_CONFIG_FIELDS = frozenset({"epsilon", "max_workers", "matrix_cache_entries"})
+    @targets.setter
+    def targets(self, value: Optional[TargetDistribution]) -> None:
+        self.engine.targets = value
 
-    def _forest_fingerprint(self, privacy_level: int, delta: int, epsilon: float) -> str:
-        """Cache key folding the full effective configuration.
+    @property
+    def matrix_cache(self):
+        """The engine's content-addressed per-sub-tree matrix cache."""
+        return self.engine.matrix_cache
 
-        Every :class:`ServerConfig` field except the explicit non-result list
-        is part of the key (``epsilon`` enters as the per-request effective
-        value), together with the target distribution and the tree's identity
-        and leaf priors — so mutating any result-affecting input between
-        requests can never return a stale forest.
-        """
-        config_fields = {
-            spec.name: getattr(self.config, spec.name)
-            for spec in fields(self.config)
-            if spec.name not in self._NON_RESULT_CONFIG_FIELDS
-        }
-        leaves = self.tree.leaves()
-        return fingerprint_fields(
-            privacy_level=int(privacy_level),
-            delta=int(delta),
-            epsilon=float(epsilon),
-            config=config_fields,
-            targets=self._targets_digest(),
-            tree_root=str(self.tree.root.node_id),
-            tree_leaves=len(leaves),
-            leaf_priors=array_digest(np.array([leaf.prior for leaf in leaves], dtype=float)),
-        )
+    @property
+    def _forest_cache(self) -> Dict[str, PrivacyForest]:
+        return self.engine._forest_cache
+
+    @property
+    def stopwatch(self):
+        """The engine's per-phase stopwatch."""
+        return self.engine.stopwatch
 
     # ------------------------------------------------------------------ #
     # Matrix generation (Algorithm 3)
@@ -218,116 +113,13 @@ class CORGIServer:
         use_cache: bool = True,
     ) -> PrivacyForest:
         """Generate (or fetch from cache) the privacy forest for the given parameters."""
-        epsilon = float(epsilon if epsilon is not None else self.config.epsilon)
-        if delta < 0:
-            raise ValueError(f"delta must be non-negative, got {delta}")
-        forest_key = self._forest_fingerprint(privacy_level, delta, epsilon)
-        if use_cache and forest_key in self._forest_cache:
-            return self._forest_cache[forest_key]
-
-        forest = PrivacyForest(self.tree, privacy_level, delta, epsilon)
-        self.stopwatch.start("forest_generation")
-        roots = self.tree.nodes_at_level(privacy_level)
-        prepared = [self._subtree_task(root.node_id, delta, epsilon) for root in roots]
-
-        results: Dict[str, RobustGenerationResult] = {}
-        pending: List[Tuple[RobustGenerationTask, str]] = []
-        for task, problem_key in prepared:
-            hit = self.matrix_cache.get(problem_key) if use_cache else None
-            if hit is not None:
-                results[task.key] = hit
-            else:
-                pending.append((task, problem_key))
-        generated = run_robust_tasks(
-            [task for task, _ in pending], max_workers=self.config.max_workers
+        return self.engine.build_forest(
+            privacy_level, delta, epsilon=epsilon, use_cache=use_cache
         )
-        for (task, problem_key), result in zip(pending, generated):
-            if use_cache:
-                self.matrix_cache.put(problem_key, result)
-            results[task.key] = result
-
-        for root in roots:
-            result = results[root.node_id]
-            forest.add(
-                root.node_id,
-                result.matrix,
-                result if self.config.keep_generation_results else None,
-            )
-        elapsed = self.stopwatch.stop("forest_generation")
-        logger.info(
-            "generated privacy forest: level=%d delta=%d epsilon=%.2f subtrees=%d "
-            "(%d cached, %d solved, %d workers, %.2f s)",
-            privacy_level,
-            delta,
-            epsilon,
-            len(forest),
-            len(forest) - len(pending),
-            len(pending),
-            self.config.max_workers,
-            elapsed,
-        )
-        if use_cache:
-            self._forest_cache[forest_key] = forest
-        return forest
 
     #: Alias used by callers that think in terms of "the forest" rather than
     #: "the privacy forest" (and by the perf harness).
     generate_forest = generate_privacy_forest
-
-    def _subtree_task(
-        self,
-        subtree_root_id: str,
-        delta: int,
-        epsilon: float,
-    ) -> Tuple[RobustGenerationTask, str]:
-        """Build the picklable generation task and cache key for one sub-tree."""
-        leaves = self.tree.descendant_leaves(subtree_root_id)
-        node_ids = [leaf.node_id for leaf in leaves]
-        cells = [leaf.cell for leaf in leaves]
-        centers = [leaf.center.as_tuple() for leaf in leaves]
-        priors = self.tree.conditional_leaf_priors(node_ids)
-
-        graph = HexNeighborhoodGraph(
-            self.tree.grid,
-            cells,
-            weighting=self.config.graph_weighting,
-        )
-        distance_matrix = graph.euclidean_distance_matrix()
-        constraint_set = graph.constraint_set() if self.config.use_graph_approximation else None
-
-        quality_model = QualityLossModel(centers, self.targets, priors)
-        task = RobustGenerationTask(
-            key=subtree_root_id,
-            node_ids=node_ids,
-            distance_matrix_km=distance_matrix,
-            cost_matrix=quality_model.cost_matrix,
-            priors=quality_model.priors,
-            epsilon=epsilon,
-            delta=int(delta),
-            constraint_pairs=None if constraint_set is None else constraint_set.pairs,
-            constraint_distances_km=None if constraint_set is None else constraint_set.distances_km,
-            constraint_description="custom" if constraint_set is None else constraint_set.description,
-            max_iterations=self.config.robust_iterations,
-            rpb_method=self.config.rpb_method,
-            basis_row=self.config.rpb_basis_row,
-            solver_method=self.config.solver_method,
-            level=0,
-            metadata={"subtree_root": subtree_root_id},
-        )
-        problem_key = problem_fingerprint(
-            node_ids,
-            distance_matrix,
-            epsilon,
-            delta,
-            quality_digest=quality_model.digest(),
-            constraint_digest=constraint_set_digest(constraint_set),
-            weighting=str(self.config.graph_weighting),
-            basis_row=str(self.config.rpb_basis_row),
-            rpb_method=str(self.config.rpb_method),
-            max_iterations=int(self.config.robust_iterations),
-            solver_method=str(self.config.solver_method),
-        )
-        return task, problem_key
 
     def _generate_subtree_matrix(
         self,
@@ -335,22 +127,22 @@ class CORGIServer:
         delta: int,
         epsilon: float,
     ) -> Tuple:
-        """Generate the robust leaf-level matrix for one sub-tree (Algorithm 1).
-
-        Kept as the uncached single-sub-tree entry point; forest generation
-        goes through the pipeline in :meth:`generate_privacy_forest`.
-        """
-        task, _ = self._subtree_task(subtree_root_id, delta, epsilon)
-        result = execute_robust_task(task)
-        return result.matrix, result
+        """Generate the robust leaf-level matrix for one sub-tree (Algorithm 1)."""
+        return self.engine.generate_subtree_matrix(subtree_root_id, delta, epsilon)
 
     # ------------------------------------------------------------------ #
     # Request handling
     # ------------------------------------------------------------------ #
 
     def handle_request(self, request: ObfuscationRequest) -> PrivacyForestResponse:
-        """Serve one user request: generate the forest and package it as a response."""
-        forest = self.generate_privacy_forest(
+        """Serve one user request: generate the forest and package it as a response.
+
+        This is the minimal, concurrency-unaware path; production serving
+        (coalescing, admission control, metrics) goes through
+        :class:`~repro.service.service.CORGIService`, which produces
+        identical responses.
+        """
+        forest = self.engine.build_forest(
             request.privacy_level,
             request.delta,
             epsilon=request.epsilon,
@@ -364,23 +156,16 @@ class CORGIServer:
 
     def publish_leaf_priors(self, subtree_root_id: str) -> Dict[str, float]:
         """Leaf priors of one sub-tree (the small vector footnote 5 lets users query)."""
-        leaves = self.tree.descendant_leaves(subtree_root_id)
-        return {leaf.node_id: leaf.prior for leaf in leaves}
+        return self.engine.publish_leaf_priors(subtree_root_id)
 
     def clear_cache(self) -> None:
         """Drop every cached privacy forest and per-sub-tree matrix."""
-        self._forest_cache.clear()
-        self.matrix_cache.clear()
+        self.engine.clear_cache()
 
     def cache_size(self) -> int:
         """Number of cached forests."""
-        return len(self._forest_cache)
+        return self.engine.cache_size()
 
     def cache_diagnostics(self) -> Dict[str, object]:
         """Forest- and matrix-cache state for monitoring and the perf harness."""
-        return {
-            "forest_entries": len(self._forest_cache),
-            "matrix_entries": len(self.matrix_cache),
-            "matrix_stats": self.matrix_cache.stats.as_dict(),
-            "max_workers": self.config.max_workers,
-        }
+        return self.engine.cache_diagnostics()

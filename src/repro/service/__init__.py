@@ -1,0 +1,30 @@
+"""Serving tier of the CORGI framework: engine ← service ← transport.
+
+The server side is split into three layers (mirroring the persistence /
+logic / control separation the related DB-nets work argues for):
+
+* :class:`~repro.server.engine.ForestEngine` — pure matrix generation over
+  the pipeline layer (no request semantics);
+* :class:`~repro.service.service.CORGIService` — request validation and
+  normalization, single-flight coalescing of identical ``(privacy_level,
+  δ, ε)`` requests, bounded batching, admission control and
+  :class:`~repro.service.metrics.ServiceMetrics`;
+* :mod:`repro.service.http` — a stdlib-only HTTP JSON transport reusing
+  the wire formats of :mod:`repro.server.messages`.
+
+Client-side counterparts (the transport protocol, ``InProcessTransport``
+and ``HTTPTransport``) live in :mod:`repro.client.transport`.
+"""
+
+from repro.service.http import CORGIHTTPServer, serve_http
+from repro.service.metrics import ServiceMetrics
+from repro.service.service import CORGIService, ServiceConfig, ServiceOverloadedError
+
+__all__ = [
+    "CORGIService",
+    "ServiceConfig",
+    "ServiceOverloadedError",
+    "ServiceMetrics",
+    "CORGIHTTPServer",
+    "serve_http",
+]

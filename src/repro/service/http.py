@@ -1,0 +1,232 @@
+"""Stdlib HTTP JSON transport for the CORGI service.
+
+The wire protocol is deliberately tiny and reuses the existing message
+(de)serialisation in :mod:`repro.server.messages` verbatim — the HTTP layer
+adds routing, status codes and JSON framing, nothing else:
+
+* ``POST /forest`` — body: :meth:`ObfuscationRequest.to_dict` JSON;
+  response: :meth:`PrivacyForestResponse.to_dict` JSON.
+* ``POST /forest/batch`` — body: ``{"requests": [<request>, ...]}``;
+  response: ``{"responses": [<response>, ...]}`` (order-aligned).
+* ``GET /healthz`` — liveness probe.
+* ``GET /metrics`` — :meth:`CORGIService.snapshot` JSON.
+* ``GET /priors/<subtree_root_id>`` — published leaf priors (footnote 5).
+
+Error mapping: malformed JSON / invalid parameters → 400, unknown node or
+route → 404, admission-control rejection → 503, anything else → 500.  The
+body of every error is ``{"error": <type>, "detail": <message>}``.
+
+The server is :class:`http.server.ThreadingHTTPServer` — one thread per
+connection, which is exactly the concurrency shape the service layer's
+single-flight gate is built to absorb.  Binding to port 0 picks an
+ephemeral port (exposed via :attr:`CORGIHTTPServer.port`), which the tests
+and examples use to avoid collisions.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.core.exceptions import CORGIError
+from repro.service.service import CORGIService, ServiceOverloadedError
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+__all__ = ["CORGIHTTPServer", "CORGIRequestHandler", "serve_http"]
+
+#: Maximum accepted request-body size (a forest request is a few dozen
+#: bytes; anything larger is a client error or abuse).
+MAX_BODY_BYTES = 1 << 20
+
+
+class CORGIRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests to the owning server's :class:`CORGIService`."""
+
+    server_version = "CORGIService/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> CORGIService:
+        return self.server.corgi_service  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        try:
+            payload = self._read_json()
+            if self.path == "/forest":
+                self._send_json(200, self.service.handle_dict(payload))
+            elif self.path == "/forest/batch":
+                requests = payload.get("requests")
+                if not isinstance(requests, list):
+                    raise ValueError('batch body must be {"requests": [...]}')
+                responses = self.service.handle_batch_dicts(requests)
+                self._send_json(200, {"responses": responses})
+            else:
+                self._send_error(404, "not_found", f"unknown path {self.path!r}")
+        except Exception as error:  # pragma: no cover - thin mapping, each arm tested
+            self._send_mapped_error(error)
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        try:
+            if self.path == "/healthz":
+                self._send_json(200, {"status": "ok"})
+            elif self.path == "/metrics":
+                self._send_json(200, self.service.snapshot())
+            elif self.path.startswith("/priors/"):
+                subtree_root_id = self.path[len("/priors/") :]
+                self._send_json(200, self.service.publish_leaf_priors(subtree_root_id))
+            else:
+                self._send_error(404, "not_found", f"unknown path {self.path!r}")
+        except Exception as error:
+            self._send_mapped_error(error)
+
+    # ------------------------------------------------------------------ #
+    # Framing helpers
+    # ------------------------------------------------------------------ #
+
+    def _read_json(self) -> Dict[str, object]:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise ValueError("request body required")
+        if length > MAX_BODY_BYTES:
+            # The oversized body is left unread; keeping the connection alive
+            # would make the next keep-alive request parse it as garbage.
+            self.close_connection = True
+            raise ValueError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        body = self.rfile.read(length)
+        payload = json.loads(body)
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def _send_json(self, status: int, payload: object) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, status: int, error: str, detail: str) -> None:
+        self._send_json(status, {"error": error, "detail": detail})
+
+    def _send_mapped_error(self, error: Exception) -> None:
+        if isinstance(error, ServiceOverloadedError):
+            self._send_error(503, "overloaded", str(error))
+        elif isinstance(error, (json.JSONDecodeError, ValueError, TypeError)):
+            self._send_error(400, "bad_request", str(error))
+        elif isinstance(error, KeyError):
+            self._send_error(404, "not_found", str(error))
+        else:
+            logger.exception("unhandled error serving %s %s", self.command, self.path)
+            kind = "corgi_error" if isinstance(error, CORGIError) else "internal_error"
+            self._send_error(500, kind, str(error))
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        # Route the stdlib's per-request stderr chatter through our logger.
+        logger.debug("%s - %s", self.address_string(), format % args)
+
+
+class CORGIHTTPServer:
+    """A threaded HTTP server wrapping one :class:`CORGIService`.
+
+    Parameters
+    ----------
+    service:
+        The service to expose.  A
+        :class:`~repro.server.server.CORGIServer` or
+        :class:`~repro.server.engine.ForestEngine` is also accepted and
+        wrapped in a default-configured service.
+    host / port:
+        Bind address; ``port=0`` selects an ephemeral port, available as
+        :attr:`port` after construction.
+
+    Usage::
+
+        with CORGIHTTPServer(service, port=0) as server:
+            transport = HTTPTransport(server.url)
+            ...
+
+    or non-blocking: :meth:`start` runs ``serve_forever`` on a daemon
+    thread and :meth:`shutdown` stops it.
+    """
+
+    def __init__(self, service: CORGIService, host: str = "127.0.0.1", port: int = 0) -> None:
+        if not isinstance(service, CORGIService):
+            service = CORGIService(service)
+        self.service = service
+        self._httpd = ThreadingHTTPServer((host, port), CORGIRequestHandler)
+        self._httpd.corgi_service = service  # type: ignore[attr-defined]
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ #
+    # Address
+    # ------------------------------------------------------------------ #
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` pair."""
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def host(self) -> str:
+        return self.address[0]
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should point an ``HTTPTransport`` at."""
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> "CORGIHTTPServer":
+        """Serve on a background daemon thread and return immediately."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="corgi-http", daemon=True
+        )
+        self._thread.start()
+        logger.info("CORGI HTTP service listening on %s", self.url)
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown` (blocking)."""
+        logger.info("CORGI HTTP service listening on %s", self.url)
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "CORGIHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+
+def serve_http(
+    service: CORGIService, host: str = "127.0.0.1", port: int = 0
+) -> CORGIHTTPServer:
+    """Start a background HTTP server for *service* and return it."""
+    return CORGIHTTPServer(service, host=host, port=port).start()

@@ -1,0 +1,351 @@
+"""The CORGI service front: request semantics over the forest engine.
+
+Figure 1's trust model is an explicit client/server protocol, and a server
+facing millions of users needs more than a callable engine.  The
+:class:`CORGIService` wraps a :class:`~repro.server.engine.ForestEngine`
+with exactly the concerns a serving tier owns:
+
+* **validation / normalization** — wire payloads are coerced into
+  well-typed :class:`~repro.server.messages.ObfuscationRequest` objects and
+  the effective ε is resolved *before* keying, so ``epsilon: null`` and an
+  explicit default coalesce to the same build;
+* **single-flight coalescing** — concurrent identical ``(privacy_level, δ,
+  ε)`` requests share one forest build: the first caller becomes the
+  *leader* and runs the engine, everyone else waits on the leader's result
+  (millions of users request the handful of sanctioned parameter
+  combinations, so this is the difference between one LP campaign and N);
+* **bounded batching** — :meth:`handle_batch` deduplicates identical
+  requests inside one batch and bounds the number of distinct builds a
+  single batch may demand;
+* **admission control** — at most ``max_in_flight`` engine builds run
+  concurrently and at most ``max_queue_depth`` further *distinct* builds
+  may wait; beyond that the service fails fast with
+  :class:`ServiceOverloadedError` (HTTP 503 on the wire) instead of
+  accumulating unbounded work;
+* **metrics** — per-request latency percentiles and coalesce/cache-hit
+  counters (:class:`~repro.service.metrics.ServiceMetrics`).
+
+The service is transport-agnostic: :mod:`repro.service.http` exposes it
+over stdlib HTTP, and :class:`~repro.client.transport.InProcessTransport`
+calls it directly.  It also satisfies the ``generate_privacy_forest`` duck
+type, so a :class:`~repro.client.client.CORGIClient` can sit right on top
+of it and benefit from coalescing without any wire format in between.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.exceptions import CORGIError
+from repro.server.engine import ForestEngine
+from repro.server.messages import ObfuscationRequest, PrivacyForestResponse
+from repro.server.privacy_forest import PrivacyForest
+from repro.service.metrics import ServiceMetrics
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+__all__ = [
+    "CORGIService",
+    "ServiceConfig",
+    "ServiceOverloadedError",
+]
+
+
+class ServiceOverloadedError(CORGIError):
+    """The service is at capacity (admission control rejected the request).
+
+    Transports map this to HTTP 503; in-process callers should back off and
+    retry.  Carrying a dedicated type (rather than a generic ``RuntimeError``)
+    lets callers distinguish overload from request errors.
+    """
+
+
+@dataclass
+class ServiceConfig:
+    """Serving-tier knobs (the engine has its own :class:`ServerConfig`).
+
+    Attributes
+    ----------
+    max_in_flight:
+        Maximum number of engine builds running concurrently.  Coalesced
+        followers do not consume a slot — only build leaders do.
+    max_queue_depth:
+        Maximum number of *additional* distinct builds allowed to wait for
+        a slot; a new distinct request beyond ``max_in_flight +
+        max_queue_depth`` is rejected with :class:`ServiceOverloadedError`.
+    max_batch_size:
+        Upper bound on the number of *distinct* builds one
+        :meth:`CORGIService.handle_batch` call may trigger (duplicates
+        inside the batch are deduplicated first and don't count).
+    latency_window:
+        Number of latency observations retained for percentile reporting.
+    """
+
+    max_in_flight: int = 4
+    max_queue_depth: int = 32
+    max_batch_size: int = 16
+    latency_window: int = 4096
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` for inconsistent settings."""
+        if self.max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        if self.max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be non-negative")
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.latency_window < 1:
+            raise ValueError("latency_window must be >= 1")
+
+
+class _InFlightBuild:
+    """Rendezvous for one in-progress forest build (single-flight entry)."""
+
+    __slots__ = ("event", "forest", "error", "followers")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.forest: Optional[PrivacyForest] = None
+        self.error: Optional[BaseException] = None
+        self.followers = 0
+
+
+#: Normalized request identity: ``(privacy_level, delta, effective_epsilon)``.
+RequestKey = Tuple[int, int, float]
+
+
+class CORGIService:
+    """Batched, single-flight request front for one forest engine.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.server.engine.ForestEngine` to serve.  A
+        :class:`~repro.server.server.CORGIServer` is also accepted (its
+        engine is unwrapped), so existing setup code migrates with one line.
+    config:
+        Serving-tier limits; defaults are sized for a small deployment.
+    """
+
+    def __init__(
+        self,
+        engine: ForestEngine,
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        inner = getattr(engine, "engine", None)
+        self.engine: ForestEngine = inner if isinstance(inner, ForestEngine) else engine
+        if not isinstance(self.engine, ForestEngine):
+            raise TypeError(
+                f"engine must be a ForestEngine or CORGIServer, got {type(engine).__name__}"
+            )
+        self.config = config or ServiceConfig()
+        self.config.validate()
+        self.metrics = ServiceMetrics(self.config.latency_window)
+        self._lock = threading.Lock()
+        self._inflight: Dict[RequestKey, _InFlightBuild] = {}
+        self._pending_leaders = 0
+        self._build_slots = threading.BoundedSemaphore(self.config.max_in_flight)
+
+    # ------------------------------------------------------------------ #
+    # Validation / normalization
+    # ------------------------------------------------------------------ #
+
+    def normalize(self, request: ObfuscationRequest) -> RequestKey:
+        """Validate a request against the served tree and resolve its identity.
+
+        The effective ε (request override or engine default) is folded into
+        the key so that requests that *mean* the same build coalesce even
+        when one spells the default out and the other omits it.
+
+        Raises
+        ------
+        ValueError
+            For a privacy level outside the tree, or out-of-range δ/ε (the
+            message dataclass has already vetted its own fields).
+        """
+        privacy_level = int(request.privacy_level)
+        if not 0 <= privacy_level <= self.engine.tree.height:
+            raise ValueError(
+                f"privacy_level must be in [0, {self.engine.tree.height}], got {privacy_level}"
+            )
+        epsilon = request.epsilon if request.epsilon is not None else self.engine.config.epsilon
+        return (privacy_level, int(request.delta), float(epsilon))
+
+    # ------------------------------------------------------------------ #
+    # Single-flight forest acquisition
+    # ------------------------------------------------------------------ #
+
+    def generate_privacy_forest(
+        self,
+        privacy_level: int,
+        delta: int,
+        *,
+        epsilon: Optional[float] = None,
+        use_cache: bool = True,
+    ) -> PrivacyForest:
+        """Forest-provider duck type: coalesced access for in-process clients.
+
+        ``use_cache`` is accepted for signature compatibility with
+        :class:`~repro.server.server.CORGIServer` but a coalesced service
+        always uses the engine caches — bypassing them per-request would let
+        one caller force redundant work onto everyone coalesced with it.
+        """
+        del use_cache
+        request = ObfuscationRequest(
+            privacy_level=int(privacy_level),
+            delta=int(delta),
+            epsilon=None if epsilon is None else float(epsilon),
+        )
+        return self._forest_for(self.normalize(request))
+
+    generate_forest = generate_privacy_forest
+
+    def _forest_for(self, key: RequestKey) -> PrivacyForest:
+        """Serve one normalized request through the single-flight gate."""
+        privacy_level, delta, epsilon = key
+        start = time.perf_counter()
+        self.metrics.increment("requests")
+        with self._lock:
+            entry = self._inflight.get(key)
+            if entry is None:
+                if self._pending_leaders >= self.config.max_in_flight + self.config.max_queue_depth:
+                    self.metrics.increment("rejected")
+                    raise ServiceOverloadedError(
+                        f"service at capacity: {self.config.max_in_flight} builds in flight "
+                        f"and {self.config.max_queue_depth} queued"
+                    )
+                entry = _InFlightBuild()
+                self._inflight[key] = entry
+                self._pending_leaders += 1
+                leader = True
+            else:
+                entry.followers += 1
+                leader = False
+
+        if not leader:
+            self.metrics.increment("coalesced")
+            entry.event.wait()
+            self.metrics.observe_latency(time.perf_counter() - start)
+            if entry.error is not None:
+                raise entry.error
+            assert entry.forest is not None
+            return entry.forest
+
+        try:
+            with self._build_slots:
+                forest, cached = self.engine.build_forest_traced(
+                    privacy_level, delta, epsilon=epsilon
+                )
+            entry.forest = forest
+            self.metrics.increment("engine_cache_hits" if cached else "engine_builds")
+        except BaseException as error:
+            entry.error = error
+            self.metrics.increment("failed")
+            raise
+        finally:
+            with self._lock:
+                self._pending_leaders -= 1
+                self._inflight.pop(key, None)
+            entry.event.set()
+            self.metrics.observe_latency(time.perf_counter() - start)
+        if entry.followers:
+            logger.debug(
+                "single-flight: level=%d delta=%d epsilon=%.3f served %d coalesced followers",
+                privacy_level,
+                delta,
+                epsilon,
+                entry.followers,
+            )
+        return forest
+
+    # ------------------------------------------------------------------ #
+    # Request handling
+    # ------------------------------------------------------------------ #
+
+    def handle(self, request: ObfuscationRequest) -> PrivacyForestResponse:
+        """Serve one request end to end and package the forest as a response."""
+        key = self.normalize(request)
+        forest = self._forest_for(key)
+        return self._package(forest)
+
+    def handle_dict(self, payload: Mapping[str, object]) -> Dict[str, object]:
+        """Wire-level entry point: dict in, dict out (used by the HTTP transport)."""
+        request = ObfuscationRequest.from_dict(payload)
+        return self.handle(request).to_dict()
+
+    def handle_batch(
+        self, requests: Sequence[ObfuscationRequest]
+    ) -> List[PrivacyForestResponse]:
+        """Serve a batch of requests, deduplicating identical ones.
+
+        Identical requests inside the batch share one build (intra-batch
+        coalescing, counted as ``batch_coalesced``); distinct builds still
+        pass through the single-flight gate, so two concurrent batches
+        asking for the same forest also share work.  A batch demanding more
+        than ``max_batch_size`` *distinct* builds is rejected outright.
+
+        Distinct builds fan out across at most ``max_in_flight`` threads —
+        running them sequentially would leave the build slots the service
+        was configured with idle — and since this batch can occupy at most
+        that many leader slots at once, it can never trip its own
+        admission control.
+        """
+        self.metrics.increment("batches")
+        self.metrics.increment("batch_requests", len(requests))
+        keys = [self.normalize(request) for request in requests]
+        distinct = list(dict.fromkeys(keys))
+        if len(distinct) > self.config.max_batch_size:
+            self.metrics.increment("rejected")
+            raise ServiceOverloadedError(
+                f"batch demands {len(distinct)} distinct builds; "
+                f"max_batch_size is {self.config.max_batch_size}"
+            )
+        self.metrics.increment("batch_coalesced", len(keys) - len(distinct))
+        if len(distinct) <= 1:
+            forests = {key: self._forest_for(key) for key in distinct}
+        else:
+            workers = min(len(distinct), self.config.max_in_flight)
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                forests = dict(zip(distinct, pool.map(self._forest_for, distinct)))
+        return [self._package(forests[key]) for key in keys]
+
+    def handle_batch_dicts(
+        self, payloads: Sequence[Mapping[str, object]]
+    ) -> List[Dict[str, object]]:
+        """Wire-level batch entry point: list of dicts in, list of dicts out."""
+        requests = [ObfuscationRequest.from_dict(payload) for payload in payloads]
+        return [response.to_dict() for response in self.handle_batch(requests)]
+
+    @staticmethod
+    def _package(forest: PrivacyForest) -> PrivacyForestResponse:
+        return PrivacyForestResponse(
+            privacy_level=forest.privacy_level,
+            delta=forest.delta,
+            epsilon=forest.epsilon,
+            matrices={root_id: matrix for root_id, matrix in forest},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def publish_leaf_priors(self, subtree_root_id: str) -> Dict[str, float]:
+        """Leaf priors of one sub-tree (exposed on the wire as ``/priors/<id>``)."""
+        return self.engine.publish_leaf_priors(subtree_root_id)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Service metrics plus engine cache diagnostics, JSON-friendly."""
+        return {
+            "service": self.metrics.snapshot(),
+            "engine": self.engine.cache_diagnostics(),
+            "limits": {
+                "max_in_flight": self.config.max_in_flight,
+                "max_queue_depth": self.config.max_queue_depth,
+                "max_batch_size": self.config.max_batch_size,
+            },
+        }

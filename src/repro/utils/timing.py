@@ -62,6 +62,17 @@ class Stopwatch:
         self.segments[name] = self.segments.get(name, 0.0) + elapsed
         return elapsed
 
+    def record(self, name: str, seconds: float) -> float:
+        """Accumulate an externally measured duration into segment *name*.
+
+        Unlike the :meth:`start`/:meth:`stop` pair this has no shared
+        pending-start state, so concurrent callers (e.g. parallel engine
+        builds, each timing itself with a local :class:`Timer`) can safely
+        record into the same stopwatch when the caller serialises the call.
+        """
+        self.segments[name] = self.segments.get(name, 0.0) + float(seconds)
+        return float(seconds)
+
     def total(self) -> float:
         """Total seconds across all recorded segments."""
         return float(sum(self.segments.values()))

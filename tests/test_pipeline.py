@@ -22,7 +22,11 @@ from repro.core.robust import (
     reserved_privacy_budget_exact,
 )
 from repro.pipeline.cache import MatrixCache
-from repro.pipeline.executor import RobustGenerationTask, run_robust_tasks
+from repro.pipeline.executor import (
+    RobustGenerationTask,
+    run_robust_task_groups,
+    run_robust_tasks,
+)
 from repro.pipeline.fingerprint import (
     array_digest,
     constraint_set_digest,
@@ -302,6 +306,17 @@ class TestExecutor:
         with pytest.raises(ValueError):
             run_robust_tasks(self._tasks(small_location_set), max_workers=0)
 
+    def test_grouped_equals_ungrouped(self, small_location_set):
+        """Sharing one structure across a group changes nothing in the results."""
+        tasks = self._tasks(small_location_set)
+        ungrouped = run_robust_tasks(tasks, max_workers=1)
+        [grouped] = run_robust_task_groups([tasks], max_workers=1)
+        split = run_robust_task_groups([[task] for task in tasks], max_workers=2)
+        for reference, shared, solo in zip(ungrouped, grouped, [r for g in split for r in g]):
+            assert np.array_equal(reference.matrix.values, shared.matrix.values)
+            assert np.array_equal(reference.matrix.values, solo.matrix.values)
+            assert reference.objective_history == shared.objective_history
+
 
 @pytest.fixture()
 def pipeline_server(small_tree_with_priors):
@@ -329,6 +344,37 @@ class TestServerPipeline:
         pipeline_server.config.rpb_basis_row = "max"
         third = pipeline_server.generate_privacy_forest(privacy_level=1, delta=1)
         assert third is not second
+
+    def test_external_config_mutation_is_inert(self, small_tree_with_priors):
+        """Satellite fix: the server snapshots its config (copy-on-configure).
+
+        Mutating the config object the caller constructed the server with
+        must neither change the server's behaviour nor poison its caches —
+        the server owns a private copy.
+        """
+        config = ServerConfig(epsilon=2.0, num_targets=5, robust_iterations=2)
+        server = CORGIServer(small_tree_with_priors, config)
+        first = server.generate_privacy_forest(privacy_level=1, delta=1)
+        config.robust_iterations = 1  # the caller's object, not the server's
+        assert server.config.robust_iterations == 2
+        second = server.generate_privacy_forest(privacy_level=1, delta=1)
+        assert first is second  # same fingerprint, cache hit
+
+    def test_target_config_mutation_refreshes_derived_targets(self, small_tree_with_priors):
+        """Mutating num_targets/target_seed on the server's own config must
+        regenerate the derived target distribution (not serve one built for
+        the old settings) and invalidate cached forests."""
+        server = CORGIServer(
+            small_tree_with_priors,
+            ServerConfig(epsilon=2.0, num_targets=5, robust_iterations=1),
+        )
+        first = server.generate_privacy_forest(privacy_level=1, delta=0)
+        old_targets = server.targets
+        server.config.num_targets = 3
+        assert server.targets is not old_targets
+        assert server.targets.size == 3
+        second = server.generate_privacy_forest(privacy_level=1, delta=0)
+        assert first is not second
 
     def test_prior_change_invalidates_cache(self, pipeline_server):
         first = pipeline_server.generate_privacy_forest(privacy_level=1, delta=0)

@@ -1,0 +1,473 @@
+"""Tests for the engine/service/transport split.
+
+Covers the wire-format round-trips (satellite), single-flight coalescing
+and admission control in :class:`CORGIService`, intra-batch deduplication,
+constraint-structure sharing across congruent sibling sub-trees, and the
+end-to-end client-over-HTTP path against a live ``ThreadingHTTPServer`` on
+an ephemeral port — including the acceptance check that HTTP and
+in-process transports return byte-identical forests.
+"""
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.client.client import CORGIClient
+from repro.client.transport import (
+    HTTPTransport,
+    InProcessTransport,
+    TransportError,
+    TransportForestProvider,
+    as_forest_provider,
+)
+from repro.policy.policy import Policy
+from repro.server.engine import ForestEngine, ServerConfig
+from repro.server.messages import ObfuscationRequest, PrivacyForestResponse
+from repro.service.http import CORGIHTTPServer
+from repro.service.metrics import ServiceMetrics
+from repro.service.service import CORGIService, ServiceConfig, ServiceOverloadedError
+
+
+@pytest.fixture()
+def engine(small_tree_with_priors):
+    return ForestEngine(
+        small_tree_with_priors,
+        ServerConfig(epsilon=2.0, num_targets=5, robust_iterations=1),
+    )
+
+
+@pytest.fixture()
+def service(engine):
+    return CORGIService(engine)
+
+
+# --------------------------------------------------------------------- #
+# Satellite: request message coercion
+# --------------------------------------------------------------------- #
+
+
+class TestRequestCoercion:
+    def test_epsilon_string_coerced_to_float(self):
+        request = ObfuscationRequest.from_dict(
+            {"privacy_level": 1, "delta": 2, "epsilon": "1.5"}
+        )
+        assert isinstance(request.epsilon, float)
+        assert request.epsilon == 1.5
+
+    def test_coerced_epsilon_is_validated(self):
+        with pytest.raises(ValueError):
+            ObfuscationRequest.from_dict(
+                {"privacy_level": 1, "delta": 2, "epsilon": "-3"}
+            )
+        with pytest.raises(ValueError):
+            ObfuscationRequest.from_dict({"privacy_level": 1, "delta": 2, "epsilon": 0})
+
+    def test_unparseable_epsilon_fails_loudly(self):
+        with pytest.raises(ValueError):
+            ObfuscationRequest.from_dict(
+                {"privacy_level": 1, "delta": 2, "epsilon": "soon"}
+            )
+
+    def test_missing_epsilon_stays_none(self):
+        request = ObfuscationRequest.from_dict({"privacy_level": 1, "delta": 2})
+        assert request.epsilon is None
+
+    def test_missing_required_field_is_value_error(self):
+        with pytest.raises(ValueError, match="privacy_level"):
+            ObfuscationRequest.from_dict({"delta": 1})
+
+
+# --------------------------------------------------------------------- #
+# Satellite: wire-format round-trips through real JSON
+# --------------------------------------------------------------------- #
+
+
+class TestWireRoundTrips:
+    def test_request_roundtrip_through_json(self):
+        request = ObfuscationRequest(privacy_level=2, delta=3, epsilon=1.25)
+        restored = ObfuscationRequest.from_dict(
+            json.loads(json.dumps(request.to_dict()))
+        )
+        assert restored == request
+
+    def test_response_roundtrip_through_json(self, engine):
+        response = CORGIService(engine).handle(
+            ObfuscationRequest(privacy_level=1, delta=1)
+        )
+        restored = PrivacyForestResponse.from_dict(
+            json.loads(json.dumps(response.to_dict()))
+        )
+        assert restored.privacy_level == response.privacy_level
+        assert restored.delta == response.delta
+        assert restored.epsilon == response.epsilon
+        assert set(restored.matrices) == set(response.matrices)
+        for root_id, matrix in response.matrices.items():
+            other = restored.matrices[root_id]
+            assert other.node_ids == matrix.node_ids
+            assert np.array_equal(other.values, matrix.values)
+        # The canonical JSON of both responses is identical (floats
+        # round-trip exactly through json.dumps/loads).
+        assert json.dumps(restored.to_dict(), sort_keys=True) == json.dumps(
+            response.to_dict(), sort_keys=True
+        )
+
+
+# --------------------------------------------------------------------- #
+# Service: validation, single-flight, admission control, batching
+# --------------------------------------------------------------------- #
+
+
+class TestServiceValidation:
+    def test_accepts_corgi_server(self, small_tree_with_priors):
+        from repro.server.server import CORGIServer
+
+        server = CORGIServer(
+            small_tree_with_priors,
+            ServerConfig(epsilon=2.0, num_targets=5, robust_iterations=1),
+        )
+        service = CORGIService(server)
+        assert service.engine is server.engine
+
+    def test_rejects_non_engine(self):
+        with pytest.raises(TypeError):
+            CORGIService(object())
+
+    def test_privacy_level_out_of_range(self, service):
+        with pytest.raises(ValueError):
+            service.handle(ObfuscationRequest(privacy_level=9, delta=0))
+
+    def test_default_epsilon_coalesces_with_explicit(self, service, engine):
+        implicit = service.normalize(ObfuscationRequest(privacy_level=1, delta=0))
+        explicit = service.normalize(
+            ObfuscationRequest(privacy_level=1, delta=0, epsilon=engine.config.epsilon)
+        )
+        assert implicit == explicit
+
+    def test_service_config_validation(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(max_in_flight=0).validate()
+        with pytest.raises(ValueError):
+            ServiceConfig(max_queue_depth=-1).validate()
+        with pytest.raises(ValueError):
+            ServiceConfig(max_batch_size=0).validate()
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_requests_build_once(self, service, engine):
+        """Acceptance: N concurrent identical requests → exactly one engine build."""
+        num_threads = 6
+        barrier = threading.Barrier(num_threads)
+        original = engine.build_forest_traced
+
+        def slow_build(*args, **kwargs):
+            time.sleep(0.25)  # hold the build open so followers pile up
+            return original(*args, **kwargs)
+
+        engine.build_forest_traced = slow_build
+        forests = [None] * num_threads
+        errors = []
+
+        def worker(index):
+            try:
+                barrier.wait(timeout=10)
+                forests[index] = service.generate_privacy_forest(1, 1)
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(num_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        engine.build_forest_traced = original
+
+        assert not errors
+        assert all(forest is not None for forest in forests)
+        # Everyone got the same forest object from the one build.
+        assert all(forest is forests[0] for forest in forests)
+        assert service.metrics.count("engine_builds") == 1
+        assert service.metrics.count("coalesced") == num_threads - 1
+        assert service.metrics.count("requests") == num_threads
+
+    def test_leader_error_propagates_to_followers(self, service, engine):
+        started = threading.Event()
+
+        def failing_build(*args, **kwargs):
+            started.set()
+            time.sleep(0.1)
+            raise RuntimeError("solver exploded")
+
+        engine.build_forest_traced = failing_build
+        results = []
+
+        def follower():
+            started.wait(timeout=5)
+            with pytest.raises(RuntimeError):
+                service.generate_privacy_forest(1, 1)
+            results.append("follower-raised")
+
+        thread = threading.Thread(target=follower)
+        thread.start()
+        with pytest.raises(RuntimeError):
+            service.generate_privacy_forest(1, 1)
+        thread.join(timeout=10)
+        assert service.metrics.count("failed") >= 1
+
+    def test_sequential_repeat_is_engine_cache_hit(self, service):
+        first = service.generate_privacy_forest(1, 1)
+        second = service.generate_privacy_forest(1, 1)
+        assert first is second
+        assert service.metrics.count("engine_builds") == 1
+        assert service.metrics.count("engine_cache_hits") == 1
+
+
+class TestAdmissionControl:
+    def test_overload_rejected(self, engine):
+        service = CORGIService(
+            engine, ServiceConfig(max_in_flight=1, max_queue_depth=0)
+        )
+        release = threading.Event()
+        entered = threading.Event()
+
+        def slow_build(*args, **kwargs):
+            entered.set()
+            release.wait(timeout=10)
+            return engine_build(*args, **kwargs)
+
+        engine_build = engine.build_forest_traced
+        engine.build_forest_traced = slow_build
+
+        def leader():
+            service.generate_privacy_forest(1, 0)
+
+        thread = threading.Thread(target=leader)
+        thread.start()
+        assert entered.wait(timeout=5)
+        # A *distinct* build beyond max_in_flight + max_queue_depth is refused.
+        with pytest.raises(ServiceOverloadedError):
+            service.generate_privacy_forest(1, 1)
+        assert service.metrics.count("rejected") == 1
+        release.set()
+        thread.join(timeout=30)
+        # After the backlog drains, the service admits work again.
+        assert service.generate_privacy_forest(1, 0) is not None
+
+
+class TestBatching:
+    def test_batch_deduplicates_identical_requests(self, service):
+        requests = [
+            ObfuscationRequest(privacy_level=1, delta=1),
+            ObfuscationRequest(privacy_level=1, delta=1, epsilon=2.0),  # same effective key
+            ObfuscationRequest(privacy_level=1, delta=0),
+        ]
+        responses = service.handle_batch(requests)
+        assert len(responses) == 3
+        assert responses[0].to_dict() == responses[1].to_dict()
+        assert service.metrics.count("batch_coalesced") == 1
+        assert service.metrics.count("engine_builds") == 2
+
+    def test_oversized_batch_rejected(self, engine):
+        service = CORGIService(engine, ServiceConfig(max_batch_size=1))
+        with pytest.raises(ServiceOverloadedError):
+            service.handle_batch(
+                [
+                    ObfuscationRequest(privacy_level=1, delta=0),
+                    ObfuscationRequest(privacy_level=1, delta=1),
+                ]
+            )
+
+
+class TestServiceMetrics:
+    def test_unknown_counter_rejected(self):
+        with pytest.raises(KeyError):
+            ServiceMetrics().increment("typo")
+
+    def test_percentiles_empty_window(self):
+        assert ServiceMetrics().latency_percentiles() == {}
+
+    def test_percentiles_ordering(self):
+        metrics = ServiceMetrics()
+        for value in range(1, 101):
+            metrics.observe_latency(value / 100.0)
+        percentiles = metrics.latency_percentiles()
+        assert percentiles["p50"] == pytest.approx(0.50)
+        assert percentiles["p90"] == pytest.approx(0.90)
+        assert percentiles["p99"] == pytest.approx(0.99)
+
+    def test_percentiles_nearest_rank_on_odd_window(self):
+        # Nearest-rank p50 of 5 samples is the median (3rd smallest), not
+        # the 2nd — guards against banker's-rounding rank selection.
+        metrics = ServiceMetrics()
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0):
+            metrics.observe_latency(value)
+        assert metrics.latency_percentiles()["p50"] == pytest.approx(3.0)
+
+    def test_snapshot_shape(self, service):
+        service.generate_privacy_forest(1, 0)
+        snapshot = service.snapshot()
+        assert snapshot["service"]["requests"] == 1
+        assert "structure_sharing" in snapshot["engine"]
+        assert snapshot["limits"]["max_in_flight"] >= 1
+
+
+# --------------------------------------------------------------------- #
+# Structure sharing across congruent sibling sub-trees (ROADMAP lever)
+# --------------------------------------------------------------------- #
+
+
+class TestStructureSharing:
+    @pytest.fixture()
+    def shared_engine(self, medium_tree):
+        return ForestEngine(
+            medium_tree,
+            ServerConfig(epsilon=2.0, num_targets=5, robust_iterations=1),
+        )
+
+    def test_siblings_share_one_structure(self, shared_engine):
+        """Acceptance: congruent sibling sub-trees share a structure (reuses > 0)."""
+        forest = shared_engine.build_forest(privacy_level=1, delta=0)
+        assert len(forest) == 7
+        stats = shared_engine.cache_diagnostics()["structure_sharing"]
+        assert stats["builds"] >= 1
+        assert stats["reuses"] > 0
+        # All 7 sibling sub-trees are congruent: one build serves the rest.
+        assert stats["builds"] + stats["reuses"] == 7
+
+    def test_sharing_matches_unshared_results(self, medium_tree):
+        shared = ForestEngine(
+            medium_tree,
+            ServerConfig(
+                epsilon=2.0, num_targets=5, robust_iterations=1, share_structures=True
+            ),
+        )
+        unshared = ForestEngine(
+            medium_tree,
+            ServerConfig(
+                epsilon=2.0, num_targets=5, robust_iterations=1, share_structures=False
+            ),
+        )
+        shared_forest = shared.build_forest(privacy_level=1, delta=1)
+        unshared_forest = unshared.build_forest(privacy_level=1, delta=1)
+        assert unshared.cache_diagnostics()["structure_sharing"]["reuses"] == 0
+        for (root_a, matrix_a), (root_b, matrix_b) in zip(shared_forest, unshared_forest):
+            assert root_a == root_b
+            assert np.array_equal(matrix_a.values, matrix_b.values)
+
+
+# --------------------------------------------------------------------- #
+# End-to-end: client over HTTP against a live ThreadingHTTPServer
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture()
+def http_stack(service):
+    server = CORGIHTTPServer(service, port=0).start()
+    try:
+        yield server, HTTPTransport(server.url)
+    finally:
+        server.shutdown()
+
+
+class TestHTTPEndToEnd:
+    def test_health_and_metrics(self, http_stack):
+        _, transport = http_stack
+        assert transport.health() == {"status": "ok"}
+        metrics = transport.metrics()
+        assert "service" in metrics and "engine" in metrics
+
+    def test_transports_byte_identical(self, http_stack, service):
+        """Acceptance: HTTP and in-process transports return byte-identical forests."""
+        _, http_transport = http_stack
+        request = ObfuscationRequest(privacy_level=1, delta=1)
+        over_http = http_transport.fetch_forest(request)
+        in_process = InProcessTransport(service).fetch_forest(request)
+        assert json.dumps(over_http.to_dict(), sort_keys=True) == json.dumps(
+            in_process.to_dict(), sort_keys=True
+        )
+
+    def test_client_over_http(self, http_stack, small_tree_with_priors):
+        _, transport = http_stack
+        client = CORGIClient(small_tree_with_priors, transport)
+        center = small_tree_with_priors.root.center
+        policy = Policy(privacy_level=1, precision_level=0, delta=1)
+        outcome = client.obfuscate(center.lat, center.lng, policy, seed=11)
+        leaf_ids = {leaf.node_id for leaf in small_tree_with_priors.leaves()}
+        assert outcome.reported_node_id in leaf_ids
+        assert outcome.metadata["privacy_level"] == 1
+
+    def test_client_over_http_matches_in_process(
+        self, http_stack, small_tree_with_priors, service
+    ):
+        _, transport = http_stack
+        center = small_tree_with_priors.root.center
+        policy = Policy(privacy_level=1, precision_level=0, delta=1)
+        remote = CORGIClient(small_tree_with_priors, transport)
+        local = CORGIClient(small_tree_with_priors, service)
+        outcome_remote = remote.obfuscate(center.lat, center.lng, policy, seed=5)
+        outcome_local = local.obfuscate(center.lat, center.lng, policy, seed=5)
+        assert outcome_remote.reported_node_id == outcome_local.reported_node_id
+        assert np.array_equal(
+            outcome_remote.customized_matrix.values,
+            outcome_local.customized_matrix.values,
+        )
+
+    def test_batch_endpoint(self, http_stack):
+        _, transport = http_stack
+        requests = [
+            ObfuscationRequest(privacy_level=1, delta=1),
+            ObfuscationRequest(privacy_level=1, delta=1),
+        ]
+        responses = transport.fetch_forests(requests)
+        assert len(responses) == 2
+        assert responses[0].to_dict() == responses[1].to_dict()
+
+    def test_invalid_request_maps_to_400(self, http_stack):
+        _, transport = http_stack
+        with pytest.raises(TransportError) as excinfo:
+            transport.fetch_forest(ObfuscationRequest(privacy_level=9, delta=0))
+        assert excinfo.value.status == 400
+
+    def test_unknown_route_maps_to_404(self, http_stack):
+        _, transport = http_stack
+        with pytest.raises(TransportError) as excinfo:
+            transport._post("/nope", {})
+        assert excinfo.value.status == 404
+
+    def test_missing_body_field_maps_to_400(self, http_stack):
+        _, transport = http_stack
+        with pytest.raises(TransportError) as excinfo:
+            transport._post("/forest", {"delta": 1})
+        assert excinfo.value.status == 400
+
+    def test_priors_endpoint(self, http_stack, small_tree_with_priors):
+        _, transport = http_stack
+        priors = transport._get(f"/priors/{small_tree_with_priors.root.node_id}")
+        assert len(priors) == 7
+        assert sum(priors.values()) == pytest.approx(1.0)
+
+    def test_unreachable_server(self):
+        transport = HTTPTransport("http://127.0.0.1:9", timeout_s=0.5)
+        with pytest.raises(TransportError):
+            transport.health()
+
+
+class TestProviderNormalization:
+    def test_provider_passthrough(self, engine, service):
+        assert as_forest_provider(engine) is engine
+        assert as_forest_provider(service) is service
+
+    def test_transport_wrapped(self, service):
+        provider = as_forest_provider(InProcessTransport(service))
+        assert isinstance(provider, TransportForestProvider)
+        forest = provider.generate_privacy_forest(1, 0)
+        assert len(forest) >= 1
+        assert forest.matrix_for_subtree(forest.subtree_roots()[0]) is not None
+        with pytest.raises(KeyError):
+            forest.matrix_for_subtree("h9:99:99")
+
+    def test_unusable_target_rejected(self):
+        with pytest.raises(TypeError):
+            as_forest_provider(42)
