@@ -14,10 +14,20 @@ Run with::
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.experiments.config import ExperimentConfig, get_scale
 from repro.experiments.workloads import build_workload
+
+# Make the shared test helpers (tests/helpers_concurrency.py) importable
+# when only benchmarks/ is collected — the service benchmark reuses the
+# deadline-joined burst driver instead of growing a weaker copy.
+_TESTS_DIR = str(Path(__file__).resolve().parent.parent / "tests")
+if _TESTS_DIR not in sys.path:
+    sys.path.insert(0, _TESTS_DIR)
 
 
 def pytest_configure(config):

@@ -60,7 +60,7 @@ from repro.hexgrid import HexCell, HexGridSystem
 from repro.pipeline import CacheStats, MatrixCache, RobustGenerationTask, run_robust_tasks
 from repro.policy import Policy, Predicate, annotate_tree_with_dataset, user_location_profile
 from repro.server import CORGIServer, ForestEngine, PrivacyForest, ServerConfig
-from repro.service import CORGIHTTPServer, CORGIService, ServiceConfig
+from repro.service import CORGIHTTPServer, CORGIService, EnginePool, ServiceConfig
 from repro.tree import LocationTree, build_location_tree, priors_from_checkins, tree_for_region
 
 __version__ = "1.0.0"
@@ -114,6 +114,7 @@ __all__ = [
     "CORGIService",
     "ServiceConfig",
     "CORGIHTTPServer",
+    "EnginePool",
     "CORGIClient",
     "ObfuscationOutcome",
     "ObfuscationSession",

@@ -148,6 +148,34 @@ class HTTPTransport:
         return self._get("/healthz")
 
     # ------------------------------------------------------------------ #
+    # Admin surface (cache lifecycle)
+    # ------------------------------------------------------------------ #
+
+    def invalidate(self, privacy_level: Optional[int] = None) -> int:
+        """``POST /admin/invalidate``: drop the server's cached forests.
+
+        Returns the number of forests dropped (summed across shards when
+        the server runs an :class:`~repro.service.pool.EnginePool`).
+        """
+        payload = self._post(
+            "/admin/invalidate",
+            {"privacy_level": None if privacy_level is None else int(privacy_level)},
+        )
+        return int(payload.get("invalidated", 0))  # type: ignore[arg-type]
+
+    def publish_priors(
+        self, priors: Dict[str, float], *, normalize: bool = True
+    ) -> int:
+        """``POST /admin/priors``: install new leaf priors (live update).
+
+        Returns the number of cached forests the update flushed server-side.
+        """
+        payload = self._post(
+            "/admin/priors", {"priors": dict(priors), "normalize": bool(normalize)}
+        )
+        return int(payload.get("invalidated", 0))  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------ #
     # HTTP plumbing
     # ------------------------------------------------------------------ #
 

@@ -98,10 +98,17 @@ def results_to_json(results: Dict[str, object]) -> Dict[str, object]:
 
 
 def serve(config: ExperimentConfig, args: argparse.Namespace) -> int:
-    """Serve the workload tree through the engine → service → transport stack."""
+    """Serve the workload tree through the engine → service → transport stack.
+
+    ``--shards N`` (N > 1) replaces the in-process engine with an
+    :class:`~repro.service.pool.EnginePool` of N worker processes sharing
+    the same tree and configuration — identical responses, true process
+    parallelism for distinct request keys, and crash-respawn supervision.
+    """
     from repro.client.transport import InProcessTransport, TransportForestProvider
     from repro.server.engine import ForestEngine, ServerConfig
     from repro.service.http import CORGIHTTPServer
+    from repro.service.pool import EnginePool
     from repro.service.service import CORGIService
 
     workload = build_workload(config)
@@ -111,30 +118,48 @@ def serve(config: ExperimentConfig, args: argparse.Namespace) -> int:
         robust_iterations=config.robust_iterations,
         solver_method=config.solver_method,
         max_workers=config.max_workers,
+        forest_ttl_s=args.forest_ttl,
     )
-    engine = ForestEngine(workload.tree, server_config, targets=workload.targets)
+    pool: Optional[EnginePool] = None
+    if args.shards > 1:
+        pool = EnginePool(
+            workload.tree,
+            server_config,
+            targets=workload.targets,
+            num_shards=args.shards,
+            respawn_limit=args.respawn_limit,
+        )
+        pool.wait_ready()
+        print(f"engine pool: {args.shards} shard processes ready")
+        engine = pool
+    else:
+        engine = ForestEngine(workload.tree, server_config, targets=workload.targets)
     service = CORGIService(engine)
 
-    if args.transport == "inprocess":
-        # Network-free smoke path: one coalesced request through the full
-        # client-transport plumbing, then a metrics dump.
-        provider = TransportForestProvider(InProcessTransport(service))
-        privacy_level = min(2, workload.tree.height)
-        forest = provider.generate_privacy_forest(privacy_level, config.delta)
-        print(
-            f"served privacy forest: level={privacy_level} delta={config.delta} "
-            f"subtrees={len(forest)}"
-        )
-        print(json.dumps(service.snapshot(), indent=2, default=str))
-        return 0
-
-    server = CORGIHTTPServer(service, host=args.host, port=args.port)
-    print(f"serving CORGI forests on {server.url} (Ctrl-C to stop)")
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        server.shutdown()
-    return 0
+        if args.transport == "inprocess":
+            # Network-free smoke path: one coalesced request through the full
+            # client-transport plumbing, then a metrics dump.
+            provider = TransportForestProvider(InProcessTransport(service))
+            privacy_level = min(2, workload.tree.height)
+            forest = provider.generate_privacy_forest(privacy_level, config.delta)
+            print(
+                f"served privacy forest: level={privacy_level} delta={config.delta} "
+                f"subtrees={len(forest)}"
+            )
+            print(json.dumps(service.snapshot(), indent=2, default=str))
+            return 0
+
+        server = CORGIHTTPServer(service, host=args.host, port=args.port)
+        print(f"serving CORGI forests on {server.url} (Ctrl-C to stop)")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            server.shutdown()
+        return 0
+    finally:
+        if pool is not None:
+            pool.close()
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -173,6 +198,26 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument(
         "--port", type=int, default=8350, help="bind port for --serve (0 = ephemeral)"
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="engine shard processes for --serve (1 = in-process engine; N>1 "
+        "runs an EnginePool with consistent-hash routing and crash respawn)",
+    )
+    parser.add_argument(
+        "--forest-ttl",
+        type=float,
+        default=0.0,
+        help="forest-cache TTL in seconds for --serve (0 = entries never expire)",
+    )
+    parser.add_argument(
+        "--respawn-limit",
+        type=int,
+        default=3,
+        help="how many times a crashed shard is respawned before its slot is "
+        "declared dead (--serve with --shards > 1)",
+    )
     args = parser.parse_args(argv)
 
     configure_cli_logging(verbose=args.verbose)
@@ -181,6 +226,10 @@ def main(argv: Optional[list] = None) -> int:
         if args.workers < 1:
             parser.error("--workers must be >= 1")
         config = config.derive(max_workers=args.workers)
+    if args.shards < 1:
+        parser.error("--shards must be >= 1")
+    if args.forest_ttl < 0:
+        parser.error("--forest-ttl must be non-negative")
     if args.serve:
         return serve(config, args)
     results = run_all(config, only=args.only)

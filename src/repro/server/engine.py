@@ -22,10 +22,12 @@ depends on change — so a config change can never serve a stale forest.
 
 from __future__ import annotations
 
+import contextlib
 import math
 import threading
+import time
 from dataclasses import dataclass, fields, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -95,6 +97,12 @@ class ServerConfig:
         sub-trees whose constraint pairs are congruent (the common case for
         hexagon sub-trees at one level).  Execution strategy only — results
         are identical either way.
+    forest_ttl_s:
+        Time-to-live for cached privacy forests, in seconds; ``0`` (the
+        default) means entries never expire.  Expiry is checked lazily on
+        access, so an expired entry costs one rebuild on its next request
+        and nothing otherwise.  Cache lifecycle only — the generated
+        forests themselves are identical for every value.
 
     Mutation semantics
     ------------------
@@ -121,6 +129,7 @@ class ServerConfig:
     max_workers: int = 1
     matrix_cache_entries: int = 256
     share_structures: bool = True
+    forest_ttl_s: float = 0.0
 
     def validate(self) -> None:
         """Raise :class:`ValueError` for inconsistent settings."""
@@ -136,6 +145,29 @@ class ServerConfig:
             raise ValueError("max_workers must be >= 1")
         if self.matrix_cache_entries < 0:
             raise ValueError("matrix_cache_entries must be non-negative")
+        if self.forest_ttl_s < 0:
+            raise ValueError("forest_ttl_s must be non-negative")
+
+
+def validate_prior_masses(priors: Mapping[str, float]) -> Dict[str, float]:
+    """Coerce and vet a published prior-mass mapping (wire-facing).
+
+    Masses must be finite and non-negative: Python's ``json`` module parses
+    ``NaN``/``Infinity``, and a NaN mass would sail through normalization
+    (``nan < 0`` is False) and poison every prior in the tree.  Raises
+    :class:`ValueError` (the type transports map to HTTP 400).
+    """
+    if not priors:
+        raise ValueError("priors mapping must not be empty")
+    vetted: Dict[str, float] = {}
+    for node_id, mass in priors.items():
+        mass = float(mass)  # may raise ValueError/TypeError — also wire-mapped
+        if not math.isfinite(mass) or mass < 0:
+            raise ValueError(
+                f"prior mass for {str(node_id)!r} must be finite and non-negative, got {mass}"
+            )
+        vetted[str(node_id)] = mass
+    return vetted
 
 
 class ForestEngine:
@@ -154,6 +186,10 @@ class ForestEngine:
         Optional explicit service-target distribution; when omitted, targets
         are sampled uniformly from the tree's leaf centres (and re-derived
         if ``config.num_targets`` / ``config.target_seed`` are changed).
+    clock:
+        Monotonic time source for forest-cache TTL bookkeeping (defaults to
+        :func:`time.monotonic`).  Injectable so TTL semantics are testable
+        without real sleeps.
     """
 
     def __init__(
@@ -162,16 +198,21 @@ class ForestEngine:
         config: Optional[ServerConfig] = None,
         *,
         targets: Optional[TargetDistribution] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self.tree = tree
         # Copy-on-configure: the engine owns its config; the caller keeps theirs.
         self.config = replace(config) if config is not None else ServerConfig()
         self.config.validate()
+        self._clock = clock if clock is not None else time.monotonic
         self._explicit_targets = targets
         self._derived_targets: Optional[TargetDistribution] = None
         self._derived_targets_key: Optional[Tuple[int, int]] = None
-        self._forest_cache: Dict[str, PrivacyForest] = {}
+        #: key -> (forest, insertion time per ``self._clock``).
+        self._forest_cache: Dict[str, Tuple[PrivacyForest, float]] = {}
         self.forest_cache_stats = CacheStats()
+        self._forest_expirations = 0
+        self._invalidations = 0
         self.matrix_cache = MatrixCache(self.config.matrix_cache_entries)
         self._structure_stats: Dict[str, int] = {"groups": 0, "builds": 0, "reuses": 0}
         self.stopwatch = Stopwatch()
@@ -180,6 +221,14 @@ class ForestEngine:
         # concurrent builds for *distinct* keys, which the service runs up to
         # ``max_in_flight`` of in parallel.  LP work happens outside the lock.
         self._state_lock = threading.Lock()
+        # Reader/writer gate between builds and live prior updates: builds
+        # are readers (concurrent with each other), publish_priors is a
+        # writer that waits for in-flight builds and blocks new ones, so no
+        # request is ever served a forest computed from torn priors.
+        self._build_cond = threading.Condition(self._state_lock)
+        self._active_builds = 0
+        self._prior_writers = 0
+        self._priors_write_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Target workload
@@ -230,7 +279,7 @@ class ForestEngine:
     #: future result-affecting field is keyed automatically — forgetting to
     #: update this list can only over-invalidate, never serve a stale forest.
     _NON_RESULT_CONFIG_FIELDS = frozenset(
-        {"epsilon", "max_workers", "matrix_cache_entries", "share_structures"}
+        {"epsilon", "max_workers", "matrix_cache_entries", "share_structures", "forest_ttl_s"}
     )
 
     def _forest_fingerprint(self, privacy_level: int, delta: int, epsilon: float) -> str:
@@ -299,11 +348,43 @@ class ForestEngine:
         epsilon = float(epsilon if epsilon is not None else self.config.epsilon)
         if delta < 0:
             raise ValueError(f"delta must be non-negative, got {delta}")
+        with self._priors_reader():
+            return self._build_forest_gated(privacy_level, delta, epsilon, use_cache)
+
+    @contextlib.contextmanager
+    def _priors_reader(self) -> Iterator[None]:
+        """Reader side of the priors gate: excluded from live prior updates.
+
+        Held around everything that reads tree priors — forest builds and
+        :meth:`publish_leaf_priors` — so :meth:`publish_priors` can never
+        expose a half-applied update to either.
+        """
+        with self._state_lock:
+            while self._prior_writers:
+                self._build_cond.wait()
+            self._active_builds += 1
+        try:
+            yield
+        finally:
+            with self._state_lock:
+                self._active_builds -= 1
+                self._build_cond.notify_all()
+
+    def _build_forest_gated(
+        self,
+        privacy_level: int,
+        delta: int,
+        epsilon: float,
+        use_cache: bool,
+    ) -> Tuple[PrivacyForest, bool]:
+        """The build body, run while holding a reader slot of the priors gate."""
         forest_key = self._forest_fingerprint(privacy_level, delta, epsilon)
         with self._state_lock:
-            if use_cache and forest_key in self._forest_cache:
-                self.forest_cache_stats.hits += 1
-                return self._forest_cache[forest_key], True
+            if use_cache:
+                cached_forest = self._cache_lookup_locked(forest_key)
+                if cached_forest is not None:
+                    self.forest_cache_stats.hits += 1
+                    return cached_forest, True
             self.forest_cache_stats.misses += 1
 
         forest = PrivacyForest(self.tree, privacy_level, delta, epsilon)
@@ -353,8 +434,107 @@ class ForestEngine:
         )
         if use_cache:
             with self._state_lock:
-                self._forest_cache[forest_key] = forest
+                self._forest_cache[forest_key] = (forest, self._clock())
         return forest, False
+
+    # ------------------------------------------------------------------ #
+    # Cache lifecycle (TTL / invalidation / live prior updates)
+    # ------------------------------------------------------------------ #
+
+    def _cache_lookup_locked(self, forest_key: str) -> Optional[PrivacyForest]:
+        """Return the live cached forest for *forest_key*, evicting it if expired."""
+        entry = self._forest_cache.get(forest_key)
+        if entry is None:
+            return None
+        forest, inserted_at = entry
+        ttl = float(self.config.forest_ttl_s)
+        if ttl > 0 and self._clock() - inserted_at > ttl:
+            del self._forest_cache[forest_key]
+            self._forest_expirations += 1
+            return None
+        return forest
+
+    def _purge_expired_locked(self) -> int:
+        """Drop every expired forest entry; return how many were dropped."""
+        ttl = float(self.config.forest_ttl_s)
+        if ttl <= 0:
+            return 0
+        now = self._clock()
+        expired = [
+            key
+            for key, (_, inserted_at) in self._forest_cache.items()
+            if now - inserted_at > ttl
+        ]
+        for key in expired:
+            del self._forest_cache[key]
+        self._forest_expirations += len(expired)
+        return len(expired)
+
+    def invalidate(self, privacy_level: Optional[int] = None) -> int:
+        """Drop cached forests — all of them, or only one privacy level's.
+
+        ``privacy_level=None`` clears the whole forest cache *and* the
+        per-sub-tree matrix cache (a full flush, e.g. after a prior update);
+        an explicit level drops only forests generated for that level and
+        leaves the matrix cache alone.  Returns the number of forests
+        dropped.  Correctness never depends on calling this — every
+        result-affecting input is part of the cache key — but a live system
+        uses it to release memory held by forests no client should see
+        again.
+        """
+        with self._state_lock:
+            if privacy_level is None:
+                dropped = len(self._forest_cache)
+                self._forest_cache.clear()
+                self.matrix_cache.clear()
+            else:
+                level = int(privacy_level)
+                stale = [
+                    key
+                    for key, (forest, _) in self._forest_cache.items()
+                    if forest.privacy_level == level
+                ]
+                for key in stale:
+                    del self._forest_cache[key]
+                dropped = len(stale)
+            self._invalidations += 1
+        logger.info(
+            "invalidated %d cached forest(s) (privacy_level=%s)",
+            dropped,
+            "all" if privacy_level is None else privacy_level,
+        )
+        return dropped
+
+    def publish_priors(
+        self, priors: Mapping[str, float], *, normalize: bool = True
+    ) -> int:
+        """Install new leaf priors and flush every cache (live prior update).
+
+        *priors* maps leaf node ids to (possibly unnormalised) prior mass —
+        masses are vetted finite and non-negative up front (a NaN would
+        poison every prior in the tree); the tree validates ids and
+        aggregates the masses up to the root.  The update takes the writer
+        side of the priors gate: it waits for in-flight builds to finish
+        and holds new ones back while the tree mutates, so no request can
+        be served a forest computed from a half-applied update.  The forest
+        fingerprint folds the leaf priors in, so even without the flush no
+        *later* request could see a stale forest — the flush releases the
+        memory the now-unreachable entries hold.  Returns the number of
+        forests dropped.
+        """
+        vetted = validate_prior_masses(priors)
+        with self._priors_write_lock:  # one live update at a time
+            with self._state_lock:
+                self._prior_writers += 1
+                while self._active_builds:
+                    self._build_cond.wait()
+            try:
+                self.tree.set_leaf_priors(vetted, normalize=normalize)
+            finally:
+                with self._state_lock:
+                    self._prior_writers -= 1
+                    self._build_cond.notify_all()
+        return self.invalidate(None)
 
     def _run_pending(self, tasks: List[RobustGenerationTask]) -> List[RobustGenerationResult]:
         """Execute uncached sub-tree tasks, sharing structures across congruent siblings.
@@ -479,9 +659,14 @@ class ForestEngine:
     # ------------------------------------------------------------------ #
 
     def publish_leaf_priors(self, subtree_root_id: str) -> Dict[str, float]:
-        """Leaf priors of one sub-tree (the small vector footnote 5 lets users query)."""
-        leaves = self.tree.descendant_leaves(subtree_root_id)
-        return {leaf.node_id: leaf.prior for leaf in leaves}
+        """Leaf priors of one sub-tree (the small vector footnote 5 lets users query).
+
+        Read under the priors gate so a concurrent :meth:`publish_priors`
+        can never be observed half-applied (masses not summing to 1).
+        """
+        with self._priors_reader():
+            leaves = self.tree.descendant_leaves(subtree_root_id)
+            return {leaf.node_id: leaf.prior for leaf in leaves}
 
     def clear_cache(self) -> None:
         """Drop every cached privacy forest and per-sub-tree matrix."""
@@ -490,16 +675,21 @@ class ForestEngine:
             self.matrix_cache.clear()
 
     def cache_size(self) -> int:
-        """Number of cached forests."""
+        """Number of live (non-expired) cached forests."""
         with self._state_lock:
+            self._purge_expired_locked()
             return len(self._forest_cache)
 
     def cache_diagnostics(self) -> Dict[str, object]:
         """Forest-, matrix- and structure-cache state for monitoring and the perf harness."""
         with self._state_lock:
+            self._purge_expired_locked()
             return {
                 "forest_entries": len(self._forest_cache),
                 "forest_stats": self.forest_cache_stats.as_dict(),
+                "forest_expirations": self._forest_expirations,
+                "forest_ttl_s": float(self.config.forest_ttl_s),
+                "invalidations": self._invalidations,
                 "matrix_entries": len(self.matrix_cache),
                 "matrix_stats": self.matrix_cache.stats.as_dict(),
                 "structure_sharing": dict(self._structure_stats),

@@ -10,6 +10,7 @@ user actually uses.  Both messages are plain dataclasses with dictionary
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional
 
@@ -40,8 +41,13 @@ class ObfuscationRequest:
             raise ValueError(f"privacy_level must be non-negative, got {self.privacy_level}")
         if self.delta < 0:
             raise ValueError(f"delta must be non-negative, got {self.delta}")
-        if self.epsilon is not None and self.epsilon <= 0:
-            raise ValueError(f"epsilon must be positive when given, got {self.epsilon}")
+        if self.epsilon is not None and not (
+            math.isfinite(self.epsilon) and self.epsilon > 0
+        ):
+            # The finiteness check matters on the wire: Python's json module
+            # happily parses ``NaN``, and ``nan <= 0`` is False — without it a
+            # NaN ε would sail through into the LP layer.
+            raise ValueError(f"epsilon must be positive and finite when given, got {self.epsilon}")
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-friendly representation."""
@@ -65,11 +71,16 @@ class ObfuscationRequest:
         except KeyError as error:
             raise ValueError(f"missing required request field {error.args[0]!r}") from None
         epsilon = payload.get("epsilon")
-        return cls(
-            privacy_level=int(privacy_level),  # type: ignore[arg-type]
-            delta=int(delta),  # type: ignore[arg-type]
-            epsilon=None if epsilon is None else float(epsilon),  # type: ignore[arg-type]
-        )
+        try:
+            return cls(
+                privacy_level=int(privacy_level),  # type: ignore[arg-type]
+                delta=int(delta),  # type: ignore[arg-type]
+                epsilon=None if epsilon is None else float(epsilon),  # type: ignore[arg-type]
+            )
+        except OverflowError as error:
+            # json.loads accepts ``Infinity``; int(inf) raises OverflowError,
+            # which is still a malformed payload, not a server fault.
+            raise ValueError(f"non-finite value in request payload: {error}") from None
 
 
 @dataclass

@@ -92,7 +92,7 @@ class CORGIServer:
         return self.engine.matrix_cache
 
     @property
-    def _forest_cache(self) -> Dict[str, PrivacyForest]:
+    def _forest_cache(self) -> Dict[str, Tuple[PrivacyForest, float]]:
         return self.engine._forest_cache
 
     @property
@@ -161,6 +161,14 @@ class CORGIServer:
     def clear_cache(self) -> None:
         """Drop every cached privacy forest and per-sub-tree matrix."""
         self.engine.clear_cache()
+
+    def invalidate(self, privacy_level: Optional[int] = None) -> int:
+        """Drop cached forests — all of them, or only one privacy level's."""
+        return self.engine.invalidate(privacy_level)
+
+    def publish_priors(self, priors: Dict[str, float], *, normalize: bool = True) -> int:
+        """Install new leaf priors and flush every cache (live prior update)."""
+        return self.engine.publish_priors(priors, normalize=normalize)
 
     def cache_size(self) -> int:
         """Number of cached forests."""

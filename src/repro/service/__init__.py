@@ -10,7 +10,11 @@ logic / control separation the related DB-nets work argues for):
   δ, ε)`` requests, bounded batching, admission control and
   :class:`~repro.service.metrics.ServiceMetrics`;
 * :mod:`repro.service.http` — a stdlib-only HTTP JSON transport reusing
-  the wire formats of :mod:`repro.server.messages`.
+  the wire formats of :mod:`repro.server.messages`;
+* :class:`~repro.service.pool.EnginePool` /
+  :mod:`repro.service.shard` — N engine replicas in worker processes with
+  consistent-hash routing, crash respawn and broadcast cache invalidation,
+  behind the same service API.
 
 Client-side counterparts (the transport protocol, ``InProcessTransport``
 and ``HTTPTransport``) live in :mod:`repro.client.transport`.
@@ -18,7 +22,9 @@ and ``HTTPTransport``) live in :mod:`repro.client.transport`.
 
 from repro.service.http import CORGIHTTPServer, serve_http
 from repro.service.metrics import ServiceMetrics
+from repro.service.pool import EnginePool, EnginePoolError, PoolTimeoutError
 from repro.service.service import CORGIService, ServiceConfig, ServiceOverloadedError
+from repro.service.shard import ShardCrashedError, ShardState
 
 __all__ = [
     "CORGIService",
@@ -27,4 +33,9 @@ __all__ = [
     "ServiceMetrics",
     "CORGIHTTPServer",
     "serve_http",
+    "EnginePool",
+    "EnginePoolError",
+    "PoolTimeoutError",
+    "ShardCrashedError",
+    "ShardState",
 ]

@@ -11,6 +11,14 @@ adds routing, status codes and JSON framing, nothing else:
 * ``GET /healthz`` — liveness probe.
 * ``GET /metrics`` — :meth:`CORGIService.snapshot` JSON.
 * ``GET /priors/<subtree_root_id>`` — published leaf priors (footnote 5).
+* ``POST /admin/invalidate`` — body ``{"privacy_level": <int|null>}``
+  (field optional); drops cached forests — on a sharded
+  :class:`~repro.service.pool.EnginePool` across every shard — and answers
+  ``{"invalidated": <count>}``.
+* ``POST /admin/priors`` — body ``{"priors": {<leaf_id>: <mass>, ...},
+  "normalize": <bool>}``; installs new leaf priors (a live prior update),
+  flushes affected caches on every shard and answers
+  ``{"invalidated": <count>, "leaves": <len(priors)>}``.
 
 Error mapping: malformed JSON / invalid parameters → 400, unknown node or
 route → 404, admission-control rejection → 503, anything else → 500.  The
@@ -68,10 +76,36 @@ class CORGIRequestHandler(BaseHTTPRequestHandler):
                     raise ValueError('batch body must be {"requests": [...]}')
                 responses = self.service.handle_batch_dicts(requests)
                 self._send_json(200, {"responses": responses})
+            elif self.path == "/admin/invalidate":
+                self._send_json(200, self._handle_invalidate(payload))
+            elif self.path == "/admin/priors":
+                self._send_json(200, self._handle_publish_priors(payload))
             else:
                 self._send_error(404, "not_found", f"unknown path {self.path!r}")
         except Exception as error:  # pragma: no cover - thin mapping, each arm tested
             self._send_mapped_error(error)
+
+    # ------------------------------------------------------------------ #
+    # Admin ops (cache lifecycle)
+    # ------------------------------------------------------------------ #
+
+    def _handle_invalidate(self, payload: Dict[str, object]) -> Dict[str, object]:
+        privacy_level = payload.get("privacy_level")
+        if privacy_level is not None:
+            privacy_level = int(privacy_level)  # type: ignore[arg-type]
+        dropped = self.service.invalidate(privacy_level)
+        return {"invalidated": dropped}
+
+    def _handle_publish_priors(self, payload: Dict[str, object]) -> Dict[str, object]:
+        priors = payload.get("priors")
+        if not isinstance(priors, dict) or not priors:
+            raise ValueError('priors body must be {"priors": {<leaf_id>: <mass>, ...}}')
+        normalize = payload.get("normalize", True)
+        if not isinstance(normalize, bool):
+            raise ValueError("normalize must be a boolean")
+        coerced = {str(node_id): float(mass) for node_id, mass in priors.items()}
+        dropped = self.service.publish_priors(coerced, normalize=normalize)
+        return {"invalidated": dropped, "leaves": len(coerced)}
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         try:
@@ -120,7 +154,9 @@ class CORGIRequestHandler(BaseHTTPRequestHandler):
     def _send_mapped_error(self, error: Exception) -> None:
         if isinstance(error, ServiceOverloadedError):
             self._send_error(503, "overloaded", str(error))
-        elif isinstance(error, (json.JSONDecodeError, ValueError, TypeError)):
+        elif isinstance(error, (json.JSONDecodeError, ValueError, TypeError, OverflowError)):
+            # OverflowError: json.loads accepts ``Infinity`` and int(inf)
+            # overflows — a malformed payload, not a server fault.
             self._send_error(400, "bad_request", str(error))
         elif isinstance(error, KeyError):
             self._send_error(404, "not_found", str(error))

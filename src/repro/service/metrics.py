@@ -26,6 +26,7 @@ COUNTER_NAMES: Tuple[str, ...] = (
     "batches",
     "batch_requests",
     "batch_coalesced",
+    "invalidated",
 )
 
 #: Default latency-window size (observations, not seconds).
@@ -64,16 +65,11 @@ class ServiceMetrics:
         with self._lock:
             return self._counters[name]
 
-    def latency_percentiles(
-        self, quantiles: Iterable[float] = REPORTED_PERCENTILES
+    @staticmethod
+    def _percentiles_of(
+        samples: list, quantiles: Iterable[float]
     ) -> Dict[str, float]:
-        """Nearest-rank percentiles (seconds) over the retained latency window.
-
-        Keys are ``"p50"``-style labels; an empty window yields an empty
-        mapping rather than NaNs so JSON consumers need no special casing.
-        """
-        with self._lock:
-            samples = sorted(self._latencies_s)
+        """Nearest-rank percentiles of pre-sorted *samples* (pure, no locking)."""
         if not samples:
             return {}
         result: Dict[str, float] = {}
@@ -86,16 +82,35 @@ class ServiceMetrics:
             result[label] = samples[rank - 1]
         return result
 
+    def latency_percentiles(
+        self, quantiles: Iterable[float] = REPORTED_PERCENTILES
+    ) -> Dict[str, float]:
+        """Nearest-rank percentiles (seconds) over the retained latency window.
+
+        Keys are ``"p50"``-style labels; an empty window yields an empty
+        mapping rather than NaNs so JSON consumers need no special casing.
+        """
+        with self._lock:
+            samples = sorted(self._latencies_s)
+        return self._percentiles_of(samples, quantiles)
+
     def snapshot(self) -> Dict[str, object]:
-        """JSON-friendly view: counters plus latency percentiles and window size."""
+        """JSON-friendly view: counters plus latency percentiles and window size.
+
+        Counters, window and percentiles are captured under **one** lock
+        acquisition: an earlier version re-acquired the lock for the
+        percentiles, so a concurrent writer could slip between the two reads
+        and the reported window size would disagree with the samples the
+        percentiles were computed from (regression-tested).
+        """
         with self._lock:
             counters = dict(self._counters)
-            window = len(self._latencies_s)
+            samples = sorted(self._latencies_s)
             observations = self._observations
         return {
             **counters,
-            "latency_s": self.latency_percentiles(),
-            "latency_window": window,
+            "latency_s": self._percentiles_of(samples, REPORTED_PERCENTILES),
+            "latency_window": len(samples),
             "latency_observations": observations,
         }
 

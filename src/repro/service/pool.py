@@ -1,0 +1,727 @@
+"""Sharded multi-process engine pool behind the CORGI service API.
+
+PR 2 made serving thread-safe in one process; this module makes it scale
+with cores and survive worker death.  An :class:`EnginePool` hosts N shard
+processes (see :mod:`repro.service.shard`), each running its own
+:class:`~repro.server.engine.ForestEngine` replica over the same tree and
+config, and exposes the exact forest-provider surface a
+:class:`~repro.service.service.CORGIService` expects — so the whole
+engine → service → transport stack gains process parallelism without any
+caller changing.
+
+Routing is a **consistent-hash ring** over the normalized request key
+``(privacy_level, δ, effective ε)``: identical requests always land on the
+same shard, so the service's single-flight coalescing keeps collapsing a
+burst of identical requests into one build *on one process*, while distinct
+keys spread across shards and run truly in parallel.  The ring also defines
+each key's failover order — when a shard dies mid-request, the pool fails
+the in-flight tickets, retries them on the next live shard along the ring,
+and respawns the dead slot in the background (up to ``respawn_limit`` times
+per slot).  Worker death is detected by per-shard collector threads that
+poll ``Process.is_alive()`` whenever the response queue goes quiet.
+
+Cache lifecycle is a broadcast concern: :meth:`EnginePool.invalidate` and
+:meth:`EnginePool.publish_priors` fan out to every shard so a live prior
+update flushes all replicas' caches at once (exposed on the wire as
+``POST /admin/priors`` / ``POST /admin/invalidate``).
+
+Determinism: every shard runs the same serial engine code path, so pooled
+forests are byte-identical to single-process ones for every shard count.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import itertools
+import multiprocessing
+import queue as queue_module
+import threading
+import time
+from dataclasses import replace
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.exceptions import CORGIError
+from repro.core.objective import TargetDistribution
+from repro.server.engine import ServerConfig, validate_prior_masses
+from repro.server.privacy_forest import PrivacyForest
+from repro.service.shard import (
+    CONTROL_TICKET,
+    ShardCrashedError,
+    ShardHandle,
+    ShardSpec,
+    ShardState,
+    ShardUnavailableError,
+    shard_worker_main,
+)
+from repro.tree.location_tree import LocationTree
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+__all__ = [
+    "EnginePool",
+    "EnginePoolError",
+    "PoolTimeoutError",
+    "ShardCrashedError",
+    "ShardState",
+]
+
+#: Virtual nodes per shard on the consistent-hash ring.  Plenty for even
+#: spread at the shard counts a single host runs (2–64).
+RING_VNODES = 32
+
+#: How often collector threads poll ``Process.is_alive()`` while their
+#: response queue is silent — the worst-case crash-detection latency.
+HEALTH_POLL_INTERVAL_S = 0.1
+
+
+class EnginePoolError(CORGIError):
+    """The pool cannot serve the request (every shard dead, pool closed…)."""
+
+
+class PoolTimeoutError(EnginePoolError):
+    """A shard did not answer within ``request_timeout_s``."""
+
+
+def _stable_hash(token: str) -> int:
+    """64-bit stable hash (process-independent, unlike builtin ``hash``)."""
+    return int.from_bytes(hashlib.sha256(token.encode("utf-8")).digest()[:8], "big")
+
+
+class EnginePool:
+    """N forest-engine replicas in worker processes behind one provider API.
+
+    Parameters
+    ----------
+    tree:
+        The location tree to serve.  The parent keeps its own handle (for
+        request normalization and reattaching returned matrices); each
+        worker receives a pickled replica at spawn.
+    config:
+        Engine configuration, shared by every shard (snapshot — mutating
+        the caller's object afterwards is inert, exactly like
+        :class:`~repro.server.engine.ForestEngine`).  ``max_workers`` is
+        forced to 1 inside shards: the shards are the parallelism.
+    targets:
+        Optional explicit service-target distribution, forwarded verbatim.
+    num_shards:
+        Worker-process count.  Sized to cores for CPU-bound LP work.
+    respawn_limit:
+        How many times one slot may be respawned after a crash before it is
+        declared permanently dead.
+    request_timeout_s:
+        Upper bound on one request's wait, including failover retries.
+    chaos_build_delay_s:
+        Test/chaos hook: every shard sleeps this long before each build,
+        widening the in-flight window so crash injection is deterministic.
+    start_method:
+        ``multiprocessing`` start method (``None`` = platform default).
+
+    The pool satisfies the forest-provider duck type
+    (``generate_privacy_forest`` / ``build_forest_traced`` / ``tree`` /
+    ``config`` / ``publish_leaf_priors`` / ``cache_diagnostics``), so both
+    ``CORGIService(EnginePool(...))`` and ``CORGIClient(tree,
+    EnginePool(...))`` work unchanged.
+    """
+
+    def __init__(
+        self,
+        tree: LocationTree,
+        config: Optional[ServerConfig] = None,
+        *,
+        targets: Optional[TargetDistribution] = None,
+        num_shards: int = 2,
+        respawn_limit: int = 3,
+        request_timeout_s: float = 600.0,
+        chaos_build_delay_s: float = 0.0,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if respawn_limit < 0:
+            raise ValueError(f"respawn_limit must be non-negative, got {respawn_limit}")
+        self.tree = tree
+        self.config = replace(config) if config is not None else ServerConfig()
+        self.config.validate()
+        self.num_shards = int(num_shards)
+        self.respawn_limit = int(respawn_limit)
+        self.request_timeout_s = float(request_timeout_s)
+        self._chaos_build_delay_s = float(chaos_build_delay_s)
+        self._targets = targets
+        self._ctx = multiprocessing.get_context(start_method)
+        self._lifecycle_lock = threading.Lock()
+        self._ticket_lock = threading.Lock()
+        # Serializes parent-tree prior mutation against parent-side prior
+        # reads (publish_leaf_priors), so the admin read can never observe a
+        # half-applied live update.
+        self._tree_lock = threading.Lock()
+        self._tickets = itertools.count(1)
+        self._closed = False
+        self._stats = {"respawns": 0, "retries": 0, "crash_failures": 0}
+        # Live-prior-update bookkeeping: a shard spawned (and hence pickled
+        # the tree) before the latest publish_priors must have the update
+        # re-sent when it becomes READY — see _collect's READY handler.
+        self._priors_version = 0
+        self._current_priors: Optional[Tuple[Dict[str, float], bool]] = None
+        self._ring: List[Tuple[int, int]] = self._build_ring()
+        self._shards = [ShardHandle(slot) for slot in range(self.num_shards)]
+        for shard in self._shards:
+            self._spawn(shard)
+
+    # ------------------------------------------------------------------ #
+    # Consistent-hash routing
+    # ------------------------------------------------------------------ #
+
+    def _build_ring(self) -> List[Tuple[int, int]]:
+        points = [
+            (_stable_hash(f"corgi-shard-{slot}-vnode-{vnode}"), slot)
+            for slot in range(self.num_shards)
+            for vnode in range(RING_VNODES)
+        ]
+        points.sort()
+        return points
+
+    def route_key(self, key: Tuple[int, int, float]) -> List[int]:
+        """Failover order for a normalized request key: all slots, ring order.
+
+        The first entry is the key's home shard; later entries are the
+        siblings tried (in order) when earlier ones are down.  Deterministic
+        across processes and runs — the property the routing tests pin.
+        """
+        privacy_level, delta, epsilon = key
+        point = _stable_hash(f"{int(privacy_level)}:{int(delta)}:{float(epsilon)!r}")
+        start = bisect.bisect_right(self._ring, (point, self.num_shards))
+        order: List[int] = []
+        seen = set()
+        for index in range(len(self._ring)):
+            _, slot = self._ring[(start + index) % len(self._ring)]
+            if slot not in seen:
+                seen.add(slot)
+                order.append(slot)
+                if len(order) == self.num_shards:
+                    break
+        return order
+
+    def shard_for(
+        self, privacy_level: int, delta: int, *, epsilon: Optional[float] = None
+    ) -> int:
+        """Home shard slot of one request (after ε-default resolution)."""
+        return self.route_key(self._normalize(privacy_level, delta, epsilon))[0]
+
+    def _normalize(
+        self, privacy_level: int, delta: int, epsilon: Optional[float]
+    ) -> Tuple[int, int, float]:
+        effective = float(epsilon if epsilon is not None else self.config.epsilon)
+        return (int(privacy_level), int(delta), effective)
+
+    # ------------------------------------------------------------------ #
+    # Process lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _spawn(self, shard: ShardHandle) -> None:
+        """(Re)launch one slot's worker process and its collector thread."""
+        spec = ShardSpec(
+            shard_id=shard.slot,
+            tree=self.tree,
+            config=self.config,
+            targets=self._targets,
+            chaos_build_delay_s=self._chaos_build_delay_s,
+        )
+        with shard.lock:
+            if shard.state in (ShardState.STOPPED, ShardState.DEAD):
+                # close() (or respawn exhaustion) won the race between the
+                # crash handler releasing the lifecycle lock and this spawn —
+                # the slot is terminal, nothing to launch.
+                return
+            if shard.state is not ShardState.STARTING:
+                shard.transition(ShardState.STARTING)
+            shard.generation += 1
+            generation = shard.generation
+            # Record which prior generation this worker will carry.  Read
+            # *before* process.start(): any publish_priors bumping the
+            # version after this read makes the READY handler re-send the
+            # update (a publish landing in between merely causes one
+            # redundant, idempotent re-send).
+            shard.priors_version = self._priors_version
+            request_queue = self._ctx.Queue()
+            response_queue = self._ctx.Queue()
+            process = self._ctx.Process(
+                target=shard_worker_main,
+                args=(spec, request_queue, response_queue),
+                name=f"corgi-shard-{shard.slot}",
+                daemon=True,
+            )
+            shard.request_queue = request_queue
+            shard.response_queue = response_queue
+            shard.process = process
+        process.start()
+        collector = threading.Thread(
+            target=self._collect,
+            args=(shard, process, response_queue, generation),
+            name=f"corgi-shard-{shard.slot}-collector",
+            daemon=True,
+        )
+        collector.start()
+
+    def _collect(self, shard: ShardHandle, process, response_queue, generation: int) -> None:
+        """Drain one worker generation's responses; detect its death."""
+        while True:
+            try:
+                message = response_queue.get(timeout=HEALTH_POLL_INTERVAL_S)
+            except queue_module.Empty:
+                with shard.lock:
+                    stale = shard.generation != generation
+                    terminal = shard.state in (ShardState.STOPPED, ShardState.DEAD)
+                if stale or terminal:
+                    return
+                if not process.is_alive():
+                    self._handle_crash(shard, generation)
+                    return
+                continue
+            ticket, status, payload = message
+            if ticket == CONTROL_TICKET:
+                if status == "ready":
+                    self._mark_ready(shard, generation)
+                continue
+            shard.resolve(ticket, status, payload)
+
+    def _mark_ready(self, shard: ShardHandle, generation: int) -> None:
+        """Transition a freshly-announced worker to READY.
+
+        If the worker was spawned (tree pickled) before the latest
+        ``publish_priors``, the update is queued *ahead of* the READY
+        transition — the worker drains its queue serially, so the priors
+        land before any request submitted post-READY can build on them.
+        Without this, a shard respawned around a live update would serve
+        forests from outdated priors forever.
+        """
+        with self._lifecycle_lock:
+            current_version = self._priors_version
+            current_priors = self._current_priors
+        with shard.lock:
+            if shard.generation != generation or shard.state is not ShardState.STARTING:
+                return
+            if current_priors is not None and shard.priors_version < current_version:
+                shard.request_queue.put_nowait(
+                    ("set_priors", self._next_ticket(), current_priors)
+                )
+                shard.priors_version = current_version
+                logger.info(
+                    "re-sent published priors (v%d) to respawned shard %d",
+                    current_version,
+                    shard.slot,
+                )
+            shard.transition(ShardState.READY)
+
+    def _handle_crash(self, shard: ShardHandle, generation: int) -> None:
+        """Crash path: fail in-flight tickets, respawn or declare the slot dead."""
+        with self._lifecycle_lock:
+            with shard.lock:
+                if shard.generation != generation or shard.state in (
+                    ShardState.STOPPED,
+                    ShardState.DEAD,
+                ):
+                    return
+                shard.transition(ShardState.CRASHED)
+                exhausted = shard.respawns >= self.respawn_limit
+                closed = self._closed
+            failed = shard.fail_pending(
+                ShardCrashedError(
+                    f"shard {shard.slot} (generation {generation}) died mid-request"
+                )
+            )
+            self._stats["crash_failures"] += failed
+            logger.warning(
+                "shard %d died (generation %d, %d request(s) in flight)",
+                shard.slot,
+                generation,
+                failed,
+            )
+            if closed:
+                with shard.lock:
+                    shard.transition(ShardState.STOPPED)
+                return
+            if exhausted:
+                with shard.lock:
+                    shard.transition(ShardState.DEAD)
+                logger.error(
+                    "shard %d exceeded respawn_limit=%d; slot is permanently dead",
+                    shard.slot,
+                    self.respawn_limit,
+                )
+                return
+            with shard.lock:
+                shard.respawns += 1
+            self._stats["respawns"] += 1
+        self._spawn(shard)
+
+    def wait_ready(self, timeout_s: float = 60.0) -> None:
+        """Block until every shard is READY or terminal (spawn rendezvous).
+
+        Slots already DEAD or STOPPED are skipped *immediately* — the state
+        is checked before any wait, so a permanently dead slot costs nothing
+        instead of stalling the caller for the whole timeout.  If *no* slot
+        reaches READY (e.g. the engine constructor raises in every worker),
+        this raises :class:`EnginePoolError` instead of reporting a pool
+        that cannot serve a single request as ready.
+        """
+        deadline = time.monotonic() + timeout_s
+        ready = 0
+        for shard in self._shards:
+            while True:
+                with shard.lock:
+                    state = shard.state
+                if state is ShardState.READY:
+                    ready += 1
+                    break
+                if state in (ShardState.DEAD, ShardState.STOPPED):
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise PoolTimeoutError(
+                        f"shard {shard.slot} not ready within {timeout_s:.1f} s "
+                        f"(state {state.value})"
+                    )
+                # Short waits so a transition to a terminal state (which
+                # never sets ready_event) is noticed promptly.
+                shard.ready_event.wait(timeout=min(0.05, remaining))
+        if ready == 0:
+            raise EnginePoolError(
+                f"no shard became ready ({self.num_shards} slot(s) dead or stopped); "
+                "the pool cannot serve"
+            )
+
+    def close(self) -> None:
+        """Stop every shard and release resources (idempotent)."""
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            self._closed = True
+        for shard in self._shards:
+            with shard.lock:
+                if shard.state in (ShardState.STARTING, ShardState.READY):
+                    try:
+                        shard.request_queue.put_nowait(None)
+                    except (ValueError, OSError, queue_module.Full):
+                        pass
+                if shard.state not in (ShardState.STOPPED, ShardState.DEAD):
+                    shard.transition(ShardState.STOPPED)
+                process = shard.process
+            shard.fail_pending(EnginePoolError("engine pool closed"))
+            if process is not None:
+                try:
+                    process.join(timeout=5.0)
+                    if process.is_alive():
+                        process.terminate()
+                        process.join(timeout=2.0)
+                except (AssertionError, ValueError):
+                    pass  # a respawn raced close() and never start()ed this one
+        for shard in self._shards:
+            for q in (shard.request_queue, shard.response_queue):
+                if q is not None:
+                    q.close()
+                    q.cancel_join_thread()
+        logger.info("engine pool closed (%d shards)", self.num_shards)
+
+    def __enter__(self) -> "EnginePool":
+        try:
+            self.wait_ready()
+        except BaseException:
+            # __exit__ never runs when __enter__ raises — clean up here or
+            # leak every worker process and collector thread.
+            self.close()
+            raise
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Routed requests with failover
+    # ------------------------------------------------------------------ #
+
+    def _next_ticket(self) -> int:
+        with self._ticket_lock:
+            return next(self._tickets)
+
+    def _pick_shard(self, key: Tuple[int, int, float]) -> Optional[ShardHandle]:
+        """First READY shard along the key's ring order; None = worth waiting."""
+        any_pending = False
+        for slot in self.route_key(key):
+            shard = self._shards[slot]
+            with shard.lock:
+                state = shard.state
+            if state is ShardState.READY:
+                return shard
+            if state in (ShardState.STARTING, ShardState.CRASHED):
+                any_pending = True
+        if any_pending:
+            return None
+        raise EnginePoolError(
+            "every shard is permanently dead or stopped; the pool cannot serve"
+        )
+
+    def _wait_any_progress(self, deadline: float) -> None:
+        """Sleep-poll until some shard might be READY again (respawn window)."""
+        while time.monotonic() < deadline:
+            for shard in self._shards:
+                if shard.ready_event.wait(timeout=0.02):
+                    return
+        raise PoolTimeoutError(
+            f"no shard became ready within request_timeout_s={self.request_timeout_s}"
+        )
+
+    def _request_routed(self, key: Tuple[int, int, float], op: str, payload) -> object:
+        """Run one op on the key's home shard, failing over along the ring."""
+        if self._closed:
+            raise EnginePoolError("engine pool is closed")
+        deadline = time.monotonic() + self.request_timeout_s
+        max_attempts = self.num_shards * (self.respawn_limit + 1) + 1
+        last_error: Optional[BaseException] = None
+        for _ in range(max_attempts):
+            shard = self._pick_shard(key)
+            if shard is None:
+                self._wait_any_progress(deadline)
+                continue
+            ticket = self._next_ticket()
+            try:
+                entry = shard.submit(op, payload, ticket)
+            except ShardUnavailableError as error:
+                last_error = error
+                continue
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not entry.event.wait(timeout=remaining):
+                shard.abandon(ticket)
+                raise PoolTimeoutError(
+                    f"shard {shard.slot} did not answer {op!r} within "
+                    f"{self.request_timeout_s:.1f} s"
+                )
+            if entry.error is not None:
+                if isinstance(entry.error, (ShardCrashedError, ShardUnavailableError)):
+                    last_error = entry.error
+                    self._stats["retries"] += 1
+                    logger.info(
+                        "retrying %s for key %s after %s", op, key, entry.error
+                    )
+                    continue
+                raise entry.error
+            return entry.result
+        raise last_error or EnginePoolError(f"request {op!r} exhausted retries")
+
+    # ------------------------------------------------------------------ #
+    # Forest-provider surface
+    # ------------------------------------------------------------------ #
+
+    def build_forest_traced(
+        self,
+        privacy_level: int,
+        delta: int,
+        *,
+        epsilon: Optional[float] = None,
+        use_cache: bool = True,
+    ) -> Tuple[PrivacyForest, bool]:
+        """Build (or fetch) one forest on the key's home shard.
+
+        The worker ships back plain matrices; the parent reattaches them to
+        its own tree handle, so callers receive a normal
+        :class:`~repro.server.privacy_forest.PrivacyForest` byte-identical
+        to a single-process build.
+        """
+        key = self._normalize(privacy_level, delta, epsilon)
+        payload = (key[0], key[1], key[2], bool(use_cache))
+        result = self._request_routed(key, "build", payload)
+        forest = PrivacyForest(
+            self.tree, result["privacy_level"], result["delta"], result["epsilon"]
+        )
+        for root_id, matrix in result["matrices"].items():
+            forest.add(root_id, matrix)
+        return forest, bool(result["cached"])
+
+    def build_forest(
+        self,
+        privacy_level: int,
+        delta: int,
+        *,
+        epsilon: Optional[float] = None,
+        use_cache: bool = True,
+    ) -> PrivacyForest:
+        """:meth:`build_forest_traced` without the cache flag."""
+        forest, _ = self.build_forest_traced(
+            privacy_level, delta, epsilon=epsilon, use_cache=use_cache
+        )
+        return forest
+
+    generate_privacy_forest = build_forest
+    generate_forest = build_forest
+
+    def publish_leaf_priors(self, subtree_root_id: str) -> Dict[str, float]:
+        """Leaf priors of one sub-tree, served from the parent's tree handle.
+
+        Read under the tree lock so a concurrent :meth:`publish_priors` can
+        never be observed half-applied.
+        """
+        with self._tree_lock:
+            leaves = self.tree.descendant_leaves(subtree_root_id)
+            return {leaf.node_id: leaf.prior for leaf in leaves}
+
+    # ------------------------------------------------------------------ #
+    # Broadcast cache lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _broadcast(
+        self,
+        op: str,
+        payload,
+        timeout_s: Optional[float] = None,
+        *,
+        partial: bool = False,
+    ) -> Dict[int, object]:
+        """Run one op on every shard that can take it; return answers by slot.
+
+        Shards that are respawning are skipped — a fresh worker starts with
+        a cold cache, which is exactly the post-broadcast state (and a live
+        prior update is re-sent at READY) — and a shard that dies
+        mid-broadcast counts as flushed for the same reason.  With
+        ``partial=True`` a shard that does not answer within the timeout is
+        simply omitted from the result (monitoring must not fail wholesale
+        because one worker is deep in a long build); otherwise the timeout
+        raises :class:`PoolTimeoutError`.
+        """
+        timeout_s = self.request_timeout_s if timeout_s is None else float(timeout_s)
+        entries = []
+        for shard in self._shards:
+            ticket = self._next_ticket()
+            try:
+                entries.append((shard, ticket, shard.submit(op, payload, ticket)))
+            except ShardUnavailableError:
+                continue
+        deadline = time.monotonic() + timeout_s
+        results: Dict[int, object] = {}
+        for shard, ticket, entry in entries:
+            remaining = max(0.0, deadline - time.monotonic())
+            if not entry.event.wait(timeout=remaining):
+                # Abandoning makes resolve() drop the stray late answer
+                # instead of counting it as completed work.
+                shard.abandon(ticket)
+                if partial:
+                    continue
+                raise PoolTimeoutError(
+                    f"shard {shard.slot} did not answer broadcast {op!r} within "
+                    f"{timeout_s:.1f} s"
+                )
+            if entry.error is not None:
+                if isinstance(entry.error, (ShardCrashedError, ShardUnavailableError)):
+                    continue
+                raise entry.error
+            results[shard.slot] = entry.result
+        return results
+
+    def invalidate(self, privacy_level: Optional[int] = None) -> int:
+        """Drop cached forests on every shard; return the total dropped."""
+        answers = self._broadcast(
+            "invalidate", None if privacy_level is None else int(privacy_level)
+        )
+        return sum(int(count) for count in answers.values())
+
+    def publish_priors(
+        self, priors: Mapping[str, float], *, normalize: bool = True
+    ) -> int:
+        """Install new leaf priors everywhere and flush every shard's caches.
+
+        Masses are vetted (finite, non-negative) and the parent tree is
+        updated first — so a bad payload never reaches a worker — then the
+        update is broadcast.  A shard that cannot take the broadcast right
+        now (respawning) gets it re-sent the moment it turns READY, keyed
+        by a monotonically increasing priors version, so no replica is left
+        serving pre-update priors.  Returns the total number of forests
+        flushed across the shards that answered.
+        """
+        vetted = validate_prior_masses(priors)
+        payload = (vetted, bool(normalize))
+        # Mutate the parent tree *before* bumping the version: a worker
+        # forked in between then carries the new tree with an old version
+        # stamp (one redundant re-send), never the old tree with a new
+        # stamp (a silently stale replica).
+        with self._tree_lock:
+            self.tree.set_leaf_priors(dict(vetted), normalize=normalize)
+        with self._lifecycle_lock:
+            self._priors_version += 1
+            version = self._priors_version
+            self._current_priors = payload
+        answers = self._broadcast("set_priors", payload)
+        for slot in answers:
+            shard = self._shards[slot]
+            with shard.lock:
+                shard.priors_version = max(shard.priors_version, version)
+        return sum(int(count) for count in answers.values())
+
+    # ------------------------------------------------------------------ #
+    # Health and introspection
+    # ------------------------------------------------------------------ #
+
+    def health_check(self, timeout_s: float = 5.0) -> Dict[int, bool]:
+        """Ping every shard; True = answered within the timeout.
+
+        Partial by design: one busy or dead shard marks only itself
+        unhealthy, never its siblings.
+        """
+        answers = self._broadcast("ping", None, timeout_s=timeout_s, partial=True)
+        return {shard.slot: shard.slot in answers for shard in self._shards}
+
+    def shard_states(self) -> List[Dict[str, object]]:
+        """Lifecycle snapshot of every slot (parent-side, no worker round-trip)."""
+        return [shard.info() for shard in self._shards]
+
+    def pool_stats(self) -> Dict[str, int]:
+        """Respawn/retry/crash counters accumulated since construction."""
+        with self._lifecycle_lock:
+            return dict(self._stats)
+
+    def cache_diagnostics(self, timeout_s: float = 10.0) -> Dict[str, object]:
+        """Aggregated engine diagnostics plus pool lifecycle state.
+
+        The per-shard engine numbers are fetched over the request queues;
+        the broadcast is partial, so a shard stuck in a long build is merely
+        absent from ``shards_reporting`` rather than blocking monitoring or
+        zeroing its siblings' counters.  Scalar counters are summed across
+        the shards that answered; the summary keeps the single-engine key
+        shape (``forest_entries``, ``structure_sharing``, …) so existing
+        dashboards and :meth:`CORGIService.snapshot` work unchanged.
+        """
+        answers = self._broadcast("diagnostics", None, timeout_s=timeout_s, partial=True)
+        summed = {
+            "forest_entries": 0,
+            "forest_expirations": 0,
+            "invalidations": 0,
+            "matrix_entries": 0,
+        }
+        forest_stats = {"hits": 0, "misses": 0, "evictions": 0}
+        matrix_stats = {"hits": 0, "misses": 0, "evictions": 0}
+        structure = {"groups": 0, "builds": 0, "reuses": 0}
+        for diagnostics in answers.values():
+            for name in summed:
+                summed[name] += int(diagnostics.get(name, 0))
+            for target, source_key in (
+                (forest_stats, "forest_stats"),
+                (matrix_stats, "matrix_stats"),
+                (structure, "structure_sharing"),
+            ):
+                source = diagnostics.get(source_key, {})
+                for name in target:
+                    target[name] += int(source.get(name, 0))
+        return {
+            **summed,
+            "forest_stats": forest_stats,
+            "forest_ttl_s": float(self.config.forest_ttl_s),
+            "matrix_stats": matrix_stats,
+            "structure_sharing": structure,
+            "max_workers": self.num_shards,
+            "pool": {
+                "num_shards": self.num_shards,
+                "respawn_limit": self.respawn_limit,
+                "shards_reporting": sorted(answers),
+                "shards": self.shard_states(),
+                **self.pool_stats(),
+            },
+        }

@@ -125,9 +125,12 @@ class CORGIService:
     Parameters
     ----------
     engine:
-        The :class:`~repro.server.engine.ForestEngine` to serve.  A
-        :class:`~repro.server.server.CORGIServer` is also accepted (its
-        engine is unwrapped), so existing setup code migrates with one line.
+        The engine to serve: a :class:`~repro.server.engine.ForestEngine`,
+        a sharded :class:`~repro.service.pool.EnginePool`, or anything else
+        exposing the same ``build_forest_traced`` / ``tree`` / ``config``
+        surface.  A :class:`~repro.server.server.CORGIServer` is also
+        accepted (its engine is unwrapped), so existing setup code migrates
+        with one line.
     config:
         Serving-tier limits; defaults are sized for a small deployment.
     """
@@ -139,9 +142,14 @@ class CORGIService:
     ) -> None:
         inner = getattr(engine, "engine", None)
         self.engine: ForestEngine = inner if isinstance(inner, ForestEngine) else engine
-        if not isinstance(self.engine, ForestEngine):
+        if not (
+            callable(getattr(self.engine, "build_forest_traced", None))
+            and hasattr(self.engine, "tree")
+            and hasattr(self.engine, "config")
+        ):
             raise TypeError(
-                f"engine must be a ForestEngine or CORGIServer, got {type(engine).__name__}"
+                "engine must be a ForestEngine, EnginePool or CORGIServer "
+                f"(or duck-compatible), got {type(engine).__name__}"
             )
         self.config = config or ServiceConfig()
         self.config.validate()
@@ -338,10 +346,47 @@ class CORGIService:
         """Leaf priors of one sub-tree (exposed on the wire as ``/priors/<id>``)."""
         return self.engine.publish_leaf_priors(subtree_root_id)
 
+    # ------------------------------------------------------------------ #
+    # Cache lifecycle (admin surface)
+    # ------------------------------------------------------------------ #
+
+    def invalidate(self, privacy_level: Optional[int] = None) -> int:
+        """Drop cached forests on the engine (all levels, or one).
+
+        On an :class:`~repro.service.pool.EnginePool` this broadcasts to
+        every shard.  Returns the number of forests dropped; exposed on the
+        wire as ``POST /admin/invalidate``.
+        """
+        dropped = int(self.engine.invalidate(privacy_level))
+        self.metrics.increment("invalidated", dropped)
+        return dropped
+
+    def publish_priors(
+        self, priors: Mapping[str, float], *, normalize: bool = True
+    ) -> int:
+        """Install new leaf priors and flush affected caches (live update).
+
+        Exposed on the wire as ``POST /admin/priors``; on a pool the update
+        reaches every shard.  Returns the number of forests flushed.
+        """
+        dropped = int(self.engine.publish_priors(priors, normalize=normalize))
+        self.metrics.increment("invalidated", dropped)
+        return dropped
+
     def snapshot(self) -> Dict[str, object]:
-        """Service metrics plus engine cache diagnostics, JSON-friendly."""
+        """Service metrics plus engine cache diagnostics, JSON-friendly.
+
+        The in-flight gauges are read under the service lock so the snapshot
+        is one consistent view of the single-flight table.
+        """
+        with self._lock:
+            gauges = {
+                "pending_leaders": self._pending_leaders,
+                "inflight_keys": len(self._inflight),
+            }
         return {
             "service": self.metrics.snapshot(),
+            "gauges": gauges,
             "engine": self.engine.cache_diagnostics(),
             "limits": {
                 "max_in_flight": self.config.max_in_flight,

@@ -1,0 +1,305 @@
+"""One engine shard: a worker process hosting a :class:`ForestEngine` replica.
+
+The :class:`~repro.service.pool.EnginePool` runs N of these behind one
+:class:`~repro.service.service.CORGIService`.  Following the DB-nets idea of
+modelling component lifecycles as explicit states with verified
+transitions, a shard is always in exactly one :class:`ShardState`, and the
+parent-side handle enforces the legal transition graph — an illegal
+transition is a bug and raises immediately instead of corrupting the pool's
+bookkeeping.
+
+Dispatch shape (the MSMQ-style queue-per-shard design): every shard owns a
+private request queue and a private response queue.  The parent posts
+`(op, ticket, payload)` tuples; the worker loop processes them serially
+against its engine and posts ``(ticket, "ok"|"error", result)`` back.  A
+collector thread in the parent drains the response queue and resolves the
+per-ticket rendezvous; the same thread doubles as the health check — when
+the queue stays silent it polls ``Process.is_alive()``, so a SIGKILLed
+worker is detected within one poll interval and every request in flight on
+it fails over (see :class:`~repro.service.pool.EnginePool`).
+
+Only plain picklable data crosses the process boundary: requests carry
+scalars, responses carry ``{root_id: ObfuscationMatrix}`` mappings — never
+the tree, never a :class:`~repro.server.privacy_forest.PrivacyForest` (the
+parent reattaches matrices to its own tree handle).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import Dict, Optional, Tuple
+
+from repro.core.objective import TargetDistribution
+from repro.server.engine import ForestEngine, ServerConfig
+from repro.tree.location_tree import LocationTree
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+__all__ = [
+    "ShardState",
+    "ShardCrashedError",
+    "ShardUnavailableError",
+    "CONTROL_TICKET",
+    "shard_worker_main",
+]
+
+#: Ticket id reserved for unsolicited worker → parent control messages
+#: (currently only the post-construction ``ready`` announcement).
+CONTROL_TICKET = -1
+
+
+class ShardState(Enum):
+    """Lifecycle states of one shard slot (parent-side view)."""
+
+    STARTING = "starting"
+    READY = "ready"
+    CRASHED = "crashed"
+    DEAD = "dead"  # crashed with the respawn budget exhausted — permanent
+    STOPPED = "stopped"  # orderly shutdown
+
+
+#: Legal lifecycle transitions.  ``CRASHED -> STARTING`` is the respawn
+#: edge; ``DEAD`` and ``STOPPED`` are terminal.
+_LEGAL_TRANSITIONS: Dict[ShardState, Tuple[ShardState, ...]] = {
+    ShardState.STARTING: (ShardState.READY, ShardState.CRASHED, ShardState.STOPPED),
+    ShardState.READY: (ShardState.CRASHED, ShardState.STOPPED),
+    ShardState.CRASHED: (ShardState.STARTING, ShardState.DEAD, ShardState.STOPPED),
+    ShardState.DEAD: (),
+    ShardState.STOPPED: (),
+}
+
+
+def legal_transition(current: ShardState, target: ShardState) -> bool:
+    """Whether ``current -> target`` is an edge of the lifecycle graph."""
+    return target in _LEGAL_TRANSITIONS[current]
+
+
+class ShardCrashedError(RuntimeError):
+    """The shard died while (or before) serving the request.
+
+    The pool treats this as retryable: the request is re-routed to the next
+    shard on the consistent-hash ring while the crashed slot respawns.
+    """
+
+
+class ShardUnavailableError(RuntimeError):
+    """The shard cannot accept work right now (not READY, or shutting down)."""
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything a worker process needs to host an engine replica (picklable).
+
+    ``max_workers`` is forced to 1: shard processes *are* the parallelism,
+    and nested process fan-out inside a daemonic worker is not allowed by
+    ``multiprocessing`` anyway.  ``keep_generation_results`` is forced off
+    because convergence traces never cross the process boundary.
+    """
+
+    shard_id: int
+    tree: LocationTree
+    config: ServerConfig
+    targets: Optional[TargetDistribution] = None
+    chaos_build_delay_s: float = 0.0
+
+    def engine_config(self) -> ServerConfig:
+        return replace(self.config, max_workers=1, keep_generation_results=False)
+
+
+def shard_worker_main(spec: ShardSpec, request_queue, response_queue) -> None:
+    """Worker-process entry point: serve the shard's request queue forever.
+
+    Ops (``(op, ticket, payload)`` on the request queue; ``None`` = orderly
+    shutdown):
+
+    * ``build`` — payload ``(privacy_level, delta, epsilon, use_cache)``;
+      result ``{"privacy_level", "delta", "epsilon", "matrices", "cached"}``.
+    * ``invalidate`` — payload ``privacy_level | None``; result = #dropped.
+    * ``set_priors`` — payload ``(priors_mapping, normalize)``; result =
+      #forests flushed.
+    * ``diagnostics`` — engine cache diagnostics dict.
+    * ``ping`` — liveness probe; result ``"pong"``.
+
+    Failures are *answers*, not crashes: any exception raised by the engine
+    is shipped back under the request's ticket and re-raised in the caller.
+    Only a process-level death (OOM kill, SIGKILL) leaves a ticket
+    unanswered — that is the case the parent's collector thread detects.
+    """
+    engine = ForestEngine(spec.tree, spec.engine_config(), targets=spec.targets)
+    response_queue.put(
+        (CONTROL_TICKET, "ready", {"shard_id": spec.shard_id, "pid": os.getpid()})
+    )
+    logger.debug("shard %d ready (pid %d)", spec.shard_id, os.getpid())
+    while True:
+        message = request_queue.get()
+        if message is None:
+            logger.debug("shard %d stopping (pid %d)", spec.shard_id, os.getpid())
+            return
+        op, ticket, payload = message
+        try:
+            if op == "build":
+                privacy_level, delta, epsilon, use_cache = payload
+                if spec.chaos_build_delay_s > 0:
+                    # Chaos/test hook: widen the in-flight window so crash
+                    # injection lands deterministically mid-build.
+                    time.sleep(spec.chaos_build_delay_s)
+                forest, cached = engine.build_forest_traced(
+                    privacy_level, delta, epsilon=epsilon, use_cache=use_cache
+                )
+                result = {
+                    "privacy_level": forest.privacy_level,
+                    "delta": forest.delta,
+                    "epsilon": forest.epsilon,
+                    "matrices": dict(forest),
+                    "cached": cached,
+                }
+            elif op == "invalidate":
+                result = engine.invalidate(payload)
+            elif op == "set_priors":
+                priors, normalize = payload
+                result = engine.publish_priors(priors, normalize=normalize)
+            elif op == "diagnostics":
+                result = engine.cache_diagnostics()
+            elif op == "ping":
+                result = "pong"
+            else:
+                raise ValueError(f"unknown shard op {op!r}")
+        except BaseException as error:  # noqa: BLE001 - shipped to the caller
+            response_queue.put((ticket, "error", error))
+        else:
+            response_queue.put((ticket, "ok", result))
+
+
+class ShardHandle:
+    """Parent-side view of one shard slot: process, queues, tickets, state.
+
+    The handle owns the per-ticket rendezvous map and the verified state
+    machine; process management (spawn, respawn, collector threads) is the
+    pool's job.  All mutation happens under ``self.lock``.
+    """
+
+    def __init__(self, slot: int) -> None:
+        self.slot = slot
+        self.lock = threading.Lock()
+        self.state = ShardState.STARTING
+        self.process = None  # multiprocessing.Process, attached by the pool
+        self.request_queue = None
+        self.response_queue = None
+        self.ready_event = threading.Event()
+        self.pending: Dict[int, "_PendingTicket"] = {}
+        self.respawns = 0
+        self.generation = 0  # bumped on every (re)spawn
+        self.priors_version = 0  # last published-priors version this worker carries
+        self.dispatched = 0
+        self.completed = 0
+        self.crash_failures = 0
+
+    # ------------------------------------------------------------------ #
+    # State machine
+    # ------------------------------------------------------------------ #
+
+    def transition(self, target: ShardState) -> None:
+        """Move to *target*, enforcing the lifecycle graph (lock held by caller)."""
+        if not legal_transition(self.state, target):
+            raise RuntimeError(
+                f"illegal shard transition {self.state.value} -> {target.value} "
+                f"(slot {self.slot})"
+            )
+        logger.debug(
+            "shard %d: %s -> %s", self.slot, self.state.value, target.value
+        )
+        self.state = target
+        if target is ShardState.READY:
+            self.ready_event.set()
+        else:
+            self.ready_event.clear()
+
+    # ------------------------------------------------------------------ #
+    # Tickets
+    # ------------------------------------------------------------------ #
+
+    def submit(self, op: str, payload, ticket: int) -> "_PendingTicket":
+        """Register a ticket and post the request; raises if not READY."""
+        with self.lock:
+            if self.state is not ShardState.READY:
+                raise ShardUnavailableError(
+                    f"shard {self.slot} is {self.state.value}, not ready"
+                )
+            entry = _PendingTicket()
+            self.pending[ticket] = entry
+            self.dispatched += 1
+            request_queue = self.request_queue
+        # Posting outside the lock: Queue.put can block on a full pipe and
+        # must never do so while holding the ticket lock.
+        request_queue.put((op, ticket, payload))
+        return entry
+
+    def resolve(self, ticket: int, status: str, payload) -> None:
+        """Deliver a worker answer to its waiting caller (collector thread)."""
+        with self.lock:
+            entry = self.pending.pop(ticket, None)
+            if entry is None:
+                # Ticket already failed over (e.g. resolved as crashed just
+                # before the respawned worker's answer arrived) — drop it.
+                return
+            self.completed += 1
+        if status == "ok":
+            entry.result = payload
+        else:
+            entry.error = payload
+        entry.event.set()
+
+    def abandon(self, ticket: int) -> None:
+        """Forget a ticket whose caller gave up waiting (timeout).
+
+        Without this, a timed-out request would sit in ``pending`` forever,
+        inflating the ``in_flight`` gauge — and a stray late answer would be
+        counted as completed work instead of being dropped by
+        :meth:`resolve`.
+        """
+        with self.lock:
+            self.pending.pop(ticket, None)
+
+    def fail_pending(self, error: BaseException) -> int:
+        """Fail every in-flight ticket (crash path); return how many."""
+        with self.lock:
+            entries = list(self.pending.values())
+            self.pending.clear()
+            self.crash_failures += len(entries)
+        for entry in entries:
+            entry.error = error
+            entry.event.set()
+        return len(entries)
+
+    def info(self) -> Dict[str, object]:
+        """JSON-friendly snapshot of this slot's lifecycle counters."""
+        with self.lock:
+            process = self.process
+            return {
+                "slot": self.slot,
+                "state": self.state.value,
+                "pid": None if process is None else process.pid,
+                "alive": bool(process is not None and process.is_alive()),
+                "respawns": self.respawns,
+                "generation": self.generation,
+                "dispatched": self.dispatched,
+                "completed": self.completed,
+                "in_flight": len(self.pending),
+                "crash_failures": self.crash_failures,
+            }
+
+
+class _PendingTicket:
+    """Rendezvous for one outstanding shard request."""
+
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result = None
+        self.error: Optional[BaseException] = None

@@ -1,14 +1,23 @@
-"""Shared pytest fixtures.
+"""Shared pytest fixtures and concurrency-test helpers.
 
 Expensive objects (LP solutions, robust matrices, the synthetic dataset)
 are session-scoped so the suite stays fast: most tests operate on a 7-leaf
 sub-tree where a full LP solve takes well under a second.
+
+The concurrency helpers (:func:`run_burst`, :func:`wait_until`,
+:func:`free_port` — defined in :mod:`helpers_concurrency`, re-exported
+here and as fixtures) exist so no test needs an ad-hoc ``time.sleep`` to
+synchronize with background work: bursts are barrier-released and
+deadline-joined, and ordering is expressed as a polled predicate with a
+hard timeout instead of a guessed delay.
 """
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
+
+from helpers_concurrency import BurstOutcome, free_port, run_burst, wait_until  # noqa: F401
 
 from repro.core.graphapprox import HexNeighborhoodGraph
 from repro.core.lp import ObfuscationLP
@@ -24,6 +33,23 @@ from repro.tree.priors import priors_from_checkins
 #: 7-leaf tree's ~0.9 km spacing this keeps the Geo-Ind constraints active
 #: without making the LP trivially identity-like.
 TEST_EPSILON = 2.0
+
+
+# --------------------------------------------------------------------- #
+# Concurrency helpers (shared by the service / pool / transport tests)
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture()
+def burst():
+    """Fixture handle on :func:`run_burst` (keeps test imports conftest-free)."""
+    return run_burst
+
+
+@pytest.fixture()
+def wait_for():
+    """Fixture handle on :func:`wait_until`."""
+    return wait_until
 
 
 @pytest.fixture(scope="session")

@@ -8,13 +8,14 @@ an ephemeral port — including the acceptance check that HTTP and
 in-process transports return byte-identical forests.
 """
 
+import copy
 import json
 import threading
-import time
 
 import numpy as np
 import pytest
 
+from helpers_concurrency import run_burst, wait_until
 from repro.client.client import CORGIClient
 from repro.client.transport import (
     HTTPTransport,
@@ -159,62 +160,52 @@ class TestSingleFlight:
     def test_concurrent_identical_requests_build_once(self, service, engine):
         """Acceptance: N concurrent identical requests → exactly one engine build."""
         num_threads = 6
-        barrier = threading.Barrier(num_threads)
         original = engine.build_forest_traced
 
-        def slow_build(*args, **kwargs):
-            time.sleep(0.25)  # hold the build open so followers pile up
+        def gated_build(*args, **kwargs):
+            # Hold the build open until every other burst member has
+            # actually coalesced behind this leader — the condition the old
+            # ad-hoc sleep only hoped for.
+            wait_until(
+                lambda: service.metrics.count("coalesced") == num_threads - 1,
+                timeout_s=10,
+                message="all followers to coalesce behind the leader",
+            )
             return original(*args, **kwargs)
 
-        engine.build_forest_traced = slow_build
-        forests = [None] * num_threads
-        errors = []
+        engine.build_forest_traced = gated_build
+        try:
+            outcome = run_burst(
+                lambda: service.generate_privacy_forest(1, 1),
+                count=num_threads,
+                timeout_s=60,
+            ).raise_errors()
+        finally:
+            engine.build_forest_traced = original
 
-        def worker(index):
-            try:
-                barrier.wait(timeout=10)
-                forests[index] = service.generate_privacy_forest(1, 1)
-            except Exception as error:  # pragma: no cover - failure reporting
-                errors.append(error)
-
-        threads = [threading.Thread(target=worker, args=(i,)) for i in range(num_threads)]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join(timeout=30)
-        engine.build_forest_traced = original
-
-        assert not errors
-        assert all(forest is not None for forest in forests)
         # Everyone got the same forest object from the one build.
-        assert all(forest is forests[0] for forest in forests)
+        assert all(forest is outcome.results[0] for forest in outcome.results)
         assert service.metrics.count("engine_builds") == 1
         assert service.metrics.count("coalesced") == num_threads - 1
         assert service.metrics.count("requests") == num_threads
 
     def test_leader_error_propagates_to_followers(self, service, engine):
-        started = threading.Event()
-
         def failing_build(*args, **kwargs):
-            started.set()
-            time.sleep(0.1)
+            wait_until(
+                lambda: service.metrics.count("coalesced") >= 1,
+                timeout_s=10,
+                message="a follower to coalesce before the leader fails",
+            )
             raise RuntimeError("solver exploded")
 
         engine.build_forest_traced = failing_build
-        results = []
-
-        def follower():
-            started.wait(timeout=5)
-            with pytest.raises(RuntimeError):
-                service.generate_privacy_forest(1, 1)
-            results.append("follower-raised")
-
-        thread = threading.Thread(target=follower)
-        thread.start()
-        with pytest.raises(RuntimeError):
-            service.generate_privacy_forest(1, 1)
-        thread.join(timeout=10)
-        assert service.metrics.count("failed") >= 1
+        outcome = run_burst(
+            lambda: service.generate_privacy_forest(1, 1), count=2, timeout_s=60
+        )
+        assert len(outcome.errors) == 2
+        assert all(isinstance(error, RuntimeError) for error in outcome.errors)
+        assert service.metrics.count("failed") == 1  # one leader, one follower
+        assert service.metrics.count("coalesced") == 1
 
     def test_sequential_repeat_is_engine_cache_hit(self, service):
         first = service.generate_privacy_forest(1, 1)
@@ -311,6 +302,62 @@ class TestServiceMetrics:
         assert snapshot["service"]["requests"] == 1
         assert "structure_sharing" in snapshot["engine"]
         assert snapshot["limits"]["max_in_flight"] >= 1
+        assert snapshot["gauges"] == {"pending_leaders": 0, "inflight_keys": 0}
+
+    def test_snapshot_takes_the_metrics_lock_exactly_once(self):
+        """Regression: counters, window and percentiles must come from one
+        consistent view — an earlier snapshot() re-acquired the lock for the
+        percentiles, letting a concurrent writer slip between the reads."""
+        metrics = ServiceMetrics()
+        for value in range(10):
+            metrics.observe_latency(value / 10.0)
+        real_lock = metrics._lock
+        acquisitions = []
+
+        class CountingLock:
+            def __enter__(self):
+                acquisitions.append(1)
+                return real_lock.__enter__()
+
+            def __exit__(self, *exc_info):
+                return real_lock.__exit__(*exc_info)
+
+        metrics._lock = CountingLock()
+        try:
+            snapshot = metrics.snapshot()
+        finally:
+            metrics._lock = real_lock
+        assert len(acquisitions) == 1
+        assert snapshot["latency_window"] == 10
+        # Nearest-rank p50 of {0.0 … 0.9} is the 5th smallest sample.
+        assert snapshot["latency_s"]["p50"] == pytest.approx(0.4)
+
+    def test_snapshot_consistent_under_concurrent_writes(self):
+        """The reported window can never disagree with the percentile basis."""
+        metrics = ServiceMetrics(latency_window=64)
+        stop = threading.Event()
+
+        def writer():
+            value = 0
+            while not stop.is_set():
+                value += 1
+                metrics.observe_latency(float(value))
+
+        thread = threading.Thread(target=writer, daemon=True)
+        thread.start()
+        try:
+            for _ in range(200):
+                snapshot = metrics.snapshot()
+                window = snapshot["latency_window"]
+                assert window <= 64
+                percentiles = snapshot["latency_s"]
+                if window == 0:
+                    assert percentiles == {}
+                else:
+                    assert percentiles["p50"] <= percentiles["p90"] <= percentiles["p99"]
+        finally:
+            stop.set()
+            thread.join(timeout=10)
 
 
 # --------------------------------------------------------------------- #
@@ -452,6 +499,73 @@ class TestHTTPEndToEnd:
         transport = HTTPTransport("http://127.0.0.1:9", timeout_s=0.5)
         with pytest.raises(TransportError):
             transport.health()
+
+
+class TestAdminEndpoints:
+    """Cache lifecycle over the wire: /admin/invalidate and /admin/priors."""
+
+    @pytest.fixture()
+    def admin_stack(self, small_tree_with_priors):
+        # A private tree copy: /admin/priors mutates leaf priors, and the
+        # session-scoped fixture tree must stay pristine for other tests.
+        tree = copy.deepcopy(small_tree_with_priors)
+        engine = ForestEngine(
+            tree, ServerConfig(epsilon=2.0, num_targets=5, robust_iterations=1)
+        )
+        service = CORGIService(engine)
+        server = CORGIHTTPServer(service, port=0).start()
+        try:
+            yield tree, service, HTTPTransport(server.url)
+        finally:
+            server.shutdown()
+
+    def test_invalidate_endpoint(self, admin_stack):
+        _, service, transport = admin_stack
+        transport.fetch_forest(ObfuscationRequest(privacy_level=1, delta=1))
+        assert transport.invalidate() == 1
+        assert transport.invalidate() == 0  # nothing left to drop
+        assert service.metrics.count("invalidated") == 1
+        assert transport.metrics()["engine"]["forest_entries"] == 0
+
+    def test_invalidate_by_level_endpoint(self, admin_stack):
+        _, service, transport = admin_stack
+        transport.fetch_forest(ObfuscationRequest(privacy_level=0, delta=0))
+        transport.fetch_forest(ObfuscationRequest(privacy_level=1, delta=0))
+        assert transport.invalidate(privacy_level=1) == 1
+        assert transport.metrics()["engine"]["forest_entries"] == 1
+
+    def test_priors_endpoint_flushes_and_republishes(self, admin_stack):
+        tree, service, transport = admin_stack
+        transport.fetch_forest(ObfuscationRequest(privacy_level=1, delta=1))
+        masses = {leaf.node_id: index + 1.0 for index, leaf in enumerate(tree.leaves())}
+        assert transport.publish_priors(masses) == 1
+        assert service.metrics.count("invalidated") == 1
+        published = transport._get(f"/priors/{tree.root.node_id}")
+        assert max(published.values()) == pytest.approx(7.0 / 28.0)
+
+    def test_priors_endpoint_rejects_bad_payloads(self, admin_stack):
+        tree, _, transport = admin_stack
+        leaf_id = tree.leaves()[0].node_id
+        # Regression: Python's json parses NaN/Infinity, and a NaN mass
+        # would poison every prior in the tree if it got through.
+        for poison in (float("nan"), float("inf"), -1.0):
+            with pytest.raises(TransportError) as excinfo:
+                transport._post("/admin/priors", {"priors": {leaf_id: poison}})
+            assert excinfo.value.status == 400
+        with pytest.raises(TransportError) as excinfo:
+            transport._post("/admin/priors", {"priors": {}})
+        assert excinfo.value.status == 400
+        with pytest.raises(TransportError) as excinfo:
+            transport._post("/admin/priors", {"priors": "not-a-dict"})
+        assert excinfo.value.status == 400
+        with pytest.raises(TransportError) as excinfo:
+            transport._post("/admin/priors", {"priors": {"bogus-node": 1.0}})
+        assert excinfo.value.status == 404  # unknown node id
+        with pytest.raises(TransportError) as excinfo:
+            transport._post(
+                "/admin/invalidate", {"privacy_level": "not-a-level"}
+            )
+        assert excinfo.value.status == 400
 
 
 class TestProviderNormalization:

@@ -1,0 +1,339 @@
+"""Property-based round-trip tests for the wire formats.
+
+Randomized (but seeded and deterministic: ``derandomize=True``) coverage of
+the two serialization layers:
+
+* :mod:`repro.server.messages` — every valid payload round-trips through
+  real JSON to an equal message; every malformed payload raises
+  ``ValueError``/``TypeError`` (the types transports map to HTTP 400) —
+  never anything else;
+* :mod:`repro.service.http` — arbitrary JSON bodies thrown at a live
+  server always produce a *client*-class answer (200/400/404), never a 500:
+  the error mapping has no hole a malformed payload can fall through.
+
+Hypothesis is an optional dependency (pure test tooling); the module skips
+cleanly where only the runtime deps are installed.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.core.matrix import ObfuscationMatrix  # noqa: E402
+from repro.server.engine import ForestEngine, ServerConfig  # noqa: E402
+from repro.server.messages import (  # noqa: E402
+    ObfuscationRequest,
+    PrivacyForestResponse,
+)
+from repro.service.http import CORGIHTTPServer  # noqa: E402
+from repro.service.service import CORGIService  # noqa: E402
+
+#: Deterministic profile shared by every property in this module.
+DETERMINISTIC = settings(
+    derandomize=True,
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# --------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------- #
+
+#: Values ``int()`` accepts for the integer request fields.
+valid_ints = st.one_of(
+    st.integers(min_value=0, max_value=6),
+    st.integers(min_value=0, max_value=6).map(str),
+)
+
+#: Values ``float()`` accepts and ``__post_init__`` admits for ε.
+valid_epsilons = st.one_of(
+    st.none(),
+    st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+    st.floats(min_value=0.1, max_value=50.0, allow_nan=False).map(str),
+)
+
+
+@st.composite
+def valid_request_payloads(draw):
+    payload = {"privacy_level": draw(valid_ints), "delta": draw(valid_ints)}
+    epsilon = draw(valid_epsilons)
+    if epsilon is not None or draw(st.booleans()):
+        payload["epsilon"] = epsilon
+    return payload
+
+
+def _not_numeric(text: str) -> bool:
+    """True when neither int() nor float() can parse *text*.
+
+    ``float()`` accepts a superset of ``int()``'s grammar (including
+    underscore numerals like ``"1_0"`` that a naive isdigit filter keeps),
+    so one parse attempt is the safe junk filter.
+    """
+    try:
+        float(text)
+    except ValueError:
+        return True
+    return False
+
+
+#: Junk that must be rejected with exactly ValueError/TypeError.  Negative
+#: numbers stay <= -1 so truncation cannot rescue them (int(-0.5) == 0
+#: would be a *valid* privacy_level).
+junk_scalars = st.one_of(
+    st.none(),
+    st.text(max_size=8).filter(_not_numeric),
+    st.integers(max_value=-1),
+    st.floats(max_value=-1.0, allow_nan=False),
+    st.just(float("nan")),
+    st.lists(st.integers(), max_size=2),
+)
+
+
+@st.composite
+def invalid_request_payloads(draw):
+    """Payloads broken in at least one deliberate way."""
+    breakage = draw(st.sampled_from(["missing", "bad_level", "bad_delta", "bad_epsilon"]))
+    payload = {"privacy_level": draw(valid_ints), "delta": draw(valid_ints)}
+    if breakage == "missing":
+        del payload[draw(st.sampled_from(["privacy_level", "delta"]))]
+    elif breakage == "bad_level":
+        payload["privacy_level"] = draw(junk_scalars)
+    elif breakage == "bad_delta":
+        payload["delta"] = draw(junk_scalars)
+    else:
+        # None is a *valid* epsilon (server default applies), so the junk
+        # pool for this field explicitly excludes it.
+        payload["epsilon"] = draw(
+            st.one_of(
+                junk_scalars.filter(lambda value: value is not None),
+                st.just(0),
+                st.just(0.0),
+                st.just("0"),
+                st.just(float("inf")),
+            )
+        )
+    return payload
+
+
+@st.composite
+def response_payloads(draw):
+    """A PrivacyForestResponse with random row-stochastic matrices."""
+    size = draw(st.integers(min_value=1, max_value=4))
+    num_matrices = draw(st.integers(min_value=0, max_value=3))
+    matrices = {}
+    for index in range(num_matrices):
+        raw = draw(
+            st.lists(
+                st.lists(
+                    st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+                    min_size=size,
+                    max_size=size,
+                ),
+                min_size=size,
+                max_size=size,
+            )
+        )
+        values = np.asarray(raw, dtype=float)
+        values = values / values.sum(axis=1, keepdims=True)
+        node_ids = [f"m{index}:n{position}" for position in range(size)]
+        matrices[f"root-{index}"] = ObfuscationMatrix(
+            values=values,
+            node_ids=node_ids,
+            level=draw(st.integers(min_value=0, max_value=3)),
+            epsilon=draw(st.one_of(st.none(), st.floats(0.1, 20.0, allow_nan=False))),
+            delta=draw(st.integers(min_value=0, max_value=3)),
+            metadata={"tag": draw(st.text(max_size=6))},
+        )
+    return PrivacyForestResponse(
+        privacy_level=draw(st.integers(min_value=0, max_value=5)),
+        delta=draw(st.integers(min_value=0, max_value=5)),
+        epsilon=draw(st.floats(min_value=0.1, max_value=50.0, allow_nan=False)),
+        matrices=matrices,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Message-layer properties
+# --------------------------------------------------------------------- #
+
+
+class TestRequestProperties:
+    @DETERMINISTIC
+    @given(payload=valid_request_payloads())
+    def test_valid_payload_roundtrips_through_json(self, payload):
+        request = ObfuscationRequest.from_dict(payload)
+        assert request.privacy_level == int(payload["privacy_level"])
+        assert request.delta == int(payload["delta"])
+        restored = ObfuscationRequest.from_dict(
+            json.loads(json.dumps(request.to_dict()))
+        )
+        assert restored == request
+
+    @DETERMINISTIC
+    @given(payload=invalid_request_payloads())
+    def test_invalid_payload_raises_client_error(self, payload):
+        """Malformed payloads raise exactly the types transports map to 400.
+
+        This property found two real holes when first written: ``NaN`` ε
+        passed validation (``nan <= 0`` is False) and ``Infinity`` integers
+        raised ``OverflowError``, which no transport mapped.
+        """
+        with pytest.raises((ValueError, TypeError)):
+            ObfuscationRequest.from_dict(payload)
+
+
+class TestResponseProperties:
+    @DETERMINISTIC
+    @given(response=response_payloads())
+    def test_response_roundtrips_through_json(self, response):
+        restored = PrivacyForestResponse.from_dict(
+            json.loads(json.dumps(response.to_dict()))
+        )
+        assert restored.privacy_level == response.privacy_level
+        assert restored.delta == response.delta
+        assert restored.epsilon == response.epsilon
+        assert set(restored.matrices) == set(response.matrices)
+        for root_id, matrix in response.matrices.items():
+            other = restored.matrices[root_id]
+            assert other.node_ids == matrix.node_ids
+            assert np.array_equal(other.values, matrix.values)
+        # Full canonical-JSON fixpoint: serialising the restored response
+        # reproduces the original bytes (floats round-trip exactly).
+        assert json.dumps(restored.to_dict(), sort_keys=True) == json.dumps(
+            response.to_dict(), sort_keys=True
+        )
+
+
+# --------------------------------------------------------------------- #
+# HTTP-layer properties against a live server
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def live_server(small_tree_with_priors):
+    engine = ForestEngine(
+        small_tree_with_priors,
+        ServerConfig(epsilon=2.0, num_targets=5, robust_iterations=1),
+    )
+    server = CORGIHTTPServer(CORGIService(engine), port=0).start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+
+
+def _post_status(url: str, body: object) -> int:
+    """POST arbitrary JSON; return the HTTP status (errors included)."""
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status
+    except urllib.error.HTTPError as error:
+        return error.code
+
+
+#: JSON bodies mixing valid requests, broken requests and arbitrary junk.
+fuzz_bodies = st.one_of(
+    valid_request_payloads(),
+    invalid_request_payloads(),
+    st.dictionaries(
+        st.text(max_size=8),
+        st.recursive(
+            st.one_of(st.none(), st.booleans(), st.integers(), st.text(max_size=6)),
+            lambda children: st.lists(children, max_size=3),
+            max_leaves=5,
+        ),
+        max_size=3,
+    ),
+    st.lists(st.integers(), max_size=3),
+    st.integers(),
+    st.text(max_size=10),
+)
+
+#: The statuses a client may ever see for a syntactically-correct HTTP
+#: exchange: success or its own fault — a 5xx would be an error-mapping hole.
+CLIENT_CLASS = {200, 400, 404}
+
+
+class TestHTTPNever500:
+    # The engine serves at most 2×7×… distinct cheap 7-leaf builds here:
+    # valid payloads are drawn from a small level/δ/ε grid, so the 200 arm
+    # stays fast while the 400 arm sweeps the junk space.
+
+    @DETERMINISTIC
+    @given(body=fuzz_bodies)
+    def test_forest_endpoint(self, live_server, body):
+        if isinstance(body, dict):
+            # Bound the 200-path key space so builds stay cheap and cached.
+            for field, cap in (("privacy_level", 1), ("delta", 2)):
+                value = body.get(field)
+                if isinstance(value, (int, str)):
+                    try:
+                        body[field] = min(abs(int(value)), cap)
+                    except (TypeError, ValueError, OverflowError):
+                        pass
+            if isinstance(body.get("epsilon"), (int, float, str)):
+                try:
+                    if float(body["epsilon"]) > 0:
+                        body["epsilon"] = 2.0
+                except (TypeError, ValueError):
+                    pass
+        status = _post_status(live_server.url + "/forest", body)
+        assert status in CLIENT_CLASS, f"unexpected status {status} for {body!r}"
+
+    @DETERMINISTIC
+    @given(
+        requests=st.one_of(
+            st.lists(invalid_request_payloads(), max_size=3),
+            st.integers(),
+            st.none(),
+            st.text(max_size=6),
+        )
+    )
+    def test_batch_endpoint(self, live_server, requests):
+        status = _post_status(
+            live_server.url + "/forest/batch", {"requests": requests}
+        )
+        assert status in CLIENT_CLASS
+
+    @DETERMINISTIC
+    @given(
+        level=st.one_of(
+            st.none(), st.integers(min_value=-3, max_value=9), junk_scalars
+        )
+    )
+    def test_admin_invalidate_endpoint(self, live_server, level):
+        status = _post_status(
+            live_server.url + "/admin/invalidate", {"privacy_level": level}
+        )
+        assert status in CLIENT_CLASS
+
+    @DETERMINISTIC
+    @given(
+        priors=st.one_of(
+            st.none(),
+            st.integers(),
+            st.dictionaries(st.text(max_size=6), junk_scalars, max_size=3),
+            st.dictionaries(
+                st.text(max_size=6),
+                st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+                max_size=3,
+            ),
+        )
+    )
+    def test_admin_priors_endpoint(self, live_server, priors):
+        status = _post_status(live_server.url + "/admin/priors", {"priors": priors})
+        assert status in CLIENT_CLASS
