@@ -1,6 +1,6 @@
-"""Perf trajectory for the service layer: coalescing and sharding.
+"""Perf trajectory for the service layer: coalescing, sharding, hand-off.
 
-Two serving workloads, each the one its mechanism exists for:
+Three serving workloads, each the one its mechanism exists for:
 
 * **coalescing** — a burst of concurrent *identical* requests.  Uncoalesced,
   every request pays a full forest build; through :class:`CORGIService` one
@@ -10,10 +10,17 @@ Two serving workloads, each the one its mechanism exists for:
   bounded by one interpreter.  The same burst through a
   :class:`~repro.service.pool.EnginePool` spreads the keys across worker
   processes via consistent-hash routing and scales with cores.
+* **handoff** — cold vs. warm failover.  Cold: a shard is SIGKILLed with
+  warm recovery disabled, and its hot keys are rebuilt through the LP
+  pipeline on the ring sibling — the latency cliff.  Warm: the shard is
+  gracefully drained, its cache snapshot ships to the sibling, and the same
+  keys are forest-cache hits.  The warm p50 must sit far below the cold p50.
 
 Results are recorded section-by-section in ``BENCH_service.json`` so future
-PRs can track both trends.  The sharded-beats-single assertion only applies
-on multi-core hosts (on one core the pool can only add IPC overhead).
+PRs can track all three trends.  The sharded-beats-single assertion only
+applies on multi-core hosts (on one core the pool can only add IPC
+overhead); the hand-off assertion holds everywhere (a cache hit beats an LP
+campaign on any core count).
 
 Run with::
 
@@ -27,12 +34,14 @@ from __future__ import annotations
 
 import json
 import os
+import statistics
+import time
 from pathlib import Path
-from typing import Callable, Dict, Sequence
+from typing import Callable, Dict, List, Sequence
 
 import pytest
 
-from helpers_concurrency import run_burst  # tests/ dir; see benchmarks/conftest.py
+from helpers_concurrency import run_burst, wait_until  # tests/; see benchmarks/conftest.py
 from repro.geometry.haversine import LatLng
 from repro.server.engine import ForestEngine, ServerConfig
 from repro.service.pool import EnginePool
@@ -95,7 +104,7 @@ def _update_results(section: str, payload: Dict[str, object]) -> None:
         try:
             existing = json.loads(RESULT_PATH.read_text(encoding="utf-8"))
             if isinstance(existing, dict) and (
-                "coalescing" in existing or "sharding" in existing
+                "coalescing" in existing or "sharding" in existing or "handoff" in existing
             ):
                 document = existing
         except json.JSONDecodeError:
@@ -246,3 +255,101 @@ def test_perf_service_sharding():
     # Acceptance (≥2 cores): process sharding beats the single interpreter.
     if MULTI_CORE:
         assert payload["speedup"] > 1.0, payload["burst_wall_s"]
+
+
+@pytest.mark.perf
+def test_perf_service_handoff():
+    """Cold vs. warm failover: SIGKILL without recovery vs. graceful drain.
+
+    Both phases warm the victim shard's hot keys, remove the victim, then
+    time each of its keys served through the pool (routing falls to the
+    ring sibling in both cases).  Cold = the sibling rebuilds through the
+    LP pipeline; warm = the drain shipped the cache snapshot ahead of the
+    requests, so every key is a forest-cache hit.
+    """
+
+    def victim_keys_of(pool):
+        victim = pool.shard_for(PRIVACY_LEVEL, DELTA, epsilon=MIXED_EPSILONS[0])
+        keys = [
+            epsilon
+            for epsilon in MIXED_EPSILONS
+            if pool.shard_for(PRIVACY_LEVEL, DELTA, epsilon=epsilon) == victim
+        ]
+        return victim, keys
+
+    def timed_failover_latencies(pool, epsilons) -> List[float]:
+        latencies = []
+        for epsilon in epsilons:
+            start = time.perf_counter()
+            pool.build_forest(PRIVACY_LEVEL, DELTA, epsilon=epsilon)
+            latencies.append(time.perf_counter() - start)
+        return latencies
+
+    # --- Cold failover: SIGKILL, no hot-key ledger replay ---------------- #
+    cold_pool = EnginePool(
+        _build_tree(),
+        _server_config(),
+        num_shards=2,
+        respawn_limit=0,  # the victim stays dead, so routing stays on the sibling
+        warm_recovery=False,  # measure the pre-hand-off latency cliff
+    )
+    try:
+        cold_pool.wait_ready()
+        victim, victim_keys = victim_keys_of(cold_pool)
+        assert len(victim_keys) >= 2, "need at least two victim-homed keys to time"
+        for epsilon in victim_keys:
+            cold_pool.build_forest(PRIVACY_LEVEL, DELTA, epsilon=epsilon)
+        cold_pool._shards[victim].process.kill()
+        wait_until(
+            lambda: cold_pool.shard_states()[victim]["state"] == "dead",
+            timeout_s=30,
+            message="the SIGKILLed slot to be declared dead",
+        )
+        cold_latencies = timed_failover_latencies(cold_pool, victim_keys)
+    finally:
+        cold_pool.close()
+
+    # --- Warm failover: graceful drain with snapshot hand-off ------------ #
+    warm_pool = EnginePool(_build_tree(), _server_config(), num_shards=2)
+    try:
+        warm_pool.wait_ready()
+        warm_victim, warm_keys = victim_keys_of(warm_pool)
+        assert warm_keys == victim_keys  # routing is pool-independent
+        for epsilon in warm_keys:
+            warm_pool.build_forest(PRIVACY_LEVEL, DELTA, epsilon=epsilon)
+        drain_report = warm_pool.drain(warm_victim)
+        warm_latencies = timed_failover_latencies(warm_pool, warm_keys)
+        pool_stats = warm_pool.pool_stats()
+    finally:
+        warm_pool.close()
+
+    cold_p50 = statistics.median(cold_latencies)
+    warm_p50 = statistics.median(warm_latencies)
+    payload = {
+        "workload": {
+            "tree_height": TREE_HEIGHT,
+            "privacy_level": PRIVACY_LEVEL,
+            "delta": DELTA,
+            "robust_iterations": ITERATIONS,
+            "victim_keys": victim_keys,
+            "num_shards": 2,
+        },
+        "failover_latency_s": {
+            "cold_p50": cold_p50,
+            "warm_p50": warm_p50,
+            "cold_per_key": cold_latencies,
+            "warm_per_key": warm_latencies,
+        },
+        "speedup_p50": cold_p50 / warm_p50 if warm_p50 else float("inf"),
+        "drain_report": drain_report,
+        "pool_stats": pool_stats,
+    }
+    _update_results("handoff", payload)
+    print(json.dumps(payload["failover_latency_s"], indent=2))
+    print("warm-failover speedup (p50):", payload["speedup_p50"])
+
+    # Acceptance: the drain delivered every victim key, and warm failover
+    # sits materially below the cold-rebuild cliff (cache hit vs LP solve).
+    assert drain_report["handoff_keys"] == len(victim_keys)
+    assert drain_report["imported"] == len(victim_keys)
+    assert warm_p50 < cold_p50 / 2, payload["failover_latency_s"]

@@ -175,6 +175,18 @@ class HTTPTransport:
         )
         return int(payload.get("invalidated", 0))  # type: ignore[arg-type]
 
+    def drain(self, slot: int) -> Dict[str, object]:
+        """``POST /admin/drain``: gracefully drain one shard slot.
+
+        Returns the server's drain report (``{"slot", "exported",
+        "handoff_keys", "imported", "prewarmed", ...}``).  Errors are typed
+        like :meth:`invalidate`: a bad slot id, an undrainable slot or a
+        server without a pool raises :class:`TransportError` with
+        ``status=400`` and the server's ``detail``, so callers can
+        distinguish their own fault from a transport failure.
+        """
+        return self._post("/admin/drain", {"slot": slot})
+
     # ------------------------------------------------------------------ #
     # HTTP plumbing
     # ------------------------------------------------------------------ #

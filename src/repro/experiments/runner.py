@@ -159,6 +159,16 @@ def serve(config: ExperimentConfig, args: argparse.Namespace) -> int:
         return 0
     finally:
         if pool is not None:
+            if args.drain_on_shutdown:
+                # Graceful shutdown: drain the shards in slot order so each
+                # one's hot cache cascades to the shards still live (the
+                # last slot has no sibling left and retires cold).
+                reports = pool.drain_all()
+                handed = sum(int(report.get("handoff_keys", 0)) for report in reports)
+                print(
+                    f"drained {len(reports)} shard(s) on shutdown, "
+                    f"handed off {handed} cache key(s)"
+                )
             pool.close()
 
 
@@ -217,6 +227,13 @@ def main(argv: Optional[list] = None) -> int:
         default=3,
         help="how many times a crashed shard is respawned before its slot is "
         "declared dead (--serve with --shards > 1)",
+    )
+    parser.add_argument(
+        "--drain-on-shutdown",
+        action="store_true",
+        help="gracefully drain every shard on shutdown — warm cache hand-off "
+        "along the consistent-hash ring — before the pool closes "
+        "(--serve with --shards > 1)",
     )
     args = parser.parse_args(argv)
 

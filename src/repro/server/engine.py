@@ -213,6 +213,8 @@ class ForestEngine:
         self.forest_cache_stats = CacheStats()
         self._forest_expirations = 0
         self._invalidations = 0
+        self._handoff_imports = 0
+        self._handoff_prewarms = 0
         self.matrix_cache = MatrixCache(self.config.matrix_cache_entries)
         self._structure_stats: Dict[str, int] = {"groups": 0, "builds": 0, "reuses": 0}
         self.stopwatch = Stopwatch()
@@ -536,6 +538,109 @@ class ForestEngine:
                     self._build_cond.notify_all()
         return self.invalidate(None)
 
+    # ------------------------------------------------------------------ #
+    # Warm hand-off hooks (cache export / import)
+    # ------------------------------------------------------------------ #
+
+    def export_cache_entries(
+        self, *, payload_budget_bytes: int = 0
+    ) -> List[Dict[str, object]]:
+        """Snapshot the live forest cache for warm hand-off to a replica.
+
+        Returns one plain dict per cached forest: the semantic request key
+        (``privacy_level`` / ``delta`` / ``epsilon``), the entry's remaining
+        TTL in seconds (``None`` when entries never expire) and — while the
+        cumulative ``payload_budget_bytes`` allows — the per-sub-tree
+        matrices as the payload (``None`` once the budget is spent; the
+        receiver pre-warms key-only entries by rebuilding).
+
+        Expired entries are **excluded at export time**: expiry is lazy, so
+        an entry past its TTL is typically still sitting in the cache dict —
+        shipping it would resurrect dead state on the sibling.  The cache is
+        purged under the lock before the snapshot is taken.
+        """
+        with self._state_lock:
+            self._purge_expired_locked()
+            ttl = float(self.config.forest_ttl_s)
+            now = self._clock()
+            cached = list(self._forest_cache.values())
+        entries: List[Dict[str, object]] = []
+        budget = int(payload_budget_bytes)
+        for forest, inserted_at in cached:
+            remaining = None
+            if ttl > 0:
+                remaining = ttl - (now - inserted_at)
+                if remaining <= 0:
+                    continue  # expired between the purge and this read
+            matrices = {root_id: matrix for root_id, matrix in forest}
+            size = sum(int(matrix.values.nbytes) for matrix in matrices.values())
+            payload = None
+            if size <= budget:
+                payload = matrices
+                budget -= size
+            entries.append(
+                {
+                    "privacy_level": int(forest.privacy_level),
+                    "delta": int(forest.delta),
+                    "epsilon": float(forest.epsilon),
+                    "ttl_remaining_s": remaining,
+                    "matrices": payload,
+                }
+            )
+        return entries
+
+    def import_cache_entry(
+        self,
+        privacy_level: int,
+        delta: int,
+        epsilon: float,
+        *,
+        matrices: Optional[Dict[str, object]] = None,
+        ttl_remaining_s: Optional[float] = None,
+    ) -> str:
+        """Install one handed-off cache entry; returns what happened.
+
+        * ``"imported"`` — the payload was attached to this engine's tree
+          and cached under the locally-computed fingerprint, with its
+          insertion time back-dated so the remaining TTL carries over;
+        * ``"prewarmed"`` — no payload (or a payload whose sub-tree roots
+          don't match this tree — a replica-mismatch guard), so the forest
+          was rebuilt through the normal cached build path;
+        * ``"skipped"`` — the entry expired in transit or names a privacy
+          level this tree doesn't have.
+        """
+        privacy_level = int(privacy_level)
+        delta = int(delta)
+        epsilon = float(epsilon)
+        if ttl_remaining_s is not None and float(ttl_remaining_s) <= 0:
+            return "skipped"
+        if not 0 <= privacy_level <= self.tree.height or delta < 0:
+            return "skipped"
+        if matrices is not None:
+            expected = {node.node_id for node in self.tree.nodes_at_level(privacy_level)}
+            if set(matrices) != expected:
+                matrices = None  # foreign topology: rebuild rather than mis-serve
+        if matrices is None:
+            self.build_forest_traced(privacy_level, delta, epsilon=epsilon)
+            with self._state_lock:
+                self._handoff_prewarms += 1
+            return "prewarmed"
+        with self._priors_reader():
+            forest_key = self._forest_fingerprint(privacy_level, delta, epsilon)
+            forest = PrivacyForest(self.tree, privacy_level, delta, epsilon)
+            for root_id, matrix in matrices.items():
+                forest.add(root_id, matrix)
+            ttl = float(self.config.forest_ttl_s)
+            inserted_at = self._clock()
+            if ttl > 0 and ttl_remaining_s is not None:
+                # Back-date the insertion so the sibling honours the time the
+                # entry had already lived on the source shard.
+                inserted_at -= max(0.0, ttl - float(ttl_remaining_s))
+            with self._state_lock:
+                self._forest_cache[forest_key] = (forest, inserted_at)
+                self._handoff_imports += 1
+        return "imported"
+
     def _run_pending(self, tasks: List[RobustGenerationTask]) -> List[RobustGenerationResult]:
         """Execute uncached sub-tree tasks, sharing structures across congruent siblings.
 
@@ -690,6 +795,8 @@ class ForestEngine:
                 "forest_expirations": self._forest_expirations,
                 "forest_ttl_s": float(self.config.forest_ttl_s),
                 "invalidations": self._invalidations,
+                "handoff_imports": self._handoff_imports,
+                "handoff_prewarms": self._handoff_prewarms,
                 "matrix_entries": len(self.matrix_cache),
                 "matrix_stats": self.matrix_cache.stats.as_dict(),
                 "structure_sharing": dict(self._structure_stats),

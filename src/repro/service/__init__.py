@@ -20,6 +20,13 @@ Client-side counterparts (the transport protocol, ``InProcessTransport``
 and ``HTTPTransport``) live in :mod:`repro.client.transport`.
 """
 
+from repro.service.handoff import (
+    CacheSnapshot,
+    SnapshotEntry,
+    SnapshotFormatError,
+    decode_snapshot,
+    encode_snapshot,
+)
 from repro.service.http import CORGIHTTPServer, serve_http
 from repro.service.metrics import ServiceMetrics
 from repro.service.pool import EnginePool, EnginePoolError, PoolTimeoutError
@@ -38,4 +45,9 @@ __all__ = [
     "PoolTimeoutError",
     "ShardCrashedError",
     "ShardState",
+    "CacheSnapshot",
+    "SnapshotEntry",
+    "SnapshotFormatError",
+    "decode_snapshot",
+    "encode_snapshot",
 ]

@@ -19,6 +19,12 @@ adds routing, status codes and JSON framing, nothing else:
   "normalize": <bool>}``; installs new leaf priors (a live prior update),
   flushes affected caches on every shard and answers
   ``{"invalidated": <count>, "leaves": <len(priors)>}``.
+* ``POST /admin/drain`` — body ``{"slot": <int>}``; gracefully drains one
+  shard slot of a sharded :class:`~repro.service.pool.EnginePool` (warm
+  cache hand-off to its ring siblings, then retirement) and answers the
+  drain report (``{"slot", "exported", "handoff_keys", ...}``).  A bad or
+  unknown slot id — or a server not running a pool — is a structured 400,
+  never a 500.
 
 Error mapping: malformed JSON / invalid parameters → 400, unknown node or
 route → 404, admission-control rejection → 503, anything else → 500.  The
@@ -80,6 +86,8 @@ class CORGIRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(200, self._handle_invalidate(payload))
             elif self.path == "/admin/priors":
                 self._send_json(200, self._handle_publish_priors(payload))
+            elif self.path == "/admin/drain":
+                self._send_json(200, self._handle_drain(payload))
             else:
                 self._send_error(404, "not_found", f"unknown path {self.path!r}")
         except Exception as error:  # pragma: no cover - thin mapping, each arm tested
@@ -106,6 +114,14 @@ class CORGIRequestHandler(BaseHTTPRequestHandler):
         coerced = {str(node_id): float(mass) for node_id, mass in priors.items()}
         dropped = self.service.publish_priors(coerced, normalize=normalize)
         return {"invalidated": dropped, "leaves": len(coerced)}
+
+    def _handle_drain(self, payload: Dict[str, object]) -> Dict[str, object]:
+        if "slot" not in payload:
+            raise ValueError('drain body must be {"slot": <int>}')
+        # Slot vetting (type, range, lifecycle state) lives in
+        # CORGIService.drain / EnginePool.drain; every rejection is a
+        # ValueError, which the mapping below turns into a structured 400.
+        return self.service.drain(payload["slot"])
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         try:

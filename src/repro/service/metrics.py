@@ -27,6 +27,12 @@ COUNTER_NAMES: Tuple[str, ...] = (
     "batch_requests",
     "batch_coalesced",
     "invalidated",
+    # Warm hand-off lifecycle (mirrored from EnginePool events so the
+    # service snapshot reports them under the same single-lock consistency
+    # guarantee as every other counter).
+    "drains",
+    "handoffs",
+    "warm_failovers",
 )
 
 #: Default latency-window size (observations, not seconds).

@@ -25,6 +25,15 @@ Cache lifecycle is a broadcast concern: :meth:`EnginePool.invalidate` and
 update flushes all replicas' caches at once (exposed on the wire as
 ``POST /admin/priors`` / ``POST /admin/invalidate``).
 
+Shards also retire *warm*: :meth:`EnginePool.drain` runs the graceful
+hand-off protocol (stop new assignments, flush in-flight work, ship the
+shard's live cache to its ring siblings as a versioned snapshot — see
+:mod:`repro.service.handoff` — then retire the worker), and on SIGKILL the
+crash handler replays the slot's hot-key ledger to the siblings so even an
+unplanned failover pre-warms instead of cold-building.  :meth:`respawn`
+revives a drained slot and :meth:`rebalance` re-homes cached keys after
+the topology settles.
+
 Determinism: every shard runs the same serial engine code path, so pooled
 forests are byte-identical to single-process ones for every shard count.
 """
@@ -39,12 +48,17 @@ import queue as queue_module
 import threading
 import time
 from dataclasses import replace
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.exceptions import CORGIError
 from repro.core.objective import TargetDistribution
 from repro.server.engine import ServerConfig, validate_prior_masses
 from repro.server.privacy_forest import PrivacyForest
+from repro.service.handoff import (
+    CacheSnapshot,
+    SnapshotEntry,
+    encode_snapshot,
+)
 from repro.service.shard import (
     CONTROL_TICKET,
     ShardCrashedError,
@@ -65,6 +79,8 @@ __all__ = [
     "PoolTimeoutError",
     "ShardCrashedError",
     "ShardState",
+    "build_ring",
+    "ring_failover_order",
 ]
 
 #: Virtual nodes per shard on the consistent-hash ring.  Plenty for even
@@ -74,6 +90,19 @@ RING_VNODES = 32
 #: How often collector threads poll ``Process.is_alive()`` while their
 #: response queue is silent — the worst-case crash-detection latency.
 HEALTH_POLL_INTERVAL_S = 0.1
+
+#: Default cumulative size budget for snapshot payloads in one hand-off
+#: (matrix bytes).  Entries past the budget ship key-only and the sibling
+#: pre-warms them by rebuilding.
+HANDOFF_PAYLOAD_BUDGET_BYTES = 8 << 20
+
+#: Most-recently-used request keys remembered per shard slot — the ledger
+#: the pool replays to ring siblings when the slot dies without a drain.
+HOT_KEY_LEDGER_SIZE = 128
+
+#: Terminal (or respawn-gated) states a collector thread treats as "this
+#: generation is over"; DRAINED is reached by an orderly drain, not a crash.
+_COLLECTOR_TERMINAL_STATES = (ShardState.STOPPED, ShardState.DEAD, ShardState.DRAINED)
 
 
 class EnginePoolError(CORGIError):
@@ -87,6 +116,47 @@ class PoolTimeoutError(EnginePoolError):
 def _stable_hash(token: str) -> int:
     """64-bit stable hash (process-independent, unlike builtin ``hash``)."""
     return int.from_bytes(hashlib.sha256(token.encode("utf-8")).digest()[:8], "big")
+
+
+def build_ring(num_shards: int, vnodes: int = RING_VNODES) -> List[Tuple[int, int]]:
+    """The consistent-hash ring for *num_shards* slots (pure, deterministic).
+
+    Module-level (rather than pool-internal) so routing properties — ring
+    order is a permutation of the slots, ownership after any drain sequence
+    is unique — can be property-tested without spawning worker processes.
+    """
+    points = [
+        (_stable_hash(f"corgi-shard-{slot}-vnode-{vnode}"), slot)
+        for slot in range(num_shards)
+        for vnode in range(vnodes)
+    ]
+    points.sort()
+    return points
+
+
+def ring_failover_order(
+    ring: List[Tuple[int, int]], key: Tuple[int, int, float], num_shards: int
+) -> List[int]:
+    """Every slot in the key's ring-walk order (home shard first).
+
+    Deterministic across processes and runs, and always a permutation of
+    ``range(num_shards)`` — so for any non-empty set of live slots, the
+    first live slot along the order exists and is unique: every key is
+    owned by exactly one live shard, whatever was drained or died.
+    """
+    privacy_level, delta, epsilon = key
+    point = _stable_hash(f"{int(privacy_level)}:{int(delta)}:{float(epsilon)!r}")
+    start = bisect.bisect_right(ring, (point, num_shards))
+    order: List[int] = []
+    seen = set()
+    for index in range(len(ring)):
+        _, slot = ring[(start + index) % len(ring)]
+        if slot not in seen:
+            seen.add(slot)
+            order.append(slot)
+            if len(order) == num_shards:
+                break
+    return order
 
 
 class EnginePool:
@@ -117,6 +187,14 @@ class EnginePool:
         widening the in-flight window so crash injection is deterministic.
     start_method:
         ``multiprocessing`` start method (``None`` = platform default).
+    handoff_payload_budget:
+        Cumulative byte budget for forest payloads in one hand-off
+        snapshot; entries past it ship key-only and the receiving sibling
+        pre-warms them by rebuilding.
+    warm_recovery:
+        Replay a crashed shard's hot-key ledger to its ring siblings
+        (post-crash warm failover).  On by default; benchmarks disable it
+        to measure the cold-failover baseline.
 
     The pool satisfies the forest-provider duck type
     (``generate_privacy_forest`` / ``build_forest_traced`` / ``tree`` /
@@ -136,11 +214,17 @@ class EnginePool:
         request_timeout_s: float = 600.0,
         chaos_build_delay_s: float = 0.0,
         start_method: Optional[str] = None,
+        handoff_payload_budget: int = HANDOFF_PAYLOAD_BUDGET_BYTES,
+        warm_recovery: bool = True,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         if respawn_limit < 0:
             raise ValueError(f"respawn_limit must be non-negative, got {respawn_limit}")
+        if handoff_payload_budget < 0:
+            raise ValueError(
+                f"handoff_payload_budget must be non-negative, got {handoff_payload_budget}"
+            )
         self.tree = tree
         self.config = replace(config) if config is not None else ServerConfig()
         self.config.validate()
@@ -148,6 +232,8 @@ class EnginePool:
         self.respawn_limit = int(respawn_limit)
         self.request_timeout_s = float(request_timeout_s)
         self._chaos_build_delay_s = float(chaos_build_delay_s)
+        self._handoff_payload_budget = int(handoff_payload_budget)
+        self._warm_recovery = bool(warm_recovery)
         self._targets = targets
         self._ctx = multiprocessing.get_context(start_method)
         self._lifecycle_lock = threading.Lock()
@@ -158,13 +244,29 @@ class EnginePool:
         self._tree_lock = threading.Lock()
         self._tickets = itertools.count(1)
         self._closed = False
-        self._stats = {"respawns": 0, "retries": 0, "crash_failures": 0}
+        self._stats = {
+            "respawns": 0,
+            "retries": 0,
+            "crash_failures": 0,
+            "drains": 0,
+            "handoffs": 0,
+            "warm_failovers": 0,
+            "handoff_payloads": 0,
+            "handoff_prewarms": 0,
+            "handoff_dropped": 0,
+        }
+        self._stats_listener: Optional[Callable[[str, int], None]] = None
+        # Per-slot hot-key ledger: the most recently served request keys,
+        # replayed to ring siblings when the slot dies without a drain so
+        # even SIGKILL failover pre-warms instead of cold-building.
+        self._ledger_lock = threading.Lock()
+        self._hot_keys: Dict[int, Dict[Tuple[int, int, float], float]] = {}
         # Live-prior-update bookkeeping: a shard spawned (and hence pickled
         # the tree) before the latest publish_priors must have the update
         # re-sent when it becomes READY — see _collect's READY handler.
         self._priors_version = 0
-        self._current_priors: Optional[Tuple[Dict[str, float], bool]] = None
-        self._ring: List[Tuple[int, int]] = self._build_ring()
+        self._current_priors: Optional[Tuple[Dict[str, float], bool, int]] = None
+        self._ring: List[Tuple[int, int]] = build_ring(self.num_shards)
         self._shards = [ShardHandle(slot) for slot in range(self.num_shards)]
         for shard in self._shards:
             self._spawn(shard)
@@ -173,15 +275,6 @@ class EnginePool:
     # Consistent-hash routing
     # ------------------------------------------------------------------ #
 
-    def _build_ring(self) -> List[Tuple[int, int]]:
-        points = [
-            (_stable_hash(f"corgi-shard-{slot}-vnode-{vnode}"), slot)
-            for slot in range(self.num_shards)
-            for vnode in range(RING_VNODES)
-        ]
-        points.sort()
-        return points
-
     def route_key(self, key: Tuple[int, int, float]) -> List[int]:
         """Failover order for a normalized request key: all slots, ring order.
 
@@ -189,19 +282,7 @@ class EnginePool:
         siblings tried (in order) when earlier ones are down.  Deterministic
         across processes and runs — the property the routing tests pin.
         """
-        privacy_level, delta, epsilon = key
-        point = _stable_hash(f"{int(privacy_level)}:{int(delta)}:{float(epsilon)!r}")
-        start = bisect.bisect_right(self._ring, (point, self.num_shards))
-        order: List[int] = []
-        seen = set()
-        for index in range(len(self._ring)):
-            _, slot = self._ring[(start + index) % len(self._ring)]
-            if slot not in seen:
-                seen.add(slot)
-                order.append(slot)
-                if len(order) == self.num_shards:
-                    break
-        return order
+        return ring_failover_order(self._ring, key, self.num_shards)
 
     def shard_for(
         self, privacy_level: int, delta: int, *, epsilon: Optional[float] = None
@@ -221,13 +302,6 @@ class EnginePool:
 
     def _spawn(self, shard: ShardHandle) -> None:
         """(Re)launch one slot's worker process and its collector thread."""
-        spec = ShardSpec(
-            shard_id=shard.slot,
-            tree=self.tree,
-            config=self.config,
-            targets=self._targets,
-            chaos_build_delay_s=self._chaos_build_delay_s,
-        )
         with shard.lock:
             if shard.state in (ShardState.STOPPED, ShardState.DEAD):
                 # close() (or respawn exhaustion) won the race between the
@@ -244,6 +318,14 @@ class EnginePool:
             # update (a publish landing in between merely causes one
             # redundant, idempotent re-send).
             shard.priors_version = self._priors_version
+            spec = ShardSpec(
+                shard_id=shard.slot,
+                tree=self.tree,
+                config=self.config,
+                targets=self._targets,
+                chaos_build_delay_s=self._chaos_build_delay_s,
+                priors_version=shard.priors_version,
+            )
             request_queue = self._ctx.Queue()
             response_queue = self._ctx.Queue()
             process = self._ctx.Process(
@@ -272,7 +354,7 @@ class EnginePool:
             except queue_module.Empty:
                 with shard.lock:
                     stale = shard.generation != generation
-                    terminal = shard.state in (ShardState.STOPPED, ShardState.DEAD)
+                    terminal = shard.state in _COLLECTOR_TERMINAL_STATES
                 if stale or terminal:
                     return
                 if not process.is_alive():
@@ -315,12 +397,20 @@ class EnginePool:
             shard.transition(ShardState.READY)
 
     def _handle_crash(self, shard: ShardHandle, generation: int) -> None:
-        """Crash path: fail in-flight tickets, respawn or declare the slot dead."""
+        """Crash path: fail in-flight tickets, respawn or declare the slot dead.
+
+        Before the slot respawns (or is declared dead), the slot's hot-key
+        ledger is replayed to its ring siblings on a background thread —
+        post-crash warm recovery: by the time failed-over requests land on
+        a sibling, the dead shard's hot keys are (being) pre-warmed there
+        instead of cold-built on the request path.
+        """
         with self._lifecycle_lock:
             with shard.lock:
                 if shard.generation != generation or shard.state in (
                     ShardState.STOPPED,
                     ShardState.DEAD,
+                    ShardState.DRAINED,
                 ):
                     return
                 shard.transition(ShardState.CRASHED)
@@ -338,6 +428,8 @@ class EnginePool:
                 generation,
                 failed,
             )
+            if not closed:
+                self._start_warm_recovery(shard.slot)
             if closed:
                 with shard.lock:
                     shard.transition(ShardState.STOPPED)
@@ -375,7 +467,7 @@ class EnginePool:
                 if state is ShardState.READY:
                     ready += 1
                     break
-                if state in (ShardState.DEAD, ShardState.STOPPED):
+                if state in (ShardState.DEAD, ShardState.STOPPED, ShardState.DRAINED):
                     break
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
@@ -400,7 +492,11 @@ class EnginePool:
             self._closed = True
         for shard in self._shards:
             with shard.lock:
-                if shard.state in (ShardState.STARTING, ShardState.READY):
+                if shard.state in (
+                    ShardState.STARTING,
+                    ShardState.READY,
+                    ShardState.DRAINING,
+                ):
                     try:
                         shard.request_queue.put_nowait(None)
                     except (ValueError, OSError, queue_module.Full):
@@ -459,7 +555,7 @@ class EnginePool:
         if any_pending:
             return None
         raise EnginePoolError(
-            "every shard is permanently dead or stopped; the pool cannot serve"
+            "every shard is dead, stopped or drained; the pool cannot serve"
         )
 
     def _wait_any_progress(self, deadline: float) -> None:
@@ -506,8 +602,463 @@ class EnginePool:
                     )
                     continue
                 raise entry.error
+            if op == "build":
+                self._record_hot_key(shard.slot, key)
             return entry.result
         raise last_error or EnginePoolError(f"request {op!r} exhausted retries")
+
+    # ------------------------------------------------------------------ #
+    # Hot-key ledger and hand-off bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def set_stats_listener(self, listener: Optional[Callable[[str, int], None]]) -> None:
+        """Register a callback fired on every pool-stat increment.
+
+        The CORGI service uses this to mirror hand-off events (``drains``,
+        ``handoffs``, ``warm_failovers``) into its own lock-consistent
+        :class:`~repro.service.metrics.ServiceMetrics` counters.
+        """
+        with self._lifecycle_lock:
+            self._stats_listener = listener
+
+    def _bump(self, name: str, amount: int = 1) -> None:
+        """Increment one pool stat and notify the listener (outside the lock)."""
+        if amount <= 0:
+            return
+        with self._lifecycle_lock:
+            self._stats[name] = self._stats.get(name, 0) + int(amount)
+            listener = self._stats_listener
+        if listener is not None:
+            try:
+                listener(name, int(amount))
+            except Exception:  # noqa: BLE001 - monitoring must not break serving
+                logger.exception("pool stats listener failed for %r", name)
+
+    def _record_hot_key(self, slot: int, key: Tuple[int, int, float]) -> None:
+        """Remember that *slot* served *key* (bounded, most-recent-last)."""
+        with self._ledger_lock:
+            ledger = self._hot_keys.setdefault(slot, {})
+            ledger.pop(key, None)
+            ledger[key] = time.monotonic()
+            while len(ledger) > HOT_KEY_LEDGER_SIZE:
+                ledger.pop(next(iter(ledger)))
+
+    def hot_keys(self, slot: int) -> List[Tuple[int, int, float]]:
+        """The slot's remembered hot keys, oldest first (diagnostics/tests)."""
+        with self._ledger_lock:
+            return list(self._hot_keys.get(int(slot), {}))
+
+    # ------------------------------------------------------------------ #
+    # Warm hand-off: graceful drain, respawn, rebalance, crash recovery
+    # ------------------------------------------------------------------ #
+
+    def _shard_request(
+        self,
+        shard: ShardHandle,
+        op: str,
+        payload,
+        deadline: float,
+        *,
+        allow_draining: bool = False,
+    ) -> object:
+        """One op on one specific shard (no routing, no failover)."""
+        ticket = self._next_ticket()
+        entry = shard.submit(op, payload, ticket, allow_draining=allow_draining)
+        remaining = deadline - time.monotonic()
+        if remaining <= 0 or not entry.event.wait(timeout=remaining):
+            shard.abandon(ticket)
+            raise PoolTimeoutError(
+                f"shard {shard.slot} did not answer {op!r} before the deadline"
+            )
+        if entry.error is not None:
+            raise entry.error
+        return entry.result
+
+    def _destination_for(
+        self, key: Tuple[int, int, float], exclude_slot: Optional[int]
+    ) -> Optional[int]:
+        """First READY slot along the key's ring order (skipping *exclude_slot*)."""
+        for slot in self.route_key(key):
+            if slot == exclude_slot:
+                continue
+            shard = self._shards[slot]
+            with shard.lock:
+                state = shard.state
+            if state is ShardState.READY:
+                return slot
+        return None
+
+    def _transfer_entries(
+        self,
+        source_slot: int,
+        source_version: int,
+        raw_entries: List[Dict[str, object]],
+        deadline: float,
+        *,
+        exclude_source: bool = True,
+    ) -> Dict[str, int]:
+        """Ship exported cache entries to each key's owning live sibling.
+
+        Entries are grouped by destination — the first READY shard along
+        each key's ring order — encoded into one versioned snapshot blob per
+        destination and imported there.  A destination whose priors version
+        differs from the source's gets a key-only snapshot (payloads built
+        on other priors must never be installed); keys with no live
+        destination are dropped and counted.
+        """
+        groups: Dict[int, List[SnapshotEntry]] = {}
+        dropped = 0
+        for raw in raw_entries:
+            entry = SnapshotEntry(
+                privacy_level=int(raw["privacy_level"]),
+                delta=int(raw["delta"]),
+                epsilon=float(raw["epsilon"]),
+                ttl_remaining_s=raw.get("ttl_remaining_s"),
+                matrices=raw.get("matrices"),
+            )
+            dest = self._destination_for(
+                entry.key, source_slot if exclude_source else None
+            )
+            if dest is None or dest == source_slot:
+                if dest is None:
+                    dropped += 1
+                continue
+            groups.setdefault(dest, []).append(entry)
+        report = {
+            "handoff_keys": 0,
+            "payloads": 0,
+            "imported": 0,
+            "prewarmed": 0,
+            "skipped": 0,
+            "dropped": dropped,
+        }
+        for dest, entries in sorted(groups.items()):
+            dest_shard = self._shards[dest]
+            with dest_shard.lock:
+                dest_version = dest_shard.priors_version
+            has_payloads = any(entry.matrices is not None for entry in entries)
+            if has_payloads and dest_version != source_version:
+                # Optimization only — the worker re-checks the snapshot's
+                # priors version at import time (a publish racing this read
+                # would otherwise slip stale payloads through) — but known
+                # skew means there is no point shipping the bytes.
+                logger.warning(
+                    "hand-off %d -> %d: priors version skew (%d vs %d); "
+                    "stripping payloads, sibling will pre-warm",
+                    source_slot,
+                    dest,
+                    source_version,
+                    dest_version,
+                )
+                entries = [entry.without_payload() for entry in entries]
+            # Payload entries are cheap to install and ship as one blob;
+            # each key-only entry is its own op because the receiving worker
+            # *rebuilds* it — per-entry ops let live requests interleave
+            # with the pre-warms instead of queueing behind the whole replay.
+            payload_entries = [entry for entry in entries if entry.matrices is not None]
+            keyonly_entries = [entry for entry in entries if entry.matrices is None]
+            batches = ([payload_entries] if payload_entries else []) + [
+                [entry] for entry in keyonly_entries
+            ]
+            for batch in batches:
+                blob = encode_snapshot(
+                    CacheSnapshot(
+                        shard_slot=source_slot,
+                        priors_version=source_version,
+                        entries=tuple(batch),
+                    )
+                )
+                try:
+                    counts = self._shard_request(
+                        dest_shard, "import_cache", blob, deadline
+                    )
+                except (ShardCrashedError, ShardUnavailableError) as error:
+                    # The destination died mid-import: its keys will fail
+                    # over again along the ring; count them as dropped here.
+                    logger.warning("hand-off to shard %d failed: %s", dest, error)
+                    report["dropped"] += len(batch)
+                    continue
+                report["handoff_keys"] += len(batch)
+                report["payloads"] += sum(
+                    1 for entry in batch if entry.matrices is not None
+                )
+                for name in ("imported", "prewarmed", "skipped"):
+                    report[name] += int(counts.get(name, 0))
+                for entry in batch:
+                    self._record_hot_key(dest, entry.key)
+        self._bump("handoffs", report["handoff_keys"])
+        self._bump("handoff_payloads", report["payloads"])
+        self._bump("handoff_prewarms", report["prewarmed"])
+        self._bump("handoff_dropped", report["dropped"])
+        return report
+
+    def drain(self, slot: int, timeout_s: Optional[float] = None) -> Dict[str, object]:
+        """Gracefully retire one shard: stop, flush, hand off, shut down.
+
+        The protocol, in `ShardState` terms: ``READY -> DRAINING`` (new
+        assignments stop routing here immediately), in-flight requests are
+        flushed (the worker finishes what it already accepted), the shard's
+        live cache is exported and shipped to its ring siblings as a
+        versioned snapshot, then the worker retires (``DRAINING ->
+        DRAINED``).  A drained slot stays respawnable via :meth:`respawn` /
+        :meth:`rebalance`.
+
+        Raises :class:`ValueError` for an unknown slot id or a slot that is
+        not READY — the typed 4xx path of ``POST /admin/drain``.
+        """
+        if self._closed:
+            raise EnginePoolError("engine pool is closed")
+        if isinstance(slot, bool) or not isinstance(slot, (int, str, float)):
+            raise ValueError(f"slot must be an integer, got {slot!r}")
+        if isinstance(slot, float) and not slot.is_integer():
+            raise ValueError(f"slot must be an integer, got {slot!r}")
+        slot = int(slot)
+        if not 0 <= slot < self.num_shards:
+            raise ValueError(
+                f"slot must be in [0, {self.num_shards - 1}], got {slot}"
+            )
+        shard = self._shards[slot]
+        with shard.lock:
+            if shard.state is not ShardState.READY:
+                raise ValueError(
+                    f"shard {slot} is {shard.state.value}; only a ready shard can drain"
+                )
+            shard.transition(ShardState.DRAINING)
+            source_version = shard.priors_version
+        timeout = self.request_timeout_s if timeout_s is None else float(timeout_s)
+        deadline = time.monotonic() + timeout
+        logger.info("draining shard %d (flushing in-flight work)", slot)
+        try:
+            # Flush: the worker keeps answering what it already accepted;
+            # the collector resolves the tickets.  New work cannot arrive
+            # (not READY).
+            while True:
+                with shard.lock:
+                    state = shard.state
+                    pending = len(shard.pending)
+                if state is not ShardState.DRAINING:
+                    raise ShardCrashedError(
+                        f"shard {slot} left the draining state ({state.value}) "
+                        "before the hand-off completed"
+                    )
+                if pending == 0:
+                    break
+                if time.monotonic() > deadline:
+                    raise PoolTimeoutError(
+                        f"shard {slot} still has {pending} request(s) in flight "
+                        f"after {timeout:.1f} s; drain aborted"
+                    )
+                time.sleep(0.005)
+            entries = self._shard_request(
+                shard,
+                "export_cache",
+                int(self._handoff_payload_budget),
+                deadline,
+                allow_draining=True,
+            )
+            report = self._transfer_entries(slot, source_version, entries, deadline)
+        except BaseException:
+            # A failed drain must not strand the slot: the worker is still
+            # alive (a death takes the DRAINING -> CRASHED path through the
+            # crash handler), so roll back to READY and keep serving.
+            with shard.lock:
+                if shard.state is ShardState.DRAINING:
+                    shard.transition(ShardState.READY)
+            logger.warning("drain of shard %d failed; slot returned to ready", slot)
+            raise
+        # Retire: mark DRAINED *before* the worker exits so the collector
+        # treats the dead process as an orderly end, not a crash.
+        with shard.lock:
+            if shard.state is ShardState.DRAINING:
+                shard.transition(ShardState.DRAINED)
+            process = shard.process
+            request_queue = shard.request_queue
+        if request_queue is not None:
+            try:
+                request_queue.put_nowait(None)
+            except (ValueError, OSError, queue_module.Full):
+                pass
+        if process is not None:
+            process.join(timeout=10.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+        with self._ledger_lock:
+            self._hot_keys.pop(slot, None)
+        self._bump("drains", 1)
+        logger.info(
+            "shard %d drained: %d key(s) handed off (%d with payload, "
+            "%d pre-warmed, %d dropped)",
+            slot,
+            report["handoff_keys"],
+            report["payloads"],
+            report["prewarmed"],
+            report["dropped"],
+        )
+        return {"slot": slot, "exported": len(entries), **report}
+
+    def drain_all(self, timeout_s: Optional[float] = None) -> List[Dict[str, object]]:
+        """Drain every READY shard in slot order (graceful pool shutdown).
+
+        Each drain hands its cache to the shards still live, so the keys
+        cascade along the ring; the final shard has no live sibling left and
+        retires cold (its entries are counted as dropped).
+        """
+        reports: List[Dict[str, object]] = []
+        for shard in self._shards:
+            with shard.lock:
+                state = shard.state
+            if state is not ShardState.READY:
+                continue
+            try:
+                reports.append(self.drain(shard.slot, timeout_s=timeout_s))
+            except (EnginePoolError, ShardCrashedError, ShardUnavailableError) as error:
+                logger.warning("drain of shard %d failed: %s", shard.slot, error)
+        return reports
+
+    def respawn(self, slot: int) -> None:
+        """Relaunch a previously drained slot (``DRAINED -> STARTING``)."""
+        if self._closed:
+            raise EnginePoolError("engine pool is closed")
+        slot = int(slot)
+        if not 0 <= slot < self.num_shards:
+            raise ValueError(f"slot must be in [0, {self.num_shards - 1}], got {slot}")
+        shard = self._shards[slot]
+        with shard.lock:
+            if shard.state is not ShardState.DRAINED:
+                raise ValueError(
+                    f"only a drained slot can be respawned; shard {slot} "
+                    f"is {shard.state.value}"
+                )
+            # Claim the slot *before* releasing the lock: a concurrent
+            # respawn/rebalance now fails the DRAINED check above instead
+            # of double-spawning the worker.
+            shard.transition(ShardState.STARTING)
+            # The retired generation's queues are dead; release them before
+            # _spawn replaces the references.
+            for stale_queue in (shard.request_queue, shard.response_queue):
+                if stale_queue is not None:
+                    stale_queue.close()
+                    stale_queue.cancel_join_thread()
+            shard.request_queue = None
+            shard.response_queue = None
+        self._spawn(shard)
+
+    def rebalance(self, timeout_s: Optional[float] = None) -> Dict[str, int]:
+        """Revive drained slots and re-home cached keys onto their home shards.
+
+        After a drain sequence, keys live on whichever ring sibling picked
+        them up.  ``rebalance`` (1) respawns every DRAINED slot, (2) waits
+        for the pool to settle, then (3) has every READY shard export its
+        cache and ships each entry whose *home* shard is a different live
+        slot to that home — so routing and cache placement agree again.
+        Source copies are left in place (they are unreachable through
+        routing while the home is live, and merely occupy memory until
+        invalidated or expired).
+        """
+        if self._closed:
+            raise EnginePoolError("engine pool is closed")
+        respawned = 0
+        for shard in self._shards:
+            with shard.lock:
+                state = shard.state
+            if state is ShardState.DRAINED:
+                self.respawn(shard.slot)
+                respawned += 1
+        timeout = self.request_timeout_s if timeout_s is None else float(timeout_s)
+        if respawned:
+            self.wait_ready(timeout_s=timeout)
+        deadline = time.monotonic() + timeout
+        summary = {
+            "respawned": respawned,
+            "moved_keys": 0,
+            "imported": 0,
+            "prewarmed": 0,
+            "dropped": 0,
+        }
+        for shard in self._shards:
+            with shard.lock:
+                state = shard.state
+                source_version = shard.priors_version
+            if state is not ShardState.READY:
+                continue
+            try:
+                entries = self._shard_request(
+                    shard, "export_cache", int(self._handoff_payload_budget), deadline
+                )
+            except (ShardCrashedError, ShardUnavailableError):
+                continue
+            foreign = [
+                raw
+                for raw in entries
+                if self._destination_for(
+                    (int(raw["privacy_level"]), int(raw["delta"]), float(raw["epsilon"])),
+                    None,
+                )
+                not in (None, shard.slot)
+            ]
+            if not foreign:
+                continue
+            report = self._transfer_entries(
+                shard.slot, source_version, foreign, deadline, exclude_source=False
+            )
+            summary["moved_keys"] += report["handoff_keys"]
+            summary["imported"] += report["imported"]
+            summary["prewarmed"] += report["prewarmed"]
+            summary["dropped"] += report["dropped"]
+        return summary
+
+    def _start_warm_recovery(self, slot: int) -> None:
+        """Kick off background ledger replay for a crashed slot.
+
+        Called from the crash handler while it holds the lifecycle lock —
+        hence no ``_bump`` here and all slow work on a daemon thread: the
+        crash path must stay fast so failover latency is not inflated by
+        pre-warm builds.
+        """
+        if not self._warm_recovery:
+            return
+        with self._ledger_lock:
+            keys = list(self._hot_keys.pop(slot, {}))
+        if not keys:
+            return
+        with self._shards[slot].lock:
+            priors_version = self._shards[slot].priors_version
+        threading.Thread(
+            target=self._warm_recover,
+            args=(slot, keys, priors_version),
+            name=f"corgi-shard-{slot}-warm-recovery",
+            daemon=True,
+        ).start()
+
+    def _warm_recover(
+        self, slot: int, keys: List[Tuple[int, int, float]], priors_version: int
+    ) -> None:
+        """Replay a dead slot's hot-key ledger to its ring siblings (best effort)."""
+        entries = [
+            {
+                "privacy_level": key[0],
+                "delta": key[1],
+                "epsilon": key[2],
+                "ttl_remaining_s": None,
+                "matrices": None,  # the process died — only the keys survive
+            }
+            for key in keys
+        ]
+        deadline = time.monotonic() + self.request_timeout_s
+        try:
+            report = self._transfer_entries(slot, priors_version, entries, deadline)
+        except EnginePoolError as error:
+            logger.warning("warm recovery for shard %d failed: %s", slot, error)
+            return
+        if report["handoff_keys"]:
+            self._bump("warm_failovers", 1)
+            logger.info(
+                "warm recovery for crashed shard %d: %d hot key(s) pre-warmed "
+                "on ring siblings",
+                slot,
+                report["handoff_keys"],
+            )
 
     # ------------------------------------------------------------------ #
     # Forest-provider surface
@@ -638,7 +1189,6 @@ class EnginePool:
         flushed across the shards that answered.
         """
         vetted = validate_prior_masses(priors)
-        payload = (vetted, bool(normalize))
         # Mutate the parent tree *before* bumping the version: a worker
         # forked in between then carries the new tree with an old version
         # stamp (one redundant re-send), never the old tree with a new
@@ -648,6 +1198,9 @@ class EnginePool:
         with self._lifecycle_lock:
             self._priors_version += 1
             version = self._priors_version
+            # The version rides in the payload so each worker can track its
+            # own priors generation (the import_cache skew check).
+            payload = (vetted, bool(normalize), version)
             self._current_priors = payload
         answers = self._broadcast("set_priors", payload)
         for slot in answers:
@@ -694,6 +1247,8 @@ class EnginePool:
             "forest_entries": 0,
             "forest_expirations": 0,
             "invalidations": 0,
+            "handoff_imports": 0,
+            "handoff_prewarms": 0,
             "matrix_entries": 0,
         }
         forest_stats = {"hits": 0, "misses": 0, "evictions": 0}
@@ -722,6 +1277,9 @@ class EnginePool:
                 "respawn_limit": self.respawn_limit,
                 "shards_reporting": sorted(answers),
                 "shards": self.shard_states(),
+                "hot_keys": {
+                    slot: len(self.hot_keys(slot)) for slot in range(self.num_shards)
+                },
                 **self.pool_stats(),
             },
         }

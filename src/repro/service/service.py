@@ -158,6 +158,20 @@ class CORGIService:
         self._inflight: Dict[RequestKey, _InFlightBuild] = {}
         self._pending_leaders = 0
         self._build_slots = threading.BoundedSemaphore(self.config.max_in_flight)
+        # A sharded pool reports hand-off lifecycle events (drains,
+        # hand-offs, warm failovers) through a listener; mirroring them into
+        # ServiceMetrics keeps the wire snapshot lock-consistent with every
+        # other counter.
+        register = getattr(self.engine, "set_stats_listener", None)
+        if callable(register):
+            register(self._record_pool_event)
+
+    #: Pool stat names mirrored 1:1 into service counters.
+    _POOL_MIRRORED_EVENTS = frozenset({"drains", "handoffs", "warm_failovers"})
+
+    def _record_pool_event(self, name: str, amount: int) -> None:
+        if name in self._POOL_MIRRORED_EVENTS:
+            self.metrics.increment(name, amount)
 
     # ------------------------------------------------------------------ #
     # Validation / normalization
@@ -372,6 +386,29 @@ class CORGIService:
         dropped = int(self.engine.publish_priors(priors, normalize=normalize))
         self.metrics.increment("invalidated", dropped)
         return dropped
+
+    def drain(self, slot: int) -> Dict[str, object]:
+        """Gracefully drain one shard slot with warm hand-off to its siblings.
+
+        Only meaningful when the engine is a sharded
+        :class:`~repro.service.pool.EnginePool`; a plain engine has no slots
+        and raises :class:`ValueError` (HTTP 400 on the wire, like every
+        other bad drain request — see ``POST /admin/drain``).  The pool's
+        hand-off counters reach :attr:`metrics` through the stats listener
+        registered at construction, so the returned report and the next
+        :meth:`snapshot` agree.
+        """
+        drain = getattr(self.engine, "drain", None)
+        if not callable(drain):
+            raise ValueError(
+                "engine has no shard slots to drain (serving a single-process "
+                "engine, not an EnginePool)"
+            )
+        return drain(slot)
+
+    def diagnostics(self) -> Dict[str, object]:
+        """Engine cache/pool diagnostics (hand-off counters included on a pool)."""
+        return self.engine.cache_diagnostics()
 
     def snapshot(self) -> Dict[str, object]:
         """Service metrics plus engine cache diagnostics, JSON-friendly.

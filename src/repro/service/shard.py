@@ -35,6 +35,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.core.objective import TargetDistribution
 from repro.server.engine import ForestEngine, ServerConfig
+from repro.service.handoff import decode_snapshot
 from repro.tree.location_tree import LocationTree
 from repro.utils.logging import get_logger
 
@@ -58,16 +59,31 @@ class ShardState(Enum):
 
     STARTING = "starting"
     READY = "ready"
+    DRAINING = "draining"  # graceful drain: no new work, hand-off in progress
+    DRAINED = "drained"  # drain complete, worker retired; respawnable
     CRASHED = "crashed"
     DEAD = "dead"  # crashed with the respawn budget exhausted — permanent
     STOPPED = "stopped"  # orderly shutdown
 
 
 #: Legal lifecycle transitions.  ``CRASHED -> STARTING`` is the respawn
-#: edge; ``DEAD`` and ``STOPPED`` are terminal.
+#: edge and ``DRAINED -> STARTING`` the post-drain revival edge (used by
+#: ``EnginePool.respawn`` / ``rebalance``); ``DEAD`` and ``STOPPED`` are
+#: terminal.  A worker dying mid-drain takes ``DRAINING -> CRASHED`` and
+#: re-enters the normal crash/respawn path; a drain that *fails* without
+#: killing the worker (flush timeout, hand-off error) rolls back
+#: ``DRAINING -> READY`` so the slot is never stranded in a state nothing
+#: can leave.
 _LEGAL_TRANSITIONS: Dict[ShardState, Tuple[ShardState, ...]] = {
     ShardState.STARTING: (ShardState.READY, ShardState.CRASHED, ShardState.STOPPED),
-    ShardState.READY: (ShardState.CRASHED, ShardState.STOPPED),
+    ShardState.READY: (ShardState.DRAINING, ShardState.CRASHED, ShardState.STOPPED),
+    ShardState.DRAINING: (
+        ShardState.DRAINED,
+        ShardState.READY,
+        ShardState.CRASHED,
+        ShardState.STOPPED,
+    ),
+    ShardState.DRAINED: (ShardState.STARTING, ShardState.STOPPED),
     ShardState.CRASHED: (ShardState.STARTING, ShardState.DEAD, ShardState.STOPPED),
     ShardState.DEAD: (),
     ShardState.STOPPED: (),
@@ -106,6 +122,10 @@ class ShardSpec:
     config: ServerConfig
     targets: Optional[TargetDistribution] = None
     chaos_build_delay_s: float = 0.0
+    #: Published-priors generation the pickled tree carries at spawn.  The
+    #: worker tracks it through ``set_priors`` ops and uses it to reject
+    #: snapshot payloads built under different priors (see ``import_cache``).
+    priors_version: int = 0
 
     def engine_config(self) -> ServerConfig:
         return replace(self.config, max_workers=1, keep_generation_results=False)
@@ -120,8 +140,22 @@ def shard_worker_main(spec: ShardSpec, request_queue, response_queue) -> None:
     * ``build`` — payload ``(privacy_level, delta, epsilon, use_cache)``;
       result ``{"privacy_level", "delta", "epsilon", "matrices", "cached"}``.
     * ``invalidate`` — payload ``privacy_level | None``; result = #dropped.
-    * ``set_priors`` — payload ``(priors_mapping, normalize)``; result =
-      #forests flushed.
+    * ``set_priors`` — payload ``(priors_mapping, normalize, version)``;
+      result = #forests flushed.  The worker records *version* as its
+      current priors generation.
+    * ``export_cache`` — payload ``payload_budget_bytes``; result = list of
+      plain cache entries (see ``ForestEngine.export_cache_entries``) —
+      live entries only, expired ones are excluded at export time.
+    * ``import_cache`` — payload = an encoded snapshot blob
+      (:func:`repro.service.handoff.encode_snapshot`); result =
+      ``{"imported", "prewarmed", "skipped"}`` counts.  The worker — not
+      just the pool — compares the snapshot's priors version against its
+      own: on a mismatch payloads are dropped and the entries pre-warmed
+      by rebuilding, so matrices built under other priors can never be
+      installed under a fresh-priors fingerprint (the pool-side check is
+      only an optimization; a ``set_priors`` queued ahead of the import
+      would race it).  A malformed or version-skewed blob is an *answer*
+      (``SnapshotFormatError`` shipped back), never a worker death.
     * ``diagnostics`` — engine cache diagnostics dict.
     * ``ping`` — liveness probe; result ``"pong"``.
 
@@ -131,6 +165,7 @@ def shard_worker_main(spec: ShardSpec, request_queue, response_queue) -> None:
     unanswered — that is the case the parent's collector thread detects.
     """
     engine = ForestEngine(spec.tree, spec.engine_config(), targets=spec.targets)
+    priors_version = int(spec.priors_version)
     response_queue.put(
         (CONTROL_TICKET, "ready", {"shard_id": spec.shard_id, "pid": os.getpid()})
     )
@@ -161,8 +196,31 @@ def shard_worker_main(spec: ShardSpec, request_queue, response_queue) -> None:
             elif op == "invalidate":
                 result = engine.invalidate(payload)
             elif op == "set_priors":
-                priors, normalize = payload
+                priors, normalize, version = payload
                 result = engine.publish_priors(priors, normalize=normalize)
+                priors_version = int(version)
+            elif op == "export_cache":
+                result = engine.export_cache_entries(payload_budget_bytes=int(payload))
+            elif op == "import_cache":
+                snapshot = decode_snapshot(payload)
+                counts = {"imported": 0, "prewarmed": 0, "skipped": 0}
+                # Authoritative skew check: a set_priors queued ahead of
+                # this import already ran (the queue is serial), so a
+                # version mismatch here means the payloads were built on
+                # priors this replica no longer serves — rebuild instead.
+                skewed = snapshot.priors_version != priors_version
+                for entry in snapshot.entries:
+                    if skewed:
+                        entry = entry.without_payload()
+                    outcome = engine.import_cache_entry(
+                        entry.privacy_level,
+                        entry.delta,
+                        entry.epsilon,
+                        matrices=entry.matrices,
+                        ttl_remaining_s=entry.ttl_remaining_s,
+                    )
+                    counts[outcome] += 1
+                result = counts
             elif op == "diagnostics":
                 result = engine.cache_diagnostics()
             elif op == "ping":
@@ -223,10 +281,23 @@ class ShardHandle:
     # Tickets
     # ------------------------------------------------------------------ #
 
-    def submit(self, op: str, payload, ticket: int) -> "_PendingTicket":
-        """Register a ticket and post the request; raises if not READY."""
+    def submit(
+        self, op: str, payload, ticket: int, *, allow_draining: bool = False
+    ) -> "_PendingTicket":
+        """Register a ticket and post the request; raises if not READY.
+
+        ``allow_draining=True`` is the drain protocol's narrow exception:
+        the pool must still run ``export_cache`` on a DRAINING shard (whose
+        READY days are over by definition) — regular routed work is never
+        submitted with it.
+        """
         with self.lock:
-            if self.state is not ShardState.READY:
+            accepted = (
+                (ShardState.READY, ShardState.DRAINING)
+                if allow_draining
+                else (ShardState.READY,)
+            )
+            if self.state not in accepted:
                 raise ShardUnavailableError(
                     f"shard {self.slot} is {self.state.value}, not ready"
                 )

@@ -9,12 +9,18 @@ the two serialization layers:
   never anything else;
 * :mod:`repro.service.http` — arbitrary JSON bodies thrown at a live
   server always produce a *client*-class answer (200/400/404), never a 500:
-  the error mapping has no hole a malformed payload can fall through.
+  the error mapping has no hole a malformed payload can fall through;
+* :mod:`repro.service.handoff` — every cache snapshot round-trips through
+  its versioned wire form; truncated and version-skewed blobs are rejected
+  with :class:`SnapshotFormatError` (never a worker crash); and the
+  consistent-hash ring guarantees that after *any* drain sequence every
+  key is owned by exactly one live shard.
 
 Hypothesis is an optional dependency (pure test tooling); the module skips
 cleanly where only the runtime deps are installed.
 """
 
+import functools
 import json
 import urllib.error
 import urllib.request
@@ -32,7 +38,16 @@ from repro.server.messages import (  # noqa: E402
     ObfuscationRequest,
     PrivacyForestResponse,
 )
+from repro.service.handoff import (  # noqa: E402
+    SNAPSHOT_VERSION,
+    CacheSnapshot,
+    SnapshotEntry,
+    SnapshotFormatError,
+    decode_snapshot,
+    encode_snapshot,
+)
 from repro.service.http import CORGIHTTPServer  # noqa: E402
+from repro.service.pool import build_ring, ring_failover_order  # noqa: E402
 from repro.service.service import CORGIService  # noqa: E402
 
 #: Deterministic profile shared by every property in this module.
@@ -213,6 +228,185 @@ class TestResponseProperties:
 
 
 # --------------------------------------------------------------------- #
+# Cache-snapshot protocol properties (warm shard hand-off)
+# --------------------------------------------------------------------- #
+
+
+@st.composite
+def snapshot_matrices(draw):
+    """A small payload: row-stochastic matrices keyed by sub-tree root."""
+    size = draw(st.integers(min_value=1, max_value=3))
+    count = draw(st.integers(min_value=1, max_value=2))
+    matrices = {}
+    for index in range(count):
+        raw = draw(
+            st.lists(
+                st.lists(
+                    st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+                    min_size=size,
+                    max_size=size,
+                ),
+                min_size=size,
+                max_size=size,
+            )
+        )
+        values = np.asarray(raw, dtype=float)
+        values = values / values.sum(axis=1, keepdims=True)
+        matrices[f"root-{index}"] = ObfuscationMatrix(
+            values=values,
+            node_ids=[f"m{index}:n{position}" for position in range(size)],
+            level=draw(st.integers(min_value=0, max_value=3)),
+        )
+    return matrices
+
+
+@st.composite
+def snapshot_entries(draw):
+    return SnapshotEntry(
+        privacy_level=draw(st.integers(min_value=0, max_value=9)),
+        delta=draw(st.integers(min_value=0, max_value=9)),
+        epsilon=draw(st.floats(min_value=0.01, max_value=100.0, allow_nan=False)),
+        ttl_remaining_s=draw(
+            st.one_of(
+                st.none(),
+                st.floats(min_value=0.001, max_value=1e6, allow_nan=False),
+            )
+        ),
+        matrices=draw(st.one_of(st.none(), snapshot_matrices())),
+    )
+
+
+@st.composite
+def cache_snapshots(draw):
+    return CacheSnapshot(
+        shard_slot=draw(st.integers(min_value=0, max_value=63)),
+        priors_version=draw(st.integers(min_value=0, max_value=1_000_000)),
+        entries=tuple(draw(st.lists(snapshot_entries(), max_size=4))),
+    )
+
+
+class TestSnapshotProperties:
+    @DETERMINISTIC
+    @given(snapshot=cache_snapshots())
+    def test_snapshot_roundtrips_through_wire_form(self, snapshot):
+        """Arbitrary key sets / TTL deadlines / priors versions survive the
+        encode → decode round trip exactly."""
+        restored = decode_snapshot(encode_snapshot(snapshot))
+        assert restored.shard_slot == snapshot.shard_slot
+        assert restored.priors_version == snapshot.priors_version
+        assert len(restored.entries) == len(snapshot.entries)
+        for original, decoded in zip(snapshot.entries, restored.entries):
+            assert decoded.key == original.key
+            assert decoded.ttl_remaining_s == original.ttl_remaining_s
+            if original.matrices is None:
+                assert decoded.matrices is None
+            else:
+                assert set(decoded.matrices) == set(original.matrices)
+                for root_id, matrix in original.matrices.items():
+                    other = decoded.matrices[root_id]
+                    assert other.node_ids == matrix.node_ids
+                    assert np.array_equal(other.values, matrix.values)
+
+    @DETERMINISTIC
+    @given(snapshot=cache_snapshots(), data=st.data())
+    def test_truncated_blob_is_rejected_not_crashed(self, snapshot, data):
+        blob = encode_snapshot(snapshot)
+        cut = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+        with pytest.raises(SnapshotFormatError):
+            decode_snapshot(blob[:cut])
+
+    @DETERMINISTIC
+    @given(
+        snapshot=cache_snapshots(),
+        version=st.integers(min_value=-5, max_value=50).filter(
+            lambda value: value != SNAPSHOT_VERSION
+        ),
+    )
+    def test_version_skewed_blob_is_rejected(self, snapshot, version):
+        envelope = json.loads(encode_snapshot(snapshot).decode("utf-8"))
+        envelope["version"] = version
+        with pytest.raises(SnapshotFormatError):
+            decode_snapshot(json.dumps(envelope).encode("utf-8"))
+
+    @DETERMINISTIC
+    @given(
+        junk=st.one_of(
+            st.binary(max_size=64),
+            st.text(max_size=32).map(lambda text: text.encode("utf-8")),
+            st.none(),
+            st.integers(),
+            st.dictionaries(st.text(max_size=4), st.integers(), max_size=3),
+        )
+    )
+    def test_junk_blob_is_rejected(self, junk):
+        """Any non-snapshot input raises exactly SnapshotFormatError."""
+        with pytest.raises(SnapshotFormatError):
+            decode_snapshot(junk)
+
+    @DETERMINISTIC
+    @given(
+        snapshot=cache_snapshots(),
+        mutation=st.sampled_from(
+            ["format", "shard_slot", "priors_version", "entries"]
+        ),
+    )
+    def test_corrupted_envelope_fields_are_rejected(self, snapshot, mutation):
+        envelope = json.loads(encode_snapshot(snapshot).decode("utf-8"))
+        envelope[mutation] = "corrupted"
+        with pytest.raises(SnapshotFormatError):
+            decode_snapshot(json.dumps(envelope).encode("utf-8"))
+
+
+# --------------------------------------------------------------------- #
+# Ring-rebalance invariant (pure routing, no worker processes)
+# --------------------------------------------------------------------- #
+
+
+@functools.lru_cache(maxsize=None)
+def _ring(num_shards: int):
+    return build_ring(num_shards)
+
+
+@st.composite
+def rings_with_drained_slots(draw):
+    """A shard count plus a *proper* subset of drained/dead slots."""
+    num_shards = draw(st.integers(min_value=1, max_value=8))
+    drained = draw(
+        st.sets(st.integers(min_value=0, max_value=num_shards - 1), max_size=num_shards)
+    )
+    if len(drained) == num_shards:  # keep at least one live slot
+        drained.discard(draw(st.sampled_from(sorted(drained))))
+    return num_shards, frozenset(drained)
+
+
+request_keys = st.tuples(
+    st.integers(min_value=0, max_value=12),
+    st.integers(min_value=0, max_value=12),
+    st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+)
+
+
+class TestRingOwnership:
+    @DETERMINISTIC
+    @given(topology=rings_with_drained_slots(), key=request_keys)
+    def test_every_key_owned_by_exactly_one_live_shard(self, topology, key):
+        """The rebalance invariant: whatever subset of slots a drain
+        sequence removed, each key's ring order is a permutation of all
+        slots, so the first live slot — the key's owner — exists and is
+        unique, and is deterministic across calls."""
+        num_shards, drained = topology
+        order = ring_failover_order(_ring(num_shards), key, num_shards)
+        assert sorted(order) == list(range(num_shards))  # permutation
+        assert order == ring_failover_order(_ring(num_shards), key, num_shards)
+        owners = [slot for slot in order if slot not in drained]
+        assert owners, "at least one live slot must own the key"
+        owner = owners[0]
+        assert owner not in drained
+        # Ownership is a function: re-deriving it yields the same slot.
+        assert owner == next(slot for slot in order if slot not in drained)
+
+
+# --------------------------------------------------------------------- #
 # HTTP-layer properties against a live server
 # --------------------------------------------------------------------- #
 
@@ -319,6 +513,18 @@ class TestHTTPNever500:
         status = _post_status(
             live_server.url + "/admin/invalidate", {"privacy_level": level}
         )
+        assert status in CLIENT_CLASS
+
+    @DETERMINISTIC
+    @given(
+        slot=st.one_of(
+            st.none(), st.integers(min_value=-5, max_value=9), junk_scalars
+        )
+    )
+    def test_admin_drain_endpoint(self, live_server, slot):
+        # The live server runs a plain engine (no pool), so *every* drain
+        # request must come back as a structured client-class answer.
+        status = _post_status(live_server.url + "/admin/drain", {"slot": slot})
         assert status in CLIENT_CLASS
 
     @DETERMINISTIC
