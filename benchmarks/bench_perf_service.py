@@ -1,6 +1,6 @@
-"""Perf trajectory for the service layer: coalescing, sharding, hand-off.
+"""Perf trajectory for the service layer: coalescing, sharding, hand-off, netshard.
 
-Three serving workloads, each the one its mechanism exists for:
+Four serving workloads, each the one its mechanism exists for:
 
 * **coalescing** — a burst of concurrent *identical* requests.  Uncoalesced,
   every request pays a full forest build; through :class:`CORGIService` one
@@ -15,6 +15,11 @@ Three serving workloads, each the one its mechanism exists for:
   pipeline on the ring sibling — the latency cliff.  Warm: the shard is
   gracefully drained, its cache snapshot ships to the sibling, and the same
   keys are forest-cache hits.  The warm p50 must sit far below the cold p50.
+* **netshard** — the same uncoalescable mixed-key burst through *socket*
+  shards (``repro.service.netshard`` servers in separate processes), plus
+  the failover path: one server is SIGKILLed and its keys are re-served
+  through the surviving socket shard — heartbeat detection, redial backoff
+  and ring failover are all on the measured path.
 
 Results are recorded section-by-section in ``BENCH_service.json`` so future
 PRs can track all three trends.  The sharded-beats-single assertion only
@@ -33,6 +38,7 @@ The tests are marked ``perf``; tier-1 (`python -m pytest`) never collects
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
 import statistics
 import time
@@ -44,8 +50,10 @@ import pytest
 from helpers_concurrency import run_burst, wait_until  # tests/; see benchmarks/conftest.py
 from repro.geometry.haversine import LatLng
 from repro.server.engine import ForestEngine, ServerConfig
+from repro.service.netshard import serve_netshard
 from repro.service.pool import EnginePool
 from repro.service.service import CORGIService, ServiceConfig
+from repro.service.shard import ShardSpec
 from repro.tree.builder import tree_for_point
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
@@ -103,8 +111,9 @@ def _update_results(section: str, payload: Dict[str, object]) -> None:
     if RESULT_PATH.exists():
         try:
             existing = json.loads(RESULT_PATH.read_text(encoding="utf-8"))
-            if isinstance(existing, dict) and (
-                "coalescing" in existing or "sharding" in existing or "handoff" in existing
+            known_sections = ("coalescing", "sharding", "handoff", "netshard")
+            if isinstance(existing, dict) and any(
+                section in existing for section in known_sections
             ):
                 document = existing
         except json.JSONDecodeError:
@@ -353,3 +362,118 @@ def test_perf_service_handoff():
     assert drain_report["handoff_keys"] == len(victim_keys)
     assert drain_report["imported"] == len(victim_keys)
     assert warm_p50 < cold_p50 / 2, payload["failover_latency_s"]
+
+
+@pytest.mark.perf
+def test_perf_service_netshard():
+    """Socket shards: mixed-key burst throughput and SIGKILL-failover p50.
+
+    Two ``repro.service.netshard`` servers host engine replicas behind TCP;
+    an otherwise identical remote-only EnginePool routes the uncoalescable
+    mixed-key burst over the sockets.  Then one server is SIGKILLed and the
+    victim's keys are timed through the surviving shard — liveness
+    detection, bounded redial and ring failover all sit on that path.
+    """
+    context = multiprocessing.get_context()
+    processes, ports = [], []
+    for shard_id in range(2):
+        port_queue = context.Queue()
+        spec = ShardSpec(shard_id=shard_id, tree=_build_tree(), config=_server_config())
+        process = context.Process(
+            target=serve_netshard,
+            args=(spec, "127.0.0.1", 0, port_queue),
+            daemon=True,
+        )
+        process.start()
+        processes.append(process)
+        ports.append(port_queue.get(timeout=120))
+
+    pool = EnginePool(
+        _build_tree(),
+        _server_config(),
+        num_shards=0,
+        remote_shards=[("127.0.0.1", port) for port in ports],
+        respawn_limit=1,
+        connect_timeout_s=2.0,
+    )
+    try:
+        pool.wait_ready()
+        burst_s = _run_burst(
+            [
+                lambda epsilon=epsilon: pool.build_forest(
+                    PRIVACY_LEVEL, DELTA, epsilon=epsilon
+                )
+                for epsilon in MIXED_EPSILONS
+            ]
+        )
+        routing = {
+            f"{epsilon:g}": pool.shard_for(PRIVACY_LEVEL, DELTA, epsilon=epsilon)
+            for epsilon in MIXED_EPSILONS
+        }
+        victim = pool.shard_for(PRIVACY_LEVEL, DELTA, epsilon=MIXED_EPSILONS[0])
+        victim_keys = [
+            epsilon for epsilon, slot in zip(MIXED_EPSILONS, routing.values())
+            if slot == victim
+        ]
+        assert len(victim_keys) >= 2, "need at least two victim-homed keys to time"
+        processes[victim].kill()
+        wait_until(
+            lambda: pool.shard_states()[victim]["state"] == "dead",
+            timeout_s=60,
+            message="the SIGKILLed socket shard to be declared dead",
+        )
+        # The crash handler replays the victim's hot-key ledger to the
+        # surviving socket shard in the background; wait for the pre-warm
+        # to land so the timed path below is the *warm* failover latency
+        # (deterministic), not a race against the replay thread.
+        wait_until(
+            lambda: pool.cache_diagnostics().get("handoff_prewarms", 0)
+            >= len(victim_keys),
+            timeout_s=60,
+            message="the hot-key ledger replay to pre-warm the sibling",
+        )
+        failover_latencies = []
+        for epsilon in victim_keys:
+            start = time.perf_counter()
+            pool.build_forest(PRIVACY_LEVEL, DELTA, epsilon=epsilon)
+            failover_latencies.append(time.perf_counter() - start)
+        pool_stats = pool.pool_stats()
+        shard_states = pool.shard_states()
+    finally:
+        pool.close()
+        for process in processes:
+            if process.is_alive():
+                process.kill()
+            process.join(timeout=10)
+
+    failover_p50 = statistics.median(failover_latencies)
+    payload = {
+        "workload": {
+            "tree_height": TREE_HEIGHT,
+            "privacy_level": PRIVACY_LEVEL,
+            "delta": DELTA,
+            "robust_iterations": ITERATIONS,
+            "distinct_epsilons": list(MIXED_EPSILONS),
+            "num_socket_shards": 2,
+            "victim_keys": victim_keys,
+        },
+        "burst_wall_s": burst_s,
+        "throughput_rps": len(MIXED_EPSILONS) / burst_s if burst_s else float("inf"),
+        "failover_latency_s": {
+            "p50": failover_p50,
+            "per_key": failover_latencies,
+            "mode": "warm (hot-key ledger replayed to the sibling)",
+        },
+        "shard_routing": routing,
+        "pool_stats": pool_stats,
+        "reconnects": [info.get("reconnects", 0) for info in shard_states],
+    }
+    _update_results("netshard", payload)
+    print(json.dumps({"burst_wall_s": burst_s, "failover_p50": failover_p50}, indent=2))
+
+    # Acceptance: the ring spread the burst over both socket shards, nothing
+    # was lost to the kill, and the post-crash pre-warm made failover a
+    # cache hit, not an LP campaign (nor a liveness-timeout stall).
+    assert len(set(routing.values())) == 2
+    assert pool_stats["warm_failovers"] >= 1
+    assert failover_p50 < 30.0, payload["failover_latency_s"]

@@ -49,7 +49,11 @@ def main() -> None:
     print(f"user {user_id}: inferred home leaf = {home_leaves}")
 
     client = CORGIClient(
-        tree, server, user_id=user_id, history=dataset, overflow_strategy=DeltaOverflowStrategy.FAVOR_PREFERENCES
+        tree,
+        server,
+        user_id=user_id,
+        history=dataset,
+        overflow_strategy=DeltaOverflowStrategy.FAVOR_PREFERENCES,
     )
     real = tree.root.center  # pretend the user is at the centre of the area of interest
 

@@ -16,9 +16,7 @@ Run with::
 """
 
 from repro import (
-    CORGIServer,
     NonRobustLPMechanism,
-    ServerConfig,
     annotate_tree_with_dataset,
     expected_inference_error_km,
     priors_from_checkins,

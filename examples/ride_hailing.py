@@ -71,7 +71,9 @@ def main() -> None:
     nonrobust = NonRobustLPMechanism(
         ids, graph.euclidean_distance_matrix(), model, EPSILON, constraint_set=graph.constraint_set()
     )
-    laplace = PlanarLaplaceMechanism(ids, centers, EPSILON, grid=tree.grid, leaf_resolution=tree.leaf_resolution)
+    laplace = PlanarLaplaceMechanism(
+        ids, centers, EPSILON, grid=tree.grid, leaf_resolution=tree.leaf_resolution
+    )
 
     # Ride requests from held-out check-ins inside the obfuscation range.
     rng = np.random.default_rng(3)
@@ -102,7 +104,10 @@ def main() -> None:
 
     distance_matrix = tree.distance_matrix_km(ids)
     for name, mechanism_matrix in (
-        ("CORGI (robust, delta=2)", server.generate_privacy_forest(2, 2).matrix_for_subtree(subtree_root.node_id)),
+        (
+            "CORGI (robust, delta=2)",
+            server.generate_privacy_forest(2, 2).matrix_for_subtree(subtree_root.node_id),
+        ),
         ("non-robust LP", nonrobust.matrix),
         ("planar Laplace", laplace.to_matrix(num_samples=100, seed=1)),
     ):

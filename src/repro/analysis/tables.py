@@ -9,7 +9,7 @@ grep-able output that EXPERIMENTS.md can quote.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 

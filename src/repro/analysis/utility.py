@@ -11,7 +11,7 @@ Two views are provided:
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Iterable, Tuple
 
 import numpy as np
 

@@ -15,7 +15,7 @@ Geo-Ind guarantee with an average-case view.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 

@@ -12,7 +12,7 @@ them.
 from __future__ import annotations
 
 import abc
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

@@ -19,7 +19,7 @@ from repro.core.geoind import GeoIndConstraintSet
 from repro.core.lp import ConstraintStructure, LPSolution, ObfuscationLP
 from repro.core.matrix import ObfuscationMatrix
 from repro.core.objective import QualityLossModel
-from repro.utils.rng import RandomState, as_rng
+from repro.utils.rng import RandomState
 
 
 class NonRobustLPMechanism(ObfuscationMechanism):

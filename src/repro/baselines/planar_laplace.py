@@ -18,9 +18,8 @@ step and therefore preserves Geo-Ind).
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
-import numpy as np
 from scipy.special import lambertw
 
 from repro.baselines.base import ObfuscationMechanism

@@ -10,10 +10,10 @@ amortises the expensive server-side generation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.client.client import CORGIClient, ObfuscationOutcome
+from repro.client.client import CORGIClient
 from repro.core.matrix import ObfuscationMatrix
 from repro.core.precision import ancestor_row_for, precision_reduction
 from repro.core.pruning import prune_matrix
@@ -68,7 +68,9 @@ class ObfuscationSession:
             )
         return self._forest
 
-    def _customized_matrix(self, subtree_root_id: str, lat: float, lng: float, real_leaf_id: str) -> ObfuscationMatrix:
+    def _customized_matrix(
+        self, subtree_root_id: str, lat: float, lng: float, real_leaf_id: str
+    ) -> ObfuscationMatrix:
         if subtree_root_id in self._customized:
             return self._customized[subtree_root_id]
         tree = self.client.tree

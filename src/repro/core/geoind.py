@@ -22,7 +22,7 @@ headline "14.28 % pruned → 3.07 % violations" numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 

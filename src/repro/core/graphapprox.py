@@ -23,7 +23,7 @@ Two weightings are provided:
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Literal, Optional, Sequence, Tuple
+from typing import Dict, List, Literal, Sequence, Tuple
 
 import numpy as np
 from scipy.sparse import coo_matrix

@@ -26,7 +26,7 @@ matrix is built once and its data vector is rewritten in place.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 from scipy.optimize import linprog

@@ -11,7 +11,7 @@ sampling always agree on which row/column corresponds to which location.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -221,7 +221,10 @@ class ObfuscationMatrix:
             level=self.level,
             epsilon=self.epsilon,
             delta=self.delta,
-            metadata={"parent_size": self.size, **{k: v for k, v in self.metadata.items() if k != "_node_index"}},
+            metadata={
+                "parent_size": self.size,
+                **{k: v for k, v in self.metadata.items() if k != "_node_index"},
+            },
         )
 
     def restrict_values(self, node_ids: Sequence[str]) -> np.ndarray:

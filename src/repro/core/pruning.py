@@ -10,7 +10,7 @@ server never learns *which* locations were removed, only how many (δ).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 import numpy as np
 

@@ -10,7 +10,7 @@ iterations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.tables import ResultTable
 from repro.core.robust import RobustMatrixGenerator

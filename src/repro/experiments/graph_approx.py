@@ -10,7 +10,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -86,10 +86,14 @@ def run_runtime_experiment(
     to 28 (instead of 49) so the all-pairs LP stays below a minute per solve.
     """
     workload = workload or build_workload(config)
-    deltas = list(deltas) if deltas is not None else ([1, 3, 5] if config.name == "small" else [1, 2, 3, 4, 5, 6, 7])
+    if deltas is not None:
+        deltas = list(deltas)
+    else:
+        deltas = [1, 3, 5] if config.name == "small" else [1, 2, 3, 4, 5, 6, 7]
     if num_locations is None:
         num_locations = 28 if config.name == "small" else 49
-    iterations = iterations if iterations is not None else (2 if config.name == "small" else config.robust_iterations)
+    if iterations is None:
+        iterations = 2 if config.name == "small" else config.robust_iterations
     location_set = workload.connected_location_set(num_locations)
     all_pairs = all_pairs_constraints(location_set.distance_matrix_km)
 

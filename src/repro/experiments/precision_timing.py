@@ -115,7 +115,8 @@ def run_precision_timing_experiment(
         record("locations", location_set, config.delta)
 
     # Fig. 14(b): sweep delta at a fixed location count (the paper uses 49).
-    fixed_set = workload.connected_location_set(49 if 49 <= len(workload.tree.leaves()) else location_counts[-1])
+    fixed_count = 49 if 49 <= len(workload.tree.leaves()) else location_counts[-1]
+    fixed_set = workload.connected_location_set(fixed_count)
     for delta in deltas:
         record("delta", fixed_set, delta)
 

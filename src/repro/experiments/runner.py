@@ -104,6 +104,9 @@ def serve(config: ExperimentConfig, args: argparse.Namespace) -> int:
     :class:`~repro.service.pool.EnginePool` of N worker processes sharing
     the same tree and configuration — identical responses, true process
     parallelism for distinct request keys, and crash-respawn supervision.
+    ``--shard-hosts host:port,...`` adds cross-host slots to the same ring:
+    each address is a ``python -m repro.service.netshard`` replica serving
+    the same workload tree over the socket transport.
     """
     from repro.client.transport import InProcessTransport, TransportForestProvider
     from repro.server.engine import ForestEngine, ServerConfig
@@ -121,16 +124,26 @@ def serve(config: ExperimentConfig, args: argparse.Namespace) -> int:
         forest_ttl_s=args.forest_ttl,
     )
     pool: Optional[EnginePool] = None
-    if args.shards > 1:
+    remote_shards = None
+    if args.shard_hosts:
+        from repro.service.netshard import parse_shard_hosts
+
+        remote_shards = parse_shard_hosts(args.shard_hosts)
+    if args.shards > 1 or remote_shards:
+        # --shards counts *local* worker processes; with --shard-hosts the
+        # default of 1 means "no local shards, serve purely over sockets".
+        local_shards = args.shards if args.shards > 1 else (0 if remote_shards else 1)
         pool = EnginePool(
             workload.tree,
             server_config,
             targets=workload.targets,
-            num_shards=args.shards,
+            num_shards=local_shards,
+            remote_shards=remote_shards,
             respawn_limit=args.respawn_limit,
         )
         pool.wait_ready()
-        print(f"engine pool: {args.shards} shard processes ready")
+        remote_note = f" + {len(remote_shards)} socket shard(s)" if remote_shards else ""
+        print(f"engine pool: {local_shards} shard process(es){remote_note} ready")
         engine = pool
     else:
         engine = ForestEngine(workload.tree, server_config, targets=workload.targets)
@@ -214,6 +227,14 @@ def main(argv: Optional[list] = None) -> int:
         default=1,
         help="engine shard processes for --serve (1 = in-process engine; N>1 "
         "runs an EnginePool with consistent-hash routing and crash respawn)",
+    )
+    parser.add_argument(
+        "--shard-hosts",
+        default=None,
+        help="comma-separated host:port list of remote socket shards "
+        "(python -m repro.service.netshard servers built over the same "
+        "--scale workload); combined with --shards N local processes "
+        "(--shards 1, the default, means remote-only)",
     )
     parser.add_argument(
         "--forest-ttl",

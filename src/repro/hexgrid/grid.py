@@ -17,7 +17,7 @@ matching the resolutions the paper uses for its San Francisco tree.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 

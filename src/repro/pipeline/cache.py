@@ -14,7 +14,7 @@ effectiveness.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, Optional, Tuple, TypeVar
 
 T = TypeVar("T")

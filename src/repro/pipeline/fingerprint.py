@@ -16,7 +16,7 @@ change to the rules invalidates old keys rather than aliasing them.
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 import numpy as np
 

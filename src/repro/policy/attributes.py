@@ -25,11 +25,11 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
-from repro.datasets.checkin import CheckIn, CheckInDataset
+from repro.datasets.checkin import CheckInDataset
 from repro.tree.location_tree import LocationTree
 from repro.utils.logging import get_logger
 

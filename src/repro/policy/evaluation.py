@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.policy.policy import Policy
-from repro.policy.predicates import Predicate, satisfies_all
+from repro.policy.predicates import Predicate
 from repro.tree.location_tree import LocationTree
 from repro.utils.logging import get_logger
 

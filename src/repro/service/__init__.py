@@ -14,7 +14,10 @@ logic / control separation the related DB-nets work argues for):
 * :class:`~repro.service.pool.EnginePool` /
   :mod:`repro.service.shard` — N engine replicas in worker processes with
   consistent-hash routing, crash respawn and broadcast cache invalidation,
-  behind the same service API.
+  behind the same service API;
+* :mod:`repro.service.netshard` — the cross-host shard transport: the same
+  op vocabulary over length-prefixed TCP frames, with heartbeat liveness
+  and bounded reconnect, so ring slots can live on other machines.
 
 Client-side counterparts (the transport protocol, ``InProcessTransport``
 and ``HTTPTransport``) live in :mod:`repro.client.transport`.
@@ -29,6 +32,12 @@ from repro.service.handoff import (
 )
 from repro.service.http import CORGIHTTPServer, serve_http
 from repro.service.metrics import ServiceMetrics
+from repro.service.netshard import (
+    FrameFormatError,
+    NetShardHandle,
+    NetShardServer,
+    RemoteShardError,
+)
 from repro.service.pool import EnginePool, EnginePoolError, PoolTimeoutError
 from repro.service.service import CORGIService, ServiceConfig, ServiceOverloadedError
 from repro.service.shard import ShardCrashedError, ShardState
@@ -45,6 +54,10 @@ __all__ = [
     "PoolTimeoutError",
     "ShardCrashedError",
     "ShardState",
+    "FrameFormatError",
+    "NetShardHandle",
+    "NetShardServer",
+    "RemoteShardError",
     "CacheSnapshot",
     "SnapshotEntry",
     "SnapshotFormatError",

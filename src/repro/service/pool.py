@@ -34,8 +34,15 @@ unplanned failover pre-warms instead of cold-building.  :meth:`respawn`
 revives a drained slot and :meth:`rebalance` re-homes cached keys after
 the topology settles.
 
+Shards need not live on this host: ``remote_shards`` adds ring slots that
+speak the same op vocabulary over TCP (:mod:`repro.service.netshard`) —
+consistent-hash routing, failover, drain and warm hand-off all work across
+the socket, so a pool can mix worker processes on this machine with
+replicas on other machines behind one service.
+
 Determinism: every shard runs the same serial engine code path, so pooled
-forests are byte-identical to single-process ones for every shard count.
+forests are byte-identical to single-process ones for every shard count —
+local, remote or mixed.
 """
 
 from __future__ import annotations
@@ -48,7 +55,7 @@ import queue as queue_module
 import threading
 import time
 from dataclasses import replace
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.exceptions import CORGIError
 from repro.core.objective import TargetDistribution
@@ -59,6 +66,7 @@ from repro.service.handoff import (
     SnapshotEntry,
     encode_snapshot,
 )
+from repro.service.netshard import NetShardHandle, parse_shard_hosts
 from repro.service.shard import (
     CONTROL_TICKET,
     ShardCrashedError,
@@ -111,6 +119,20 @@ class EnginePoolError(CORGIError):
 
 class PoolTimeoutError(EnginePoolError):
     """A shard did not answer within ``request_timeout_s``."""
+
+
+def _normalize_remote_addresses(
+    remote_shards: Optional[Sequence[object]],
+) -> List[Tuple[str, int]]:
+    """Coerce remote slot specs (strings or (host, port) pairs) to addresses."""
+    addresses: List[Tuple[str, int]] = []
+    for spec in remote_shards or ():
+        if isinstance(spec, str):
+            addresses.extend(parse_shard_hosts(spec))
+        else:
+            host, port = spec  # type: ignore[misc]
+            addresses.append((str(host), int(port)))
+    return addresses
 
 
 def _stable_hash(token: str) -> int:
@@ -176,7 +198,17 @@ class EnginePool:
     targets:
         Optional explicit service-target distribution, forwarded verbatim.
     num_shards:
-        Worker-process count.  Sized to cores for CPU-bound LP work.
+        *Local* worker-process count.  Sized to cores for CPU-bound LP
+        work; may be 0 when ``remote_shards`` is non-empty (a purely
+        remote pool).
+    remote_shards:
+        Socket shard addresses — ``"host:port"`` strings (comma-joined
+        accepted) or ``(host, port)`` pairs.  Each address becomes one
+        ring slot served by a :class:`~repro.service.netshard.NetShardHandle`
+        dialing a ``python -m repro.service.netshard`` server; local and
+        remote slots are indistinguishable to routing, failover and drain.
+        The remote servers must be built over the same tree and engine
+        config as this pool (the replica contract).
     respawn_limit:
         How many times one slot may be respawned after a crash before it is
         declared permanently dead.
@@ -195,6 +227,11 @@ class EnginePool:
         Replay a crashed shard's hot-key ledger to its ring siblings
         (post-crash warm failover).  On by default; benchmarks disable it
         to measure the cold-failover baseline.
+    heartbeat_interval_s / liveness_timeout_s / connect_timeout_s:
+        Remote-slot liveness knobs (ignored for local slots): how often a
+        socket shard is pinged, how long silence means death (the
+        socket-transport analogue of ``Process.is_alive`` polling), and
+        the per-redial budget of the bounded reconnect backoff.
 
     The pool satisfies the forest-provider duck type
     (``generate_privacy_forest`` / ``build_forest_traced`` / ``tree`` /
@@ -210,14 +247,19 @@ class EnginePool:
         *,
         targets: Optional[TargetDistribution] = None,
         num_shards: int = 2,
+        remote_shards: Optional[Sequence[object]] = None,
         respawn_limit: int = 3,
         request_timeout_s: float = 600.0,
         chaos_build_delay_s: float = 0.0,
         start_method: Optional[str] = None,
         handoff_payload_budget: int = HANDOFF_PAYLOAD_BUDGET_BYTES,
         warm_recovery: bool = True,
+        heartbeat_interval_s: float = 0.25,
+        liveness_timeout_s: float = 1.0,
+        connect_timeout_s: float = 5.0,
     ) -> None:
-        if num_shards < 1:
+        addresses = _normalize_remote_addresses(remote_shards)
+        if num_shards < 0 or (num_shards < 1 and not addresses):
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         if respawn_limit < 0:
             raise ValueError(f"respawn_limit must be non-negative, got {respawn_limit}")
@@ -228,7 +270,9 @@ class EnginePool:
         self.tree = tree
         self.config = replace(config) if config is not None else ServerConfig()
         self.config.validate()
-        self.num_shards = int(num_shards)
+        self.local_shards = int(num_shards)
+        self.remote_addresses: List[Tuple[str, int]] = addresses
+        self.num_shards = self.local_shards + len(addresses)
         self.respawn_limit = int(respawn_limit)
         self.request_timeout_s = float(request_timeout_s)
         self._chaos_build_delay_s = float(chaos_build_delay_s)
@@ -267,7 +311,23 @@ class EnginePool:
         self._priors_version = 0
         self._current_priors: Optional[Tuple[Dict[str, float], bool, int]] = None
         self._ring: List[Tuple[int, int]] = build_ring(self.num_shards)
-        self._shards = [ShardHandle(slot) for slot in range(self.num_shards)]
+        # Local worker-process slots first, then one slot per remote
+        # address — the ring treats them identically (slot number is all
+        # that is hashed), so keys spread across hosts exactly as they
+        # spread across processes.
+        self._shards: List[ShardHandle] = [
+            ShardHandle(slot) for slot in range(self.local_shards)
+        ]
+        for index, address in enumerate(self.remote_addresses):
+            self._shards.append(
+                NetShardHandle(
+                    self.local_shards + index,
+                    address,
+                    heartbeat_interval_s=heartbeat_interval_s,
+                    liveness_timeout_s=liveness_timeout_s,
+                    connect_timeout_s=connect_timeout_s,
+                )
+            )
         for shard in self._shards:
             self._spawn(shard)
 
@@ -301,7 +361,17 @@ class EnginePool:
     # ------------------------------------------------------------------ #
 
     def _spawn(self, shard: ShardHandle) -> None:
-        """(Re)launch one slot's worker process and its collector thread."""
+        """(Re)launch one slot: a worker process, or a remote session.
+
+        Remote slots have no process to fork — (re)launching one means
+        dialing its server again (:meth:`_connect_remote`); the crash and
+        respawn machinery is shared, so a lost connection walks the same
+        CRASHED → STARTING → READY path (bounded by ``respawn_limit``) a
+        SIGKILLed local worker walks.
+        """
+        if getattr(shard, "is_remote", False):
+            self._connect_remote(shard)
+            return
         with shard.lock:
             if shard.state in (ShardState.STOPPED, ShardState.DEAD):
                 # close() (or respawn exhaustion) won the race between the
@@ -346,6 +416,19 @@ class EnginePool:
         )
         collector.start()
 
+    def _connect_remote(self, shard: ShardHandle) -> None:
+        """(Re)dial one remote slot's server on a fresh session generation."""
+        with shard.lock:
+            if shard.state in (ShardState.STOPPED, ShardState.DEAD):
+                return
+            if shard.state is not ShardState.STARTING:
+                shard.transition(ShardState.STARTING)
+            shard.generation += 1
+            generation = shard.generation
+        shard.start_session(
+            generation, on_ready=self._mark_ready, on_crash=self._handle_crash
+        )
+
     def _collect(self, shard: ShardHandle, process, response_queue, generation: int) -> None:
         """Drain one worker generation's responses; detect its death."""
         while True:
@@ -364,11 +447,19 @@ class EnginePool:
             ticket, status, payload = message
             if ticket == CONTROL_TICKET:
                 if status == "ready":
-                    self._mark_ready(shard, generation)
+                    announced = None
+                    if isinstance(payload, dict):
+                        announced = payload.get("priors_version")
+                    self._mark_ready(shard, generation, announced)
                 continue
             shard.resolve(ticket, status, payload)
 
-    def _mark_ready(self, shard: ShardHandle, generation: int) -> None:
+    def _mark_ready(
+        self,
+        shard: ShardHandle,
+        generation: int,
+        announced_priors_version: Optional[int] = None,
+    ) -> None:
         """Transition a freshly-announced worker to READY.
 
         If the worker was spawned (tree pickled) before the latest
@@ -377,13 +468,50 @@ class EnginePool:
         land before any request submitted post-READY can build on them.
         Without this, a shard respawned around a live update would serve
         forests from outdated priors forever.
+
+        *announced_priors_version* is what the replica itself claims to
+        carry.  For a spawned worker it equals what :meth:`_spawn` recorded;
+        for a remote shard it is authoritative — a reconnect may find a
+        server that kept state (and priors) across the outage, and trusting
+        the spawn-time guess would either skip a needed re-send or waste a
+        redundant one.
         """
         with self._lifecycle_lock:
             current_version = self._priors_version
             current_priors = self._current_priors
+        announced = None
+        if announced_priors_version is not None and not isinstance(
+            announced_priors_version, bool
+        ):
+            announced = int(announced_priors_version)
+        reset_priors = None
+        if announced is not None and announced > current_version:
+            # The replica carries a priors generation this pool never
+            # published — e.g. a warm netshard server outliving a head-node
+            # restart.  Its live priors are unreconcilable with ours, so
+            # reset it to this pool's authoritative tree priors (which also
+            # flushes its stale forest cache) instead of silently serving
+            # split-brain forests next to the other shards.
+            with self._tree_lock:
+                masses = {leaf.node_id: leaf.prior for leaf in self.tree.leaves()}
+            reset_priors = (masses, False, current_version)
+            logger.warning(
+                "shard %d announced priors version %d > pool version %d; "
+                "resetting the replica to this pool's tree priors",
+                shard.slot,
+                announced,
+                current_version,
+            )
         with shard.lock:
             if shard.generation != generation or shard.state is not ShardState.STARTING:
                 return
+            if reset_priors is not None:
+                shard.request_queue.put_nowait(
+                    ("set_priors", self._next_ticket(), reset_priors)
+                )
+                shard.priors_version = current_version
+            elif announced is not None:
+                shard.priors_version = announced
             if current_priors is not None and shard.priors_version < current_version:
                 shard.request_queue.put_nowait(
                     ("set_priors", self._next_ticket(), current_priors)
@@ -498,7 +626,8 @@ class EnginePool:
                     ShardState.DRAINING,
                 ):
                     try:
-                        shard.request_queue.put_nowait(None)
+                        if shard.request_queue is not None:
+                            shard.request_queue.put_nowait(None)
                     except (ValueError, OSError, queue_module.Full):
                         pass
                 if shard.state not in (ShardState.STOPPED, ShardState.DEAD):
@@ -1274,6 +1403,10 @@ class EnginePool:
             "max_workers": self.num_shards,
             "pool": {
                 "num_shards": self.num_shards,
+                "local_shards": self.local_shards,
+                "remote_shards": [
+                    f"{host}:{port}" for host, port in self.remote_addresses
+                ],
                 "respawn_limit": self.respawn_limit,
                 "shards_reporting": sorted(answers),
                 "shards": self.shard_states(),

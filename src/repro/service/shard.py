@@ -46,6 +46,7 @@ __all__ = [
     "ShardCrashedError",
     "ShardUnavailableError",
     "CONTROL_TICKET",
+    "ShardOpExecutor",
     "shard_worker_main",
 ]
 
@@ -131,44 +132,129 @@ class ShardSpec:
         return replace(self.config, max_workers=1, keep_generation_results=False)
 
 
-def shard_worker_main(spec: ShardSpec, request_queue, response_queue) -> None:
-    """Worker-process entry point: serve the shard's request queue forever.
+class ShardOpExecutor:
+    """One engine replica's serial op interpreter (transport-agnostic).
 
-    Ops (``(op, ticket, payload)`` on the request queue; ``None`` = orderly
-    shutdown):
+    Both shard transports speak the same op vocabulary — the
+    ``multiprocessing``-queue worker (:func:`shard_worker_main`) and the TCP
+    socket server (:class:`repro.service.netshard.NetShardServer`) — so the
+    engine-facing semantics live here once.  The executor owns the engine
+    and the replica's current priors generation; callers feed it one
+    ``(op, payload)`` at a time from a single thread (the queue/serving
+    loop), exactly like the original worker loop.
+
+    Ops:
 
     * ``build`` — payload ``(privacy_level, delta, epsilon, use_cache)``;
       result ``{"privacy_level", "delta", "epsilon", "matrices", "cached"}``.
     * ``invalidate`` — payload ``privacy_level | None``; result = #dropped.
     * ``set_priors`` — payload ``(priors_mapping, normalize, version)``;
-      result = #forests flushed.  The worker records *version* as its
+      result = #forests flushed.  The executor records *version* as its
       current priors generation.
     * ``export_cache`` — payload ``payload_budget_bytes``; result = list of
       plain cache entries (see ``ForestEngine.export_cache_entries``) —
       live entries only, expired ones are excluded at export time.
     * ``import_cache`` — payload = an encoded snapshot blob
       (:func:`repro.service.handoff.encode_snapshot`); result =
-      ``{"imported", "prewarmed", "skipped"}`` counts.  The worker — not
+      ``{"imported", "prewarmed", "skipped"}`` counts.  The replica — not
       just the pool — compares the snapshot's priors version against its
       own: on a mismatch payloads are dropped and the entries pre-warmed
       by rebuilding, so matrices built under other priors can never be
       installed under a fresh-priors fingerprint (the pool-side check is
       only an optimization; a ``set_priors`` queued ahead of the import
       would race it).  A malformed or version-skewed blob is an *answer*
-      (``SnapshotFormatError`` shipped back), never a worker death.
+      (``SnapshotFormatError`` raised to the transport), never a death.
     * ``diagnostics`` — engine cache diagnostics dict.
     * ``ping`` — liveness probe; result ``"pong"``.
+    """
+
+    def __init__(self, spec: ShardSpec) -> None:
+        self.spec = spec
+        self.engine = ForestEngine(spec.tree, spec.engine_config(), targets=spec.targets)
+        self.priors_version = int(spec.priors_version)
+
+    def ready_announcement(self) -> Dict[str, object]:
+        """The control payload a fresh replica announces itself with.
+
+        Carries the replica's current priors generation so a parent
+        (re)connecting to an already-warm replica — the socket-transport
+        reconnect path — learns what the replica actually serves instead of
+        assuming the spawn-time version.
+        """
+        return {
+            "shard_id": self.spec.shard_id,
+            "pid": os.getpid(),
+            "priors_version": self.priors_version,
+        }
+
+    def execute(self, op: str, payload) -> object:
+        """Run one op against the engine; exceptions are the caller's answer."""
+        if op == "build":
+            privacy_level, delta, epsilon, use_cache = payload
+            if self.spec.chaos_build_delay_s > 0:
+                # Chaos/test hook: widen the in-flight window so crash
+                # injection lands deterministically mid-build.
+                time.sleep(self.spec.chaos_build_delay_s)
+            forest, cached = self.engine.build_forest_traced(
+                privacy_level, delta, epsilon=epsilon, use_cache=use_cache
+            )
+            return {
+                "privacy_level": forest.privacy_level,
+                "delta": forest.delta,
+                "epsilon": forest.epsilon,
+                "matrices": dict(forest),
+                "cached": cached,
+            }
+        if op == "invalidate":
+            return self.engine.invalidate(payload)
+        if op == "set_priors":
+            priors, normalize, version = payload
+            result = self.engine.publish_priors(priors, normalize=normalize)
+            self.priors_version = int(version)
+            return result
+        if op == "export_cache":
+            return self.engine.export_cache_entries(payload_budget_bytes=int(payload))
+        if op == "import_cache":
+            snapshot = decode_snapshot(payload)
+            counts = {"imported": 0, "prewarmed": 0, "skipped": 0}
+            # Authoritative skew check: a set_priors queued ahead of this
+            # import already ran (the op stream is serial), so a version
+            # mismatch here means the payloads were built on priors this
+            # replica no longer serves — rebuild instead.
+            skewed = snapshot.priors_version != self.priors_version
+            for entry in snapshot.entries:
+                if skewed:
+                    entry = entry.without_payload()
+                outcome = self.engine.import_cache_entry(
+                    entry.privacy_level,
+                    entry.delta,
+                    entry.epsilon,
+                    matrices=entry.matrices,
+                    ttl_remaining_s=entry.ttl_remaining_s,
+                )
+                counts[outcome] += 1
+            return counts
+        if op == "diagnostics":
+            return self.engine.cache_diagnostics()
+        if op == "ping":
+            return "pong"
+        raise ValueError(f"unknown shard op {op!r}")
+
+
+def shard_worker_main(spec: ShardSpec, request_queue, response_queue) -> None:
+    """Worker-process entry point: serve the shard's request queue forever.
+
+    Messages are ``(op, ticket, payload)`` tuples (``None`` = orderly
+    shutdown); the op vocabulary and semantics live in
+    :class:`ShardOpExecutor`, shared with the socket transport.
 
     Failures are *answers*, not crashes: any exception raised by the engine
     is shipped back under the request's ticket and re-raised in the caller.
     Only a process-level death (OOM kill, SIGKILL) leaves a ticket
     unanswered — that is the case the parent's collector thread detects.
     """
-    engine = ForestEngine(spec.tree, spec.engine_config(), targets=spec.targets)
-    priors_version = int(spec.priors_version)
-    response_queue.put(
-        (CONTROL_TICKET, "ready", {"shard_id": spec.shard_id, "pid": os.getpid()})
-    )
+    executor = ShardOpExecutor(spec)
+    response_queue.put((CONTROL_TICKET, "ready", executor.ready_announcement()))
     logger.debug("shard %d ready (pid %d)", spec.shard_id, os.getpid())
     while True:
         message = request_queue.get()
@@ -177,56 +263,7 @@ def shard_worker_main(spec: ShardSpec, request_queue, response_queue) -> None:
             return
         op, ticket, payload = message
         try:
-            if op == "build":
-                privacy_level, delta, epsilon, use_cache = payload
-                if spec.chaos_build_delay_s > 0:
-                    # Chaos/test hook: widen the in-flight window so crash
-                    # injection lands deterministically mid-build.
-                    time.sleep(spec.chaos_build_delay_s)
-                forest, cached = engine.build_forest_traced(
-                    privacy_level, delta, epsilon=epsilon, use_cache=use_cache
-                )
-                result = {
-                    "privacy_level": forest.privacy_level,
-                    "delta": forest.delta,
-                    "epsilon": forest.epsilon,
-                    "matrices": dict(forest),
-                    "cached": cached,
-                }
-            elif op == "invalidate":
-                result = engine.invalidate(payload)
-            elif op == "set_priors":
-                priors, normalize, version = payload
-                result = engine.publish_priors(priors, normalize=normalize)
-                priors_version = int(version)
-            elif op == "export_cache":
-                result = engine.export_cache_entries(payload_budget_bytes=int(payload))
-            elif op == "import_cache":
-                snapshot = decode_snapshot(payload)
-                counts = {"imported": 0, "prewarmed": 0, "skipped": 0}
-                # Authoritative skew check: a set_priors queued ahead of
-                # this import already ran (the queue is serial), so a
-                # version mismatch here means the payloads were built on
-                # priors this replica no longer serves — rebuild instead.
-                skewed = snapshot.priors_version != priors_version
-                for entry in snapshot.entries:
-                    if skewed:
-                        entry = entry.without_payload()
-                    outcome = engine.import_cache_entry(
-                        entry.privacy_level,
-                        entry.delta,
-                        entry.epsilon,
-                        matrices=entry.matrices,
-                        ttl_remaining_s=entry.ttl_remaining_s,
-                    )
-                    counts[outcome] += 1
-                result = counts
-            elif op == "diagnostics":
-                result = engine.cache_diagnostics()
-            elif op == "ping":
-                result = "pong"
-            else:
-                raise ValueError(f"unknown shard op {op!r}")
+            result = executor.execute(op, payload)
         except BaseException as error:  # noqa: BLE001 - shipped to the caller
             response_queue.put((ticket, "error", error))
         else:

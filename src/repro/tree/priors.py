@@ -11,7 +11,7 @@ the uniform fallback used in ablations.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Iterable, Mapping, Optional, Sequence
+from typing import Dict, Iterable, Mapping, Sequence
 
 import numpy as np
 

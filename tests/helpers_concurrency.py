@@ -104,8 +104,35 @@ def wait_until(
     raise AssertionError(f"timed out after {timeout_s:.1f} s waiting for {message}")
 
 
-def free_port() -> int:
-    """An OS-assigned free TCP port (for servers that cannot bind port 0)."""
-    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
-        sock.bind(("127.0.0.1", 0))
-        return sock.getsockname()[1]
+#: Ports already handed out by :func:`free_port` in this process.  The OS
+#: happily re-assigns an ephemeral port the moment the probing socket
+#: closes, so two quick successive calls could hand the *same* port to two
+#: servers that have not bound yet — the TOCTOU race the netshard suite
+#: (which grabs ports far more often than the HTTP tests did) kept hitting.
+_handed_out_ports: set = set()
+_handed_out_lock = threading.Lock()
+
+
+def free_port(max_attempts: int = 64) -> int:
+    """A free TCP port not previously handed out by this process.
+
+    The bind-probe-close pattern is inherently racy against *other*
+    processes (only binding port 0 yourself is race-free — servers that can
+    do so, like ``NetShardServer(port=0)``, should); this helper closes the
+    realistic hole: the same port being handed to two callers of this
+    process before either binds.  Each probe binds a fresh socket, and the
+    port is retried (up to *max_attempts*) until the OS hands back one this
+    process has never given out.
+    """
+    with _handed_out_lock:
+        for _ in range(max_attempts):
+            with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+                sock.bind(("127.0.0.1", 0))
+                port = sock.getsockname()[1]
+            if port not in _handed_out_ports:
+                _handed_out_ports.add(port)
+                return port
+    raise RuntimeError(
+        f"no unused free port found in {max_attempts} attempts "
+        f"({len(_handed_out_ports)} already handed out)"
+    )

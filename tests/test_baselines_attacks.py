@@ -5,7 +5,6 @@ import pytest
 
 from repro.attacks.bayesian import BayesianAttacker
 from repro.attacks.metrics import expected_inference_error_km, posterior_gain, top1_recovery_rate
-from repro.baselines.base import ObfuscationMechanism
 from repro.baselines.nonrobust import NonRobustLPMechanism
 from repro.baselines.planar_laplace import PlanarLaplaceMechanism, planar_laplace_radius
 from repro.baselines.uniform import UniformMechanism

@@ -3,11 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.core.geoind import all_pairs_constraints, check_geo_ind
+from repro.core.geoind import check_geo_ind
 from repro.core.graphapprox import HexNeighborhoodGraph
 from repro.core.lp import MIN_EFFECTIVE_EPSILON, ObfuscationLP
 from repro.core.matrix import ObfuscationMatrix
-from repro.core.objective import QualityLossModel, TargetDistribution
 from repro.core.pruning import prune_matrix
 from repro.core.robust import (
     RobustMatrixGenerator,

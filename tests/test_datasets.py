@@ -246,7 +246,9 @@ class TestSplits:
 
     def test_split_disjoint_and_complete(self, synthetic_dataset):
         train, test = train_test_split_checkins(synthetic_dataset, 0.2, seed=1)
-        key = lambda c: (c.user_id, c.timestamp, c.lat, c.lng, c.location_id)
+        def key(c):
+            return (c.user_id, c.timestamp, c.lat, c.lng, c.location_id)
+
         combined = sorted(map(key, train)) + sorted(map(key, test))
         assert sorted(combined) == sorted(map(key, synthetic_dataset))
 

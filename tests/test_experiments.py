@@ -6,10 +6,9 @@ code path the benchmarks rely on.  Shape assertions mirror what
 EXPERIMENTS.md records against the paper.
 """
 
-import numpy as np
 import pytest
 
-from repro.experiments.config import PAPER_SCALE, SMALL_SCALE, ExperimentConfig, get_scale
+from repro.experiments.config import PAPER_SCALE, SMALL_SCALE, get_scale
 from repro.experiments.convergence import run_convergence_experiment
 from repro.experiments.graph_approx import run_constraint_count_experiment, run_runtime_experiment
 from repro.experiments.precision_timing import run_precision_timing_experiment

@@ -21,7 +21,6 @@ from repro import (
     tree_for_region,
 )
 from repro.attacks.bayesian import BayesianAttacker
-from repro.core.graphapprox import HexNeighborhoodGraph
 from repro.datasets.region import SAN_FRANCISCO
 from repro.datasets.splits import train_test_split_checkins
 from repro.datasets.synthetic import generate_small_dataset
@@ -76,7 +75,8 @@ class TestEndToEnd:
             client.obfuscate(real.lat, real.lng, Policy(privacy_level=2, delta=0), seed=rng).reported_node_id
             for _ in range(10)
         }
-        narrow_range = {leaf.node_id for leaf in tree.descendant_leaves(tree.node_for_latlng(real.lat, real.lng, 1).node_id)}
+        narrow_root = tree.node_for_latlng(real.lat, real.lng, 1).node_id
+        narrow_range = {leaf.node_id for leaf in tree.descendant_leaves(narrow_root)}
         assert narrow <= narrow_range
         # The wide policy may (and with 10 draws usually does) leave the narrow range.
         assert len(wide) >= 1
@@ -116,7 +116,6 @@ class TestEndToEnd:
         from repro.server.messages import ObfuscationRequest
 
         server = pipeline["server"]
-        tree = pipeline["tree"]
         response = server.handle_request(ObfuscationRequest(privacy_level=1, delta=1))
         payload = response.to_dict()
         from repro.server.messages import PrivacyForestResponse

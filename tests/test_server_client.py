@@ -1,6 +1,5 @@
 """Integration tests for the server (Algorithm 3) and the client (Algorithm 4)."""
 
-import numpy as np
 import pytest
 
 from repro.client.client import CORGIClient

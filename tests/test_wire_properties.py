@@ -47,6 +47,13 @@ from repro.service.handoff import (  # noqa: E402
     encode_snapshot,
 )
 from repro.service.http import CORGIHTTPServer  # noqa: E402
+from repro.service.netshard import (  # noqa: E402
+    FRAME_MAGIC,
+    FrameAssembler,
+    FrameFormatError,
+    decode_frame,
+    encode_frame,
+)
 from repro.service.pool import build_ring, ring_failover_order  # noqa: E402
 from repro.service.service import CORGIService  # noqa: E402
 
@@ -404,6 +411,103 @@ class TestRingOwnership:
         assert owner not in drained
         # Ownership is a function: re-deriving it yields the same slot.
         assert owner == next(slot for slot in order if slot not in drained)
+
+
+# --------------------------------------------------------------------- #
+# Netshard frame codec: round-trip and strict rejection
+# --------------------------------------------------------------------- #
+
+#: Arbitrary JSON-object messages, the only thing frames may carry.
+json_values = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(10**9), max_value=10**9),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(max_size=16),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=16,
+)
+
+frame_messages = st.dictionaries(st.text(max_size=12), json_values, max_size=6)
+
+
+class TestFrameProperties:
+    @DETERMINISTIC
+    @given(message=frame_messages)
+    def test_frame_roundtrips(self, message):
+        """Any JSON-object message survives the framed round trip exactly
+        (finite floats included — repr round-trips binary64)."""
+        assert decode_frame(encode_frame(message)) == message
+
+    @DETERMINISTIC
+    @given(message=frame_messages, data=st.data())
+    def test_truncated_frame_is_rejected_not_crashed(self, message, data):
+        blob = encode_frame(message)
+        cut = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+        with pytest.raises(FrameFormatError):
+            decode_frame(blob[:cut])
+
+    @DETERMINISTIC
+    @given(
+        message=frame_messages,
+        prefix=st.binary(min_size=4, max_size=32).filter(
+            lambda junk: junk[:4] != FRAME_MAGIC
+        ),
+    )
+    def test_garbage_prefix_is_rejected(self, message, prefix):
+        """A stream not starting with the magic is refused on sight — the
+        codec never buffers behind a bogus length from line noise."""
+        with pytest.raises(FrameFormatError):
+            decode_frame(prefix + encode_frame(message))
+        assembler = FrameAssembler()
+        # Pad to a full header: the assembler withholds judgement until it
+        # has all eight bytes, then rejects on the magic alone.
+        assembler.feed(prefix + bytes(8))
+        with pytest.raises(FrameFormatError):
+            assembler.next_message()
+
+    @DETERMINISTIC
+    @given(messages=st.lists(frame_messages, min_size=1, max_size=4), data=st.data())
+    def test_stream_reassembles_across_arbitrary_chunking(self, messages, data):
+        """However the network fragments or coalesces the byte stream, the
+        assembler yields exactly the sent messages in order."""
+        stream = b"".join(encode_frame(message) for message in messages)
+        assembler = FrameAssembler()
+        received = []
+        position = 0
+        while position < len(stream):
+            step = data.draw(st.integers(min_value=1, max_value=len(stream) - position))
+            assembler.feed(stream[position : position + step])
+            position += step
+            while True:
+                message = assembler.next_message()
+                if message is None:
+                    break
+                received.append(message)
+        assert received == messages
+        assembler.expect_end()
+
+    @DETERMINISTIC
+    @given(
+        junk=st.one_of(
+            st.binary(max_size=64),
+            st.text(max_size=32).map(lambda text: text.encode("utf-8")),
+            st.none(),
+            st.integers(),
+        )
+    )
+    def test_junk_blob_is_rejected(self, junk):
+        """Any non-frame input raises exactly FrameFormatError — a 400-class
+        ValueError, never a crash in the server's reader."""
+        if isinstance(junk, (bytes, bytearray)) and bytes(junk[:4]) == FRAME_MAGIC:
+            junk = b"XXXX" + bytes(junk[4:])
+        with pytest.raises(FrameFormatError):
+            decode_frame(junk)
 
 
 # --------------------------------------------------------------------- #
