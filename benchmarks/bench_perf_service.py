@@ -20,6 +20,12 @@ Four serving workloads, each the one its mechanism exists for:
   the failover path: one server is SIGKILLed and its keys are re-served
   through the surviving socket shard — heartbeat detection, redial backoff
   and ring failover are all on the measured path.
+* **restart** — cold vs. durable warm fleet restart.  Cold: a fresh pool
+  over an empty state directory serves each key through a full LP build.
+  Warm: the previous fleet persisted its forests write-through to the
+  snapshot store, was SIGKILLed wholesale, and the reborn pool pre-warms
+  from disk — first responses are cache hits.  The warm p50 must sit at
+  least 20× below the cold p50 (the ISSUE acceptance bound).
 
 Results are recorded section-by-section in ``BENCH_service.json`` so future
 PRs can track all three trends.  The sharded-beats-single assertion only
@@ -111,7 +117,7 @@ def _update_results(section: str, payload: Dict[str, object]) -> None:
     if RESULT_PATH.exists():
         try:
             existing = json.loads(RESULT_PATH.read_text(encoding="utf-8"))
-            known_sections = ("coalescing", "sharding", "handoff", "netshard")
+            known_sections = ("coalescing", "sharding", "handoff", "netshard", "restart")
             if isinstance(existing, dict) and any(
                 section in existing for section in known_sections
             ):
@@ -362,6 +368,105 @@ def test_perf_service_handoff():
     assert drain_report["handoff_keys"] == len(victim_keys)
     assert drain_report["imported"] == len(victim_keys)
     assert warm_p50 < cold_p50 / 2, payload["failover_latency_s"]
+
+
+@pytest.mark.perf
+def test_perf_service_restart(tmp_path):
+    """Durable warm restart: first-response latency, cold boot vs store pre-warm.
+
+    Phase 1 boots a pool over an *empty* state directory and times the
+    first response for every key — the cold-restart experience (full LP
+    builds).  The write-through persister lands those forests in the
+    snapshot store; the fleet is then SIGKILLed without any drain.  Phase 2
+    boots a fresh pool over the same directory, waits for the boot-time
+    pre-warm, and times the same keys again — the durable warm-restart
+    experience.  Acceptance: warm p50 at least 20× below cold p50.
+    """
+    state_dir = tmp_path / "state"
+    restart_keys = MIXED_EPSILONS[:4]
+
+    def timed_first_responses(pool) -> List[float]:
+        latencies = []
+        for epsilon in restart_keys:
+            start = time.perf_counter()
+            pool.build_forest(PRIVACY_LEVEL, DELTA, epsilon=epsilon)
+            latencies.append(time.perf_counter() - start)
+        return latencies
+
+    # --- Phase 1: cold boot over an empty store, then kill -9 the fleet -- #
+    cold_pool = EnginePool(
+        _build_tree(), _server_config(), num_shards=2, state_dir=state_dir
+    )
+    try:
+        cold_pool.wait_ready()
+        cold_pool.wait_prewarmed(timeout_s=60)  # empty store: returns fast
+        cold_latencies = timed_first_responses(cold_pool)
+        # Write-through persistence is asynchronous — wait until every
+        # built key is durably on disk before pulling the plug.
+        wait_until(
+            lambda: (cold_pool.durability_diagnostics()["store"]["writes"])
+            >= len(restart_keys),
+            timeout_s=60,
+            message="write-through persistence of every restart key",
+        )
+        store_stats = cold_pool.durability_diagnostics()["store"]
+        for shard in cold_pool._shards:
+            shard.process.kill()  # the whole fleet at once: no drain, no hand-off
+    finally:
+        cold_pool.close()
+
+    # --- Phase 2: reborn fleet over the same directory, pre-warmed ------- #
+    warm_pool = EnginePool(
+        _build_tree(), _server_config(), num_shards=2, state_dir=state_dir
+    )
+    try:
+        warm_pool.wait_ready()
+        assert warm_pool.wait_prewarmed(timeout_s=120), "store pre-warm timed out"
+        warm_latencies = timed_first_responses(warm_pool)
+        durability = warm_pool.durability_diagnostics()
+    finally:
+        warm_pool.close()
+
+    cold_p50 = statistics.median(cold_latencies)
+    warm_p50 = statistics.median(warm_latencies)
+    payload = {
+        "workload": {
+            "tree_height": TREE_HEIGHT,
+            "privacy_level": PRIVACY_LEVEL,
+            "delta": DELTA,
+            "robust_iterations": ITERATIONS,
+            "distinct_epsilons": list(restart_keys),
+            "num_shards": 2,
+        },
+        "first_response_s": {
+            "cold_p50": cold_p50,
+            "warm_p50": warm_p50,
+            "cold_per_key": cold_latencies,
+            "warm_per_key": warm_latencies,
+        },
+        "speedup_p50": cold_p50 / warm_p50 if warm_p50 else float("inf"),
+        "store": {
+            "entries_persisted": store_stats["writes"],
+            "compression_ratio": store_stats["compression_ratio"],
+            "raw_bytes": store_stats["raw_bytes"],
+            "stored_bytes": store_stats["stored_bytes"],
+        },
+        "prewarm": durability["prewarm"],
+    }
+    _update_results("restart", payload)
+    print(json.dumps(payload["first_response_s"], indent=2))
+    print("warm-restart speedup (p50):", payload["speedup_p50"])
+
+    # Acceptance: every key was pre-warmed from disk (none stale, none
+    # dropped) and the reborn fleet answers at least 20× faster than the
+    # cold boot — a cache hit instead of an LP campaign.
+    prewarm = durability["prewarm"]
+    assert (
+        prewarm["store_prewarm_imported"] + prewarm["store_prewarm_prewarmed"]
+        >= len(restart_keys)
+    )
+    assert prewarm["store_prewarm_stale"] == 0
+    assert warm_p50 * 20 <= cold_p50, payload["first_response_s"]
 
 
 @pytest.mark.perf

@@ -43,6 +43,8 @@ GATES: Dict[str, Tuple[str, ...]] = {
         "handoff.failover_latency_s.warm_p50",
         "netshard.burst_wall_s",
         "netshard.failover_latency_s.p50",
+        "restart.first_response_s.cold_p50",
+        "restart.first_response_s.warm_p50",
     ),
     "BENCH_pipeline.json": (
         "forest_generation_s.cold",

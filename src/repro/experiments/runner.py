@@ -129,9 +129,11 @@ def serve(config: ExperimentConfig, args: argparse.Namespace) -> int:
         from repro.service.netshard import parse_shard_hosts
 
         remote_shards = parse_shard_hosts(args.shard_hosts)
-    if args.shards > 1 or remote_shards:
+    if args.shards > 1 or remote_shards or args.state_dir:
         # --shards counts *local* worker processes; with --shard-hosts the
         # default of 1 means "no local shards, serve purely over sockets".
+        # --state-dir forces the pool tier (of at least one shard): the
+        # durable control log and snapshot store live in the pool.
         local_shards = args.shards if args.shards > 1 else (0 if remote_shards else 1)
         pool = EnginePool(
             workload.tree,
@@ -140,10 +142,20 @@ def serve(config: ExperimentConfig, args: argparse.Namespace) -> int:
             num_shards=local_shards,
             remote_shards=remote_shards,
             respawn_limit=args.respawn_limit,
+            state_dir=args.state_dir,
         )
         pool.wait_ready()
         remote_note = f" + {len(remote_shards)} socket shard(s)" if remote_shards else ""
         print(f"engine pool: {local_shards} shard process(es){remote_note} ready")
+        if args.state_dir:
+            durability = pool.durability_diagnostics()
+            log_stats = durability.get("control_log") or {}
+            print(
+                f"durable state under {args.state_dir}: "
+                f"replayed {log_stats.get('records_replayed', 0)} control record(s), "
+                f"priors generation v{pool.priors_version}; "
+                "snapshot pre-warm running in the background"
+            )
         engine = pool
     else:
         engine = ForestEngine(workload.tree, server_config, targets=workload.targets)
@@ -248,6 +260,14 @@ def main(argv: Optional[list] = None) -> int:
         default=3,
         help="how many times a crashed shard is respawned before its slot is "
         "declared dead (--serve with --shards > 1)",
+    )
+    parser.add_argument(
+        "--state-dir",
+        default=None,
+        help="directory for the durable state tier (--serve): a crash-safe "
+        "priors/invalidation log replayed on boot plus a compressed snapshot "
+        "store that pre-warms the shards — a restart over the same directory "
+        "serves warm instead of cold-rebuilding (implies an engine pool)",
     )
     parser.add_argument(
         "--drain-on-shutdown",

@@ -17,12 +17,17 @@ logic / control separation the related DB-nets work argues for):
   behind the same service API;
 * :mod:`repro.service.netshard` — the cross-host shard transport: the same
   op vocabulary over length-prefixed TCP frames, with heartbeat liveness
-  and bounded reconnect, so ring slots can live on other machines.
+  and bounded reconnect, so ring slots can live on other machines;
+* :mod:`repro.service.controllog` / :mod:`repro.service.store` — the
+  durable state tier: a crash-safe priors/invalidation write-ahead log
+  replayed on boot, plus a compressed, checksummed snapshot store that
+  pre-warms a restarted fleet (``EnginePool(state_dir=...)``).
 
 Client-side counterparts (the transport protocol, ``InProcessTransport``
 and ``HTTPTransport``) live in :mod:`repro.client.transport`.
 """
 
+from repro.service.controllog import ControlLog, ControlLogFormatError
 from repro.service.handoff import (
     CacheSnapshot,
     SnapshotEntry,
@@ -41,6 +46,7 @@ from repro.service.netshard import (
 from repro.service.pool import EnginePool, EnginePoolError, PoolTimeoutError
 from repro.service.service import CORGIService, ServiceConfig, ServiceOverloadedError
 from repro.service.shard import ShardCrashedError, ShardState
+from repro.service.store import SnapshotStore, StoreFormatError
 
 __all__ = [
     "CORGIService",
@@ -63,4 +69,8 @@ __all__ = [
     "SnapshotFormatError",
     "decode_snapshot",
     "encode_snapshot",
+    "ControlLog",
+    "ControlLogFormatError",
+    "SnapshotStore",
+    "StoreFormatError",
 ]

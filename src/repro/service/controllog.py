@@ -1,0 +1,301 @@
+"""Crash-safe append-only control log for priors/invalidation events.
+
+The pool's control plane — ``publish_priors`` and ``invalidate`` — is what
+makes replicas diverge after a crash: PR 5 had to patch a split-brain edge
+where a replica outlived a head restart carrying a priors generation the
+new head had never seen, and the only safe answer in RAM-only operation was
+to reset the replica defensively.  This module makes the control plane
+durable instead, following the store-and-forward durable-queue pattern from
+the MSMQ multi-branch synchronization literature: every control event is
+appended to an fsync'd log *before* it is applied or broadcast, each record
+carries a monotonically increasing version (the log sequence number), and a
+restarted head replays the log on boot to recover the authoritative priors
+generation from disk.
+
+On-disk format — one binary framed record per event::
+
+    +-------+---------+-------------+---------------+-----------+
+    | magic | version | payload len | CRC32(payload)| payload   |
+    | CRGL  |   u8    |     u32     |      u32      | JSON utf8 |
+    +-------+---------+-------------+---------------+-----------+
+
+The payload is canonical (sorted-keys) JSON holding at least ``type`` and
+``version``.  Decoding is strict and typed: a truncated header or payload,
+wrong magic, unsupported format version, oversized length, or checksum
+mismatch raises :class:`ControlLogFormatError` — never a crash.  Replay
+(:func:`scan_records`) stops at the first malformed record and reports the
+valid prefix, so a torn tail from a kill -9 mid-append degrades to "replay
+what was durably committed" and the torn bytes are truncated away before
+the next append.
+
+Append failures (disk full, read-only volume) are counted and logged but
+never raised into the serving path: versions keep advancing in memory so
+the fleet stays consistent, and the diagnostics surface the durability gap.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.exceptions import CORGIError
+
+__all__ = [
+    "CONTROL_LOG_MAGIC",
+    "CONTROL_LOG_VERSION",
+    "MAX_RECORD_BYTES",
+    "ControlLog",
+    "ControlLogFormatError",
+    "ControlLogReplay",
+    "decode_record",
+    "encode_record",
+    "scan_records",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Record magic: identifies bytes as a CORGI control-log record.
+CONTROL_LOG_MAGIC = b"CRGL"
+
+#: On-disk format version.  Bumped on any incompatible record change;
+#: decoders reject every other version outright (a skewed reader must
+#: fall back to a cold boot, never misread a record).
+CONTROL_LOG_VERSION = 1
+
+#: Upper bound on a single record payload.  Priors for even a deep tree
+#: are well under a megabyte; anything larger is corruption, not data.
+MAX_RECORD_BYTES = 16 << 20
+
+_RECORD_HEADER = struct.Struct(">4sBII")
+
+
+class ControlLogFormatError(CORGIError, ValueError):
+    """The bytes are not a well-formed control-log record.
+
+    Subclasses :class:`ValueError` so transports map it to a client fault,
+    and :class:`CORGIError` so library-level handlers catch it with
+    everything else.  Raised for truncation, bad magic, version skew,
+    oversized lengths, and checksum mismatches alike.
+    """
+
+
+def encode_record(event: Mapping[str, object]) -> bytes:
+    """Serialize one control event to its framed, checksummed wire form."""
+    if not isinstance(event, Mapping):
+        raise ControlLogFormatError(
+            f"control-log event must be a mapping, got {type(event).__name__}"
+        )
+    payload = json.dumps(dict(event), sort_keys=True).encode("utf-8")
+    if len(payload) > MAX_RECORD_BYTES:
+        raise ControlLogFormatError(
+            f"control-log payload of {len(payload)} bytes exceeds cap {MAX_RECORD_BYTES}"
+        )
+    header = _RECORD_HEADER.pack(
+        CONTROL_LOG_MAGIC, CONTROL_LOG_VERSION, len(payload), zlib.crc32(payload)
+    )
+    return header + payload
+
+
+def decode_record(data: bytes, offset: int = 0) -> Tuple[Dict[str, object], int]:
+    """Parse one record at ``offset``; return ``(event, next_offset)``.
+
+    Strict and typed: raises :class:`ControlLogFormatError` for a truncated
+    header/payload, wrong magic, unsupported format version, implausible
+    length, checksum mismatch, or a payload that is not a JSON object.
+    """
+    view = memoryview(data)[offset:]
+    if len(view) < _RECORD_HEADER.size:
+        raise ControlLogFormatError(
+            f"truncated control-log record header ({len(view)} of {_RECORD_HEADER.size} bytes)"
+        )
+    magic, version, length, checksum = _RECORD_HEADER.unpack_from(view)
+    if magic != CONTROL_LOG_MAGIC:
+        raise ControlLogFormatError(f"bad control-log record magic {bytes(magic)!r}")
+    if version != CONTROL_LOG_VERSION:
+        raise ControlLogFormatError(
+            f"unsupported control-log record version {version} "
+            f"(this build speaks {CONTROL_LOG_VERSION})"
+        )
+    if length > MAX_RECORD_BYTES:
+        raise ControlLogFormatError(
+            f"control-log record claims {length} payload bytes, cap is {MAX_RECORD_BYTES}"
+        )
+    body = view[_RECORD_HEADER.size : _RECORD_HEADER.size + length]
+    if len(body) < length:
+        raise ControlLogFormatError(
+            f"truncated control-log record payload ({len(body)} of {length} bytes)"
+        )
+    payload = bytes(body)
+    if zlib.crc32(payload) != checksum:
+        raise ControlLogFormatError("control-log record checksum mismatch (corrupt payload)")
+    try:
+        event = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ControlLogFormatError(f"malformed control-log record payload: {error}") from error
+    if not isinstance(event, dict):
+        raise ControlLogFormatError("control-log record payload must be a JSON object")
+    return event, offset + _RECORD_HEADER.size + length
+
+
+def scan_records(data: bytes) -> Tuple[List[Dict[str, object]], int, Optional[str]]:
+    """Replay every well-formed record from the head of ``data``.
+
+    Returns ``(records, valid_bytes, error)`` where ``records`` is the
+    longest decodable prefix, ``valid_bytes`` is the offset the prefix ends
+    at, and ``error`` describes the first malformed record (``None`` for a
+    clean scan).  Never raises: a torn tail from a crash mid-append is a
+    normal recovery input, not an exception.
+    """
+    records: List[Dict[str, object]] = []
+    offset = 0
+    total = len(data)
+    while offset < total:
+        try:
+            event, offset = decode_record(data, offset)
+        except ControlLogFormatError as error:
+            return records, offset, str(error)
+        records.append(event)
+    return records, offset, None
+
+
+@dataclass(frozen=True)
+class ControlLogReplay:
+    """What a boot-time replay recovered from disk."""
+
+    records: Tuple[Dict[str, object], ...] = ()
+    last_version: int = 0
+    valid_bytes: int = 0
+    truncated_bytes: int = 0
+    error: Optional[str] = None
+    stats: Dict[str, int] = field(default_factory=dict)
+
+
+class ControlLog:
+    """Append-only, fsync'd control log with boot-time replay.
+
+    Thread-safe.  ``append`` allocates the next monotonic version, frames
+    the record, and commits it with write+fsync before returning — callers
+    apply/broadcast only after the append, so a crash between commit and
+    broadcast converges on replay (write-ahead ordering).  A torn tail
+    found at open time is truncated away so subsequent appends never land
+    after garbage.
+    """
+
+    def __init__(self, path: os.PathLike) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._appends = 0
+        self._append_errors = 0
+        self._disabled = False
+        self.replay = self._load()
+        self._last_version = self.replay.last_version
+
+    def _load(self) -> ControlLogReplay:
+        try:
+            data = self.path.read_bytes()
+        except FileNotFoundError:
+            data = b""
+        except OSError as error:
+            logger.warning("control log %s unreadable (%s); starting empty", self.path, error)
+            self._disabled = True
+            return ControlLogReplay(error=str(error))
+        records, valid_bytes, error = scan_records(data)
+        truncated = len(data) - valid_bytes
+        if truncated:
+            logger.warning(
+                "control log %s has a torn/corrupt tail of %d bytes after %d records (%s); "
+                "truncating to the valid prefix",
+                self.path,
+                truncated,
+                len(records),
+                error,
+            )
+            try:
+                with open(self.path, "r+b") as handle:
+                    handle.truncate(valid_bytes)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            except OSError as truncate_error:
+                # Cannot repair the tail: disable appends rather than risk
+                # interleaving new records with garbage.
+                logger.warning(
+                    "control log %s tail truncation failed (%s); appends disabled",
+                    self.path,
+                    truncate_error,
+                )
+                self._disabled = True
+        last_version = 0
+        for record in records:
+            version = record.get("version")
+            if isinstance(version, int) and not isinstance(version, bool):
+                last_version = max(last_version, version)
+        return ControlLogReplay(
+            records=tuple(records),
+            last_version=last_version,
+            valid_bytes=valid_bytes,
+            truncated_bytes=truncated,
+            error=error,
+        )
+
+    @property
+    def last_version(self) -> int:
+        with self._lock:
+            return self._last_version
+
+    def append(self, event_type: str, payload: Optional[Mapping[str, object]] = None) -> int:
+        """Durably record one control event; return its version.
+
+        The version advances even when the disk write fails (counted and
+        logged) so the in-memory control plane stays monotonic — durability
+        degrades, serving does not.
+        """
+        with self._lock:
+            version = self._last_version + 1
+            self._last_version = version
+            record: Dict[str, object] = dict(payload or {})
+            record["type"] = str(event_type)
+            record["version"] = version
+            blob = encode_record(record)
+            if self._disabled:
+                self._append_errors += 1
+                return version
+            try:
+                with open(self.path, "ab") as handle:
+                    handle.write(blob)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                self._appends += 1
+            except OSError as error:
+                self._append_errors += 1
+                logger.warning(
+                    "control log %s append failed (%s); event %r v%d is in-memory only",
+                    self.path,
+                    error,
+                    event_type,
+                    version,
+                )
+            return version
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "path": str(self.path),
+                "records_replayed": len(self.replay.records),
+                "last_version": self._last_version,
+                "replayed_version": self.replay.last_version,
+                "truncated_tail_bytes": self.replay.truncated_bytes,
+                "replay_error": self.replay.error,
+                "appends": self._appends,
+                "append_errors": self._append_errors,
+                "disabled": self._disabled,
+            }
+
+    def close(self) -> None:
+        """No-op (appends open/fsync/close per record); kept for symmetry."""

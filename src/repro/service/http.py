@@ -11,6 +11,9 @@ adds routing, status codes and JSON framing, nothing else:
 * ``GET /healthz`` — liveness probe.
 * ``GET /metrics`` — :meth:`CORGIService.snapshot` JSON.
 * ``GET /priors/<subtree_root_id>`` — published leaf priors (footnote 5).
+* ``GET /admin/durability`` — durable-tier diagnostics (control-log replay
+  length, snapshot-store hits and compression ratio, pre-warm counters);
+  ``{"durable": false, ...}`` when serving without a ``--state-dir``.
 * ``POST /admin/invalidate`` — body ``{"privacy_level": <int|null>}``
   (field optional); drops cached forests — on a sharded
   :class:`~repro.service.pool.EnginePool` across every shard — and answers
@@ -129,6 +132,8 @@ class CORGIRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(200, {"status": "ok"})
             elif self.path == "/metrics":
                 self._send_json(200, self.service.snapshot())
+            elif self.path == "/admin/durability":
+                self._send_json(200, self.service.durability())
             elif self.path.startswith("/priors/"):
                 subtree_root_id = self.path[len("/priors/") :]
                 self._send_json(200, self.service.publish_leaf_priors(subtree_root_id))

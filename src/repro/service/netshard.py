@@ -12,11 +12,16 @@ versions instead of local state — so the socket transport adds *framing,
 liveness and reconnection*, not new semantics:
 
 * **Framing** — every message is one length-prefixed frame: a 4-byte magic
-  (``CRGF``), a 4-byte big-endian payload length, then a UTF-8 JSON object.
-  Decoding is strict: wrong magic, oversized or truncated frames and
-  non-object payloads raise :class:`FrameFormatError` (a ``ValueError``, so
-  transports map it to the 400 class) — a malformed peer can never crash a
-  server or a pool.  Matrices cross the wire via the existing
+  (``CRGF``, or ``CRGZ`` for a zlib-compressed payload), a 4-byte
+  big-endian payload length, then a UTF-8 JSON object.  Payloads past
+  ``FRAME_COMPRESS_MIN_BYTES`` are deflated at encode time — hand-off and
+  store pre-warm snapshots are multi-megabyte JSON, which compresses
+  several-fold — and inflated with a zip-bomb guard (``MAX_FRAME_BYTES``
+  bounds the *decompressed* size too).  Decoding is strict: wrong magic,
+  oversized, truncated or undecompressable frames and non-object payloads
+  raise :class:`FrameFormatError` (a ``ValueError``, so transports map it
+  to the 400 class) — a malformed peer can never crash a server or a pool.
+  Matrices cross the wire via the existing
   :meth:`~repro.core.matrix.ObfuscationMatrix.to_dict` encoding (exact
   float64 round-trip — pooled-over-socket forests stay byte-identical to
   single-process builds), and hand-off snapshots ride as the exact blob
@@ -49,12 +54,14 @@ import argparse
 import json
 import os
 import queue as queue_module
+import random
 import select
 import socket
 import struct
 import sys
 import threading
 import time
+import zlib
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.exceptions import CORGIError, MatrixValidationError
@@ -73,7 +80,10 @@ logger = get_logger(__name__)
 
 __all__ = [
     "FRAME_MAGIC",
+    "FRAME_MAGIC_DEFLATE",
+    "FRAME_COMPRESS_MIN_BYTES",
     "MAX_FRAME_BYTES",
+    "next_backoff_delay",
     "FrameFormatError",
     "RemoteShardError",
     "FrameAssembler",
@@ -96,6 +106,19 @@ __all__ = [
 #: eight bytes instead of being buffered until some bogus length arrives.
 FRAME_MAGIC = b"CRGF"
 
+#: Magic of a frame whose payload is zlib-compressed JSON.  Same header
+#: shape (the length counts the *compressed* bytes); decoders inflate
+#: under a decompressed-size bound so a hostile frame cannot zip-bomb the
+#: receiver.
+FRAME_MAGIC_DEFLATE = b"CRGZ"
+
+#: Payloads at or above this size are deflated at encode time.  Tuned for
+#: snapshot traffic: request/response chatter stays uncompressed (zlib
+#: latency would dominate), while multi-megabyte hand-off and store
+#: pre-warm snapshots — highly redundant JSON-encoded float arrays —
+#: shrink several-fold on the socket.
+FRAME_COMPRESS_MIN_BYTES = 64 << 10
+
 #: Upper bound on one frame's payload.  Large enough for a hand-off
 #: snapshot at the default payload budget (JSON inflates matrix bytes
 #: roughly threefold), small enough that a garbage length prefix is
@@ -113,10 +136,14 @@ HEARTBEAT_INTERVAL_S = 0.25
 #: look like death.
 LIVENESS_TIMEOUT_S = 1.0
 
-#: Redial schedule for one connection attempt window (seconds between
-#: tries); the window is bounded by ``connect_timeout_s`` overall and the
-#: pool's ``respawn_limit`` across windows.
-CONNECT_BACKOFF_S = (0.05, 0.1, 0.2, 0.4, 0.8)
+#: Redial backoff bounds for one connection attempt window (seconds); the
+#: window is bounded by ``connect_timeout_s`` overall and the pool's
+#: ``respawn_limit`` across windows.  Delays are *decorrelated-jittered*
+#: between these bounds (see :func:`next_backoff_delay`) so a whole fleet
+#: redialing one restarted server spreads out instead of thundering in
+#: lockstep.
+CONNECT_BACKOFF_BASE_S = 0.05
+CONNECT_BACKOFF_CAP_S = 0.8
 
 #: Server-side read deadline: a client that has not sent *anything* (the
 #: parent heartbeats every 0.25 s) for this long is presumed gone and the
@@ -137,19 +164,74 @@ class RemoteShardError(CORGIError, RuntimeError):
     """A remote shard reported an error type this build cannot reconstruct."""
 
 
+def next_backoff_delay(
+    previous: float,
+    *,
+    base: float = CONNECT_BACKOFF_BASE_S,
+    cap: float = CONNECT_BACKOFF_CAP_S,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """Decorrelated-jitter reconnect delay: ``min(cap, U(base, previous*3))``.
+
+    The first call (``previous`` = 0) returns exactly ``base``; later calls
+    draw uniformly between ``base`` and three times the last delay, capped.
+    Unlike a fixed schedule, two clients that lost the same server at the
+    same instant decorrelate after one round — the property that prevents a
+    whole fleet from redialing a restarted server in lockstep.  Pure (pass
+    a seeded ``rng``) so the bounds are directly property-testable.
+    """
+    pick = (rng or random).uniform
+    upper = max(float(base), float(previous) * 3.0)
+    return min(float(cap), pick(float(base), upper))
+
+
 # --------------------------------------------------------------------- #
 # Frame codec
 # --------------------------------------------------------------------- #
 
 
-def encode_frame(message: Dict[str, object]) -> bytes:
-    """Serialize one message dict to its framed wire form."""
+def encode_frame(
+    message: Dict[str, object],
+    *,
+    compress_min_bytes: Optional[int] = FRAME_COMPRESS_MIN_BYTES,
+) -> bytes:
+    """Serialize one message dict to its framed wire form.
+
+    Payloads at or above *compress_min_bytes* are zlib-deflated and framed
+    under :data:`FRAME_MAGIC_DEFLATE` — but only when compression actually
+    wins, so already-dense payloads never inflate on the wire.  Pass
+    ``compress_min_bytes=None`` to force plain frames.
+    """
     payload = json.dumps(message, sort_keys=True).encode("utf-8")
     if len(payload) > MAX_FRAME_BYTES:
         raise FrameFormatError(
             f"frame payload of {len(payload)} bytes exceeds MAX_FRAME_BYTES"
         )
-    return _HEADER.pack(FRAME_MAGIC, len(payload)) + payload
+    magic = FRAME_MAGIC
+    if compress_min_bytes is not None and len(payload) >= compress_min_bytes:
+        compressed = zlib.compress(payload, 6)
+        if len(compressed) < len(payload):
+            magic = FRAME_MAGIC_DEFLATE
+            payload = compressed
+    return _HEADER.pack(magic, len(payload)) + payload
+
+
+def _inflate_payload(payload: bytes) -> bytes:
+    """Inflate a CRGZ payload under the frame size bound (zip-bomb guard)."""
+    inflater = zlib.decompressobj()
+    try:
+        raw = inflater.decompress(payload, MAX_FRAME_BYTES + 1)
+    except zlib.error as error:
+        raise FrameFormatError(f"corrupt compressed frame payload: {error}") from error
+    if len(raw) > MAX_FRAME_BYTES:
+        raise FrameFormatError(
+            f"compressed frame inflates past MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"
+        )
+    if not inflater.eof or inflater.unused_data:
+        raise FrameFormatError(
+            "compressed frame payload is not a single complete zlib stream"
+        )
+    return raw
 
 
 class FrameAssembler:
@@ -184,9 +266,10 @@ class FrameAssembler:
         if len(self._buffer) < _HEADER.size:
             return None
         magic, length = _HEADER.unpack_from(self._buffer)
-        if magic != FRAME_MAGIC:
+        if magic not in (FRAME_MAGIC, FRAME_MAGIC_DEFLATE):
             raise FrameFormatError(
-                f"bad frame magic {bytes(magic)!r} (expected {FRAME_MAGIC!r})"
+                f"bad frame magic {bytes(magic)!r} "
+                f"(expected {FRAME_MAGIC!r} or {FRAME_MAGIC_DEFLATE!r})"
             )
         if length > MAX_FRAME_BYTES:
             raise FrameFormatError(
@@ -197,6 +280,8 @@ class FrameAssembler:
             return None
         payload = bytes(self._buffer[_HEADER.size : end])
         del self._buffer[:end]
+        if magic == FRAME_MAGIC_DEFLATE:
+            payload = _inflate_payload(payload)
         try:
             message = json.loads(payload.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
@@ -825,16 +910,17 @@ class NetShardHandle(ShardHandle):
             )
 
     def _dial(self, generation: int) -> Optional[socket.socket]:
-        """Connect with backoff, bounded by ``connect_timeout_s`` overall."""
+        """Connect with decorrelated-jitter backoff, bounded by ``connect_timeout_s``."""
         deadline = time.monotonic() + self.connect_timeout_s
         attempt = 0
+        delay = 0.0
         while True:
             if self._stale(generation):
                 return None
             try:
                 sock = socket.create_connection(self.address, timeout=1.0)
             except OSError as error:
-                delay = CONNECT_BACKOFF_S[min(attempt, len(CONNECT_BACKOFF_S) - 1)]
+                delay = next_backoff_delay(delay)
                 attempt += 1
                 if time.monotonic() + delay > deadline:
                     logger.warning(

@@ -40,6 +40,19 @@ consistent-hash routing, failover, drain and warm hand-off all work across
 the socket, so a pool can mix worker processes on this machine with
 replicas on other machines behind one service.
 
+With ``state_dir`` set, the pool gains a **durable state tier**: control
+events (``publish_priors`` / ``invalidate``) are committed to a crash-safe
+write-ahead log (:mod:`repro.service.controllog`) before they are applied,
+and every built forest is persisted to a compressed snapshot store
+(:mod:`repro.service.store`) by a background thread.  A fresh pool booted
+over the same directory replays the log — recovering the authoritative
+priors generation from disk instead of resetting replicas defensively —
+and pre-warms its shards (local *and* remote) from the store, so even a
+full-fleet kill -9 restarts warm.  Every durability failure (torn log
+tail, corrupt snapshot, disk full) degrades to cold rebuild with typed
+diagnostics; none can crash a boot or serve a stale priors generation
+(stored payloads are version-checked at import exactly like hand-offs).
+
 Determinism: every shard runs the same serial engine code path, so pooled
 forests are byte-identical to single-process ones for every shard count —
 local, remote or mixed.
@@ -51,22 +64,28 @@ import bisect
 import hashlib
 import itertools
 import multiprocessing
+import os
 import queue as queue_module
 import threading
 import time
 from dataclasses import replace
+from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.exceptions import CORGIError
 from repro.core.objective import TargetDistribution
 from repro.server.engine import ServerConfig, validate_prior_masses
 from repro.server.privacy_forest import PrivacyForest
+from repro.service.controllog import ControlLog
 from repro.service.handoff import (
     CacheSnapshot,
     SnapshotEntry,
+    SnapshotFormatError,
+    decode_snapshot,
     encode_snapshot,
 )
 from repro.service.netshard import NetShardHandle, parse_shard_hosts
+from repro.service.store import SnapshotStore, pipeline_store_fingerprint
 from repro.service.shard import (
     CONTROL_TICKET,
     ShardCrashedError,
@@ -107,6 +126,11 @@ HANDOFF_PAYLOAD_BUDGET_BYTES = 8 << 20
 #: Most-recently-used request keys remembered per shard slot — the ledger
 #: the pool replays to ring siblings when the slot dies without a drain.
 HOT_KEY_LEDGER_SIZE = 128
+
+#: Bound on the write-through persistence queue feeding the snapshot
+#: store.  A full queue drops the write (counted) rather than ever
+#: back-pressuring the request path.
+PERSIST_QUEUE_SIZE = 256
 
 #: Terminal (or respawn-gated) states a collector thread treats as "this
 #: generation is over"; DRAINED is reached by an orderly drain, not a crash.
@@ -232,6 +256,14 @@ class EnginePool:
         socket shard is pinged, how long silence means death (the
         socket-transport analogue of ``Process.is_alive`` polling), and
         the per-redial budget of the bounded reconnect backoff.
+    state_dir:
+        Directory for the durable state tier (``None`` = RAM-only, the
+        previous behaviour).  Holds the crash-safe control log
+        (``control.log``) replayed on boot and the compressed snapshot
+        store (``snapshots/``) that pre-warms booting shards.  The
+        directory is created if missing; any failure to open or replay it
+        is logged, surfaced in :meth:`durability_diagnostics`, and the
+        pool boots cold — durability problems never block serving.
 
     The pool satisfies the forest-provider duck type
     (``generate_privacy_forest`` / ``build_forest_traced`` / ``tree`` /
@@ -257,6 +289,7 @@ class EnginePool:
         heartbeat_interval_s: float = 0.25,
         liveness_timeout_s: float = 1.0,
         connect_timeout_s: float = 5.0,
+        state_dir: Optional[os.PathLike] = None,
     ) -> None:
         addresses = _normalize_remote_addresses(remote_shards)
         if num_shards < 0 or (num_shards < 1 and not addresses):
@@ -288,6 +321,10 @@ class EnginePool:
         self._tree_lock = threading.Lock()
         self._tickets = itertools.count(1)
         self._closed = False
+        # Stats live under their own lock (not the lifecycle lock) so the
+        # crash handler can bump them — and fire the user-supplied listener
+        # — without ever invoking foreign code while holding a pool lock.
+        self._stats_lock = threading.Lock()
         self._stats = {
             "respawns": 0,
             "retries": 0,
@@ -298,6 +335,12 @@ class EnginePool:
             "handoff_payloads": 0,
             "handoff_prewarms": 0,
             "handoff_dropped": 0,
+            "store_prewarm_imported": 0,
+            "store_prewarm_prewarmed": 0,
+            "store_prewarm_skipped": 0,
+            "store_prewarm_stale": 0,
+            "store_prewarm_dropped": 0,
+            "store_persist_dropped": 0,
         }
         self._stats_listener: Optional[Callable[[str, int], None]] = None
         # Per-slot hot-key ledger: the most recently served request keys,
@@ -310,6 +353,18 @@ class EnginePool:
         # re-sent when it becomes READY — see _collect's READY handler.
         self._priors_version = 0
         self._current_priors: Optional[Tuple[Dict[str, float], bool, int]] = None
+        # Durable state tier (optional): replay the control log *before*
+        # spawning shards, so every worker is stamped with the recovered
+        # priors generation and carries the replayed tree priors.
+        self._state_dir: Optional[Path] = None
+        self._control_log: Optional[ControlLog] = None
+        self._store: Optional[SnapshotStore] = None
+        self._durability_errors: List[str] = []
+        self._persist_queue: Optional[queue_module.Queue] = None
+        self._persister: Optional[threading.Thread] = None
+        self._prewarm_done = threading.Event()
+        if state_dir is not None:
+            self._open_durable_state(state_dir)
         self._ring: List[Tuple[int, int]] = build_ring(self.num_shards)
         # Local worker-process slots first, then one slot per remote
         # address — the ring treats them identically (slot number is all
@@ -330,6 +385,276 @@ class EnginePool:
             )
         for shard in self._shards:
             self._spawn(shard)
+        if self._store is not None:
+            self._persist_queue = queue_module.Queue(maxsize=PERSIST_QUEUE_SIZE)
+            self._persister = threading.Thread(
+                target=self._persist_loop, name="corgi-store-persister", daemon=True
+            )
+            self._persister.start()
+            threading.Thread(
+                target=self._store_prewarm, name="corgi-store-prewarm", daemon=True
+            ).start()
+        else:
+            self._prewarm_done.set()
+
+    # ------------------------------------------------------------------ #
+    # Durable state tier: control-log replay, persistence, pre-warm
+    # ------------------------------------------------------------------ #
+
+    def _open_durable_state(self, state_dir: os.PathLike) -> None:
+        """Open (or create) the state directory and replay the control log.
+
+        Every failure mode — unreadable directory, torn or corrupt log,
+        undecodable priors record — is caught, logged, and recorded in
+        :meth:`durability_diagnostics`; the pool then boots cold.  A
+        durability problem must never crash a boot.
+        """
+        self._state_dir = Path(state_dir)
+        try:
+            self._state_dir.mkdir(parents=True, exist_ok=True)
+            self._control_log = ControlLog(self._state_dir / "control.log")
+            self._recover_from_control_log()
+            self._store = SnapshotStore(
+                self._state_dir / "snapshots",
+                fingerprint=pipeline_store_fingerprint(
+                    self.tree, self.config, self._targets
+                ),
+            )
+        except Exception as error:  # noqa: BLE001 - durability never blocks a boot
+            self._durability_errors.append(f"durable state unavailable: {error}")
+            logger.exception(
+                "durable state tier under %s unavailable; booting cold", state_dir
+            )
+
+    def _recover_from_control_log(self) -> None:
+        """Apply the last replayed ``publish_priors`` to the parent tree.
+
+        Restores the authoritative priors generation from disk: the version
+        of the newest committed publish becomes the pool's priors version
+        (so a warm replica announcing it at READY is recognized rather than
+        reset), and the masses are re-applied to the parent tree so every
+        spawned worker pickles the recovered priors.  A record that fails
+        vetting (hand-edited log) is surfaced as a diagnostic and skipped —
+        the version still advances so it can never be reissued.
+        """
+        assert self._control_log is not None
+        replay = self._control_log.replay
+        if replay.error:
+            self._durability_errors.append(f"control-log tail: {replay.error}")
+        last_publish: Optional[Dict[str, object]] = None
+        for record in replay.records:
+            if record.get("type") == "publish_priors":
+                last_publish = record
+        if last_publish is None:
+            return
+        version = last_publish.get("version")
+        if not isinstance(version, int) or isinstance(version, bool) or version <= 0:
+            self._durability_errors.append(
+                f"replayed publish_priors carries invalid version {version!r}"
+            )
+            return
+        try:
+            vetted = validate_prior_masses(last_publish.get("priors"))
+            normalize = bool(last_publish.get("normalize", True))
+            with self._tree_lock:
+                self.tree.set_leaf_priors(dict(vetted), normalize=normalize)
+        except Exception as error:  # noqa: BLE001 - a bad record boots cold
+            self._durability_errors.append(f"replayed priors rejected: {error}")
+            logger.warning(
+                "control-log priors v%s failed to apply (%s); keeping seed priors",
+                version,
+                error,
+            )
+            self._priors_version = version
+            return
+        self._priors_version = version
+        self._current_priors = (vetted, normalize, version)
+        logger.info(
+            "replayed %d control-log record(s); priors generation v%d recovered "
+            "from disk",
+            len(replay.records),
+            version,
+        )
+
+    def _schedule_persist(
+        self, shard: ShardHandle, key: Tuple[int, int, float], result: Mapping[str, object]
+    ) -> None:
+        """Queue one freshly built forest for write-through persistence."""
+        persist_queue = self._persist_queue
+        if persist_queue is None:
+            return
+        matrices = result.get("matrices")
+        if not matrices:
+            return
+        with shard.lock:
+            version = shard.priors_version
+        ttl = float(self.config.forest_ttl_s)
+        entry = SnapshotEntry(
+            privacy_level=key[0],
+            delta=key[1],
+            epsilon=key[2],
+            ttl_remaining_s=ttl if ttl > 0 else None,
+            matrices=dict(matrices),
+        )
+        try:
+            persist_queue.put_nowait((shard.slot, version, entry))
+        except queue_module.Full:
+            self._bump("store_persist_dropped")
+
+    def _persist_loop(self) -> None:
+        """Background writer: snapshot-encode queued forests into the store."""
+        while True:
+            try:
+                item = self._persist_queue.get(timeout=0.2)
+            except queue_module.Empty:
+                if self._closed:
+                    return
+                continue
+            if item is None:
+                return
+            slot, version, entry = item
+            try:
+                blob = encode_snapshot(
+                    CacheSnapshot(
+                        shard_slot=slot, priors_version=version, entries=(entry,)
+                    )
+                )
+                self._store.put(entry.privacy_level, entry.delta, entry.epsilon, blob)
+            except Exception:  # noqa: BLE001 - persistence must not die mid-run
+                logger.exception("snapshot persistence failed for key %s", entry.key)
+
+    def _persist_exported(
+        self, slot: int, version: int, raw_entries: List[Dict[str, object]]
+    ) -> int:
+        """Persist a draining shard's exported payload entries (synchronous)."""
+        if self._store is None:
+            return 0
+        persisted = 0
+        for raw in raw_entries:
+            if raw.get("matrices") is None:
+                continue
+            try:
+                entry = SnapshotEntry(
+                    privacy_level=int(raw["privacy_level"]),
+                    delta=int(raw["delta"]),
+                    epsilon=float(raw["epsilon"]),
+                    ttl_remaining_s=raw.get("ttl_remaining_s"),
+                    matrices=raw.get("matrices"),
+                )
+                blob = encode_snapshot(
+                    CacheSnapshot(
+                        shard_slot=slot, priors_version=version, entries=(entry,)
+                    )
+                )
+            except Exception as error:  # noqa: BLE001 - skip the one bad entry
+                logger.warning("could not persist drained entry %r: %s", raw, error)
+                continue
+            if self._store.put(entry.privacy_level, entry.delta, entry.epsilon, blob):
+                persisted += 1
+        return persisted
+
+    def _store_prewarm(self) -> None:
+        """Boot-time pre-warm: import every stored snapshot into its home shard.
+
+        Runs on a daemon thread after the shards spawn.  Snapshots whose
+        priors version differs from the replayed generation are skipped
+        (and counted) — and even for matching ones the shard executor
+        re-checks the version at import, so a stored payload can never be
+        served under different priors.  Any per-blob failure is counted and
+        the loop moves on; the thread can only end by finishing or by pool
+        close.
+        """
+        try:
+            try:
+                self.wait_ready(timeout_s=self.request_timeout_s)
+            except EnginePoolError as error:
+                logger.warning("store pre-warm: pool not ready (%s)", error)
+                return
+            with self._lifecycle_lock:
+                pool_version = self._priors_version
+            for name, blob in self._store.load_all():
+                if self._closed:
+                    return
+                try:
+                    snapshot = decode_snapshot(blob)
+                except SnapshotFormatError as error:
+                    self._store.quarantine_blob(name, error)
+                    continue
+                if snapshot.priors_version != pool_version:
+                    self._bump("store_prewarm_stale", len(snapshot.entries))
+                    logger.info(
+                        "store pre-warm: %s is from priors v%d (pool is at v%d); "
+                        "skipping — the key will rebuild on demand",
+                        name,
+                        snapshot.priors_version,
+                        pool_version,
+                    )
+                    continue
+                for entry in snapshot.entries:
+                    dest = self._destination_for(entry.key, None)
+                    if dest is None:
+                        self._bump("store_prewarm_dropped")
+                        continue
+                    dest_shard = self._shards[dest]
+                    deadline = time.monotonic() + self.request_timeout_s
+                    single = encode_snapshot(
+                        CacheSnapshot(
+                            shard_slot=snapshot.shard_slot,
+                            priors_version=snapshot.priors_version,
+                            entries=(entry,),
+                        )
+                    )
+                    try:
+                        counts = self._shard_request(
+                            dest_shard, "import_cache", single, deadline
+                        )
+                    except (EnginePoolError, ShardCrashedError, ShardUnavailableError) as error:
+                        self._bump("store_prewarm_dropped")
+                        logger.warning(
+                            "store pre-warm of %s into shard %d failed: %s",
+                            name,
+                            dest,
+                            error,
+                        )
+                        continue
+                    self._bump("store_prewarm_imported", int(counts.get("imported", 0)))
+                    self._bump("store_prewarm_prewarmed", int(counts.get("prewarmed", 0)))
+                    self._bump("store_prewarm_skipped", int(counts.get("skipped", 0)))
+                    self._record_hot_key(dest, entry.key)
+        except Exception:  # noqa: BLE001 - pre-warm must never take the pool down
+            logger.exception("store pre-warm thread failed")
+        finally:
+            self._prewarm_done.set()
+
+    def wait_prewarmed(self, timeout_s: float = 60.0) -> bool:
+        """Block until the boot-time store pre-warm finished (True) or timeout."""
+        return self._prewarm_done.wait(timeout=timeout_s)
+
+    @property
+    def priors_version(self) -> int:
+        """The pool's current (possibly disk-replayed) priors generation."""
+        with self._lifecycle_lock:
+            return self._priors_version
+
+    def durability_diagnostics(self) -> Dict[str, object]:
+        """State of the durable tier: log replay, store counters, pre-warm."""
+        info: Dict[str, object] = {
+            "durable": self._control_log is not None or self._store is not None,
+            "state_dir": None if self._state_dir is None else str(self._state_dir),
+            "errors": list(self._durability_errors),
+            "prewarm_complete": self._prewarm_done.is_set(),
+        }
+        if self._control_log is not None:
+            info["control_log"] = self._control_log.stats()
+        if self._store is not None:
+            info["store"] = self._store.stats()
+        with self._stats_lock:
+            info["prewarm"] = {
+                name: self._stats[name]
+                for name in self._stats
+                if name.startswith("store_prewarm_")
+            }
+        return info
 
     # ------------------------------------------------------------------ #
     # Consistent-hash routing
@@ -532,49 +857,63 @@ class EnginePool:
         post-crash warm recovery: by the time failed-over requests land on
         a sibling, the dead shard's hot keys are (being) pre-warmed there
         instead of cold-built on the request path.
+
+        Stat bumps are deferred until the lifecycle lock is released: the
+        bump path notifies the user-supplied stats listener, and running
+        foreign code (which may raise, block, or call back into the pool)
+        from inside the crash handler's critical section could deadlock or
+        kill the collector thread that detects shard death.
         """
-        with self._lifecycle_lock:
-            with shard.lock:
-                if shard.generation != generation or shard.state in (
-                    ShardState.STOPPED,
-                    ShardState.DEAD,
-                    ShardState.DRAINED,
-                ):
-                    return
-                shard.transition(ShardState.CRASHED)
-                exhausted = shard.respawns >= self.respawn_limit
-                closed = self._closed
-            failed = shard.fail_pending(
-                ShardCrashedError(
-                    f"shard {shard.slot} (generation {generation}) died mid-request"
+        bumps: List[Tuple[str, int]] = []
+        respawn = False
+        try:
+            with self._lifecycle_lock:
+                with shard.lock:
+                    if shard.generation != generation or shard.state in (
+                        ShardState.STOPPED,
+                        ShardState.DEAD,
+                        ShardState.DRAINED,
+                    ):
+                        return
+                    shard.transition(ShardState.CRASHED)
+                    exhausted = shard.respawns >= self.respawn_limit
+                    closed = self._closed
+                failed = shard.fail_pending(
+                    ShardCrashedError(
+                        f"shard {shard.slot} (generation {generation}) died mid-request"
+                    )
                 )
-            )
-            self._stats["crash_failures"] += failed
-            logger.warning(
-                "shard %d died (generation %d, %d request(s) in flight)",
-                shard.slot,
-                generation,
-                failed,
-            )
-            if not closed:
-                self._start_warm_recovery(shard.slot)
-            if closed:
-                with shard.lock:
-                    shard.transition(ShardState.STOPPED)
-                return
-            if exhausted:
-                with shard.lock:
-                    shard.transition(ShardState.DEAD)
-                logger.error(
-                    "shard %d exceeded respawn_limit=%d; slot is permanently dead",
+                bumps.append(("crash_failures", failed))
+                logger.warning(
+                    "shard %d died (generation %d, %d request(s) in flight)",
                     shard.slot,
-                    self.respawn_limit,
+                    generation,
+                    failed,
                 )
-                return
-            with shard.lock:
-                shard.respawns += 1
-            self._stats["respawns"] += 1
-        self._spawn(shard)
+                if not closed:
+                    self._start_warm_recovery(shard.slot)
+                if closed:
+                    with shard.lock:
+                        shard.transition(ShardState.STOPPED)
+                    return
+                if exhausted:
+                    with shard.lock:
+                        shard.transition(ShardState.DEAD)
+                    logger.error(
+                        "shard %d exceeded respawn_limit=%d; slot is permanently dead",
+                        shard.slot,
+                        self.respawn_limit,
+                    )
+                    return
+                with shard.lock:
+                    shard.respawns += 1
+                bumps.append(("respawns", 1))
+                respawn = True
+        finally:
+            for name, amount in bumps:
+                self._bump(name, amount)
+        if respawn:
+            self._spawn(shard)
 
     def wait_ready(self, timeout_s: float = 60.0) -> None:
         """Block until every shard is READY or terminal (spawn rendezvous).
@@ -647,6 +986,18 @@ class EnginePool:
                 if q is not None:
                     q.close()
                     q.cancel_join_thread()
+        # Flush the durable tier: the persister drains queued writes (a
+        # sentinel lands behind them), then the control log is released.
+        if self._persist_queue is not None:
+            try:
+                self._persist_queue.put_nowait(None)
+            except queue_module.Full:
+                pass  # the loop also exits on the closed flag
+            if self._persister is not None:
+                self._persister.join(timeout=5.0)
+        if self._control_log is not None:
+            self._control_log.close()
+        self._prewarm_done.set()
         logger.info("engine pool closed (%d shards)", self.num_shards)
 
     def __enter__(self) -> "EnginePool":
@@ -725,7 +1076,7 @@ class EnginePool:
             if entry.error is not None:
                 if isinstance(entry.error, (ShardCrashedError, ShardUnavailableError)):
                     last_error = entry.error
-                    self._stats["retries"] += 1
+                    self._bump("retries")
                     logger.info(
                         "retrying %s for key %s after %s", op, key, entry.error
                     )
@@ -733,6 +1084,11 @@ class EnginePool:
                 raise entry.error
             if op == "build":
                 self._record_hot_key(shard.slot, key)
+                if not entry.result.get("cached"):
+                    # Write-through: a freshly built forest goes to the
+                    # snapshot store so even an unplanned full-fleet kill -9
+                    # restarts warm (a drain is not required for durability).
+                    self._schedule_persist(shard, key, entry.result)
             return entry.result
         raise last_error or EnginePoolError(f"request {op!r} exhausted retries")
 
@@ -747,14 +1103,20 @@ class EnginePool:
         ``handoffs``, ``warm_failovers``) into its own lock-consistent
         :class:`~repro.service.metrics.ServiceMetrics` counters.
         """
-        with self._lifecycle_lock:
+        with self._stats_lock:
             self._stats_listener = listener
 
     def _bump(self, name: str, amount: int = 1) -> None:
-        """Increment one pool stat and notify the listener (outside the lock)."""
+        """Increment one pool stat and notify the listener (outside any lock).
+
+        The listener is user-supplied code: it is invoked with no pool lock
+        held and inside a try/except, so a listener that raises (or calls
+        back into the pool) can never deadlock the crash handler or kill
+        the collector thread that detects shard death.
+        """
         if amount <= 0:
             return
-        with self._lifecycle_lock:
+        with self._stats_lock:
             self._stats[name] = self._stats.get(name, 0) + int(amount)
             listener = self._stats_listener
         if listener is not None:
@@ -985,7 +1347,17 @@ class EnginePool:
                 deadline,
                 allow_draining=True,
             )
+            try:
+                # Persist before the sibling transfer: the export is the
+                # last full copy of this shard's cache, and for the final
+                # drain of a fleet shutdown there is no live sibling — the
+                # store is what makes the next boot warm.
+                persisted = self._persist_exported(slot, source_version, entries)
+            except Exception:  # noqa: BLE001 - persistence is best-effort
+                logger.exception("persisting drained cache of shard %d failed", slot)
+                persisted = 0
             report = self._transfer_entries(slot, source_version, entries, deadline)
+            report["persisted"] = persisted
         except BaseException:
             # A failed drain must not strand the slot: the worker is still
             # alive (a death takes the DRAINING -> CRASHED path through the
@@ -1298,10 +1670,19 @@ class EnginePool:
         return results
 
     def invalidate(self, privacy_level: Optional[int] = None) -> int:
-        """Drop cached forests on every shard; return the total dropped."""
-        answers = self._broadcast(
-            "invalidate", None if privacy_level is None else int(privacy_level)
-        )
+        """Drop cached forests on every shard; return the total dropped.
+
+        With a durable tier, the event is committed to the control log
+        first (write-ahead: a crash mid-broadcast converges on replay) and
+        the matching stored snapshots are purged — an operator invalidation
+        must not be resurrected from disk by the next boot's pre-warm.
+        """
+        level = None if privacy_level is None else int(privacy_level)
+        if self._control_log is not None:
+            self._control_log.append("invalidate", {"privacy_level": level})
+        if self._store is not None:
+            self._store.purge(level)
+        answers = self._broadcast("invalidate", level)
         return sum(int(count) for count in answers.values())
 
     def publish_priors(
@@ -1325,8 +1706,22 @@ class EnginePool:
         with self._tree_lock:
             self.tree.set_leaf_priors(dict(vetted), normalize=normalize)
         with self._lifecycle_lock:
-            self._priors_version += 1
-            version = self._priors_version
+            if self._control_log is not None:
+                # Write-ahead: commit (append + fsync) before the broadcast,
+                # so a crash in between converges on replay instead of
+                # losing the generation.  The log allocates the version —
+                # one monotonic sequence shared with invalidation events.
+                version = self._control_log.append(
+                    "publish_priors",
+                    {
+                        "priors": {str(k): float(v) for k, v in vetted.items()},
+                        "normalize": bool(normalize),
+                    },
+                )
+                version = max(version, self._priors_version + 1)
+            else:
+                version = self._priors_version + 1
+            self._priors_version = version
             # The version rides in the payload so each worker can track its
             # own priors generation (the import_cache skew check).
             payload = (vetted, bool(normalize), version)
@@ -1357,7 +1752,7 @@ class EnginePool:
 
     def pool_stats(self) -> Dict[str, int]:
         """Respawn/retry/crash counters accumulated since construction."""
-        with self._lifecycle_lock:
+        with self._stats_lock:
             return dict(self._stats)
 
     def cache_diagnostics(self, timeout_s: float = 10.0) -> Dict[str, object]:
@@ -1413,6 +1808,7 @@ class EnginePool:
                 "hot_keys": {
                     slot: len(self.hot_keys(slot)) for slot in range(self.num_shards)
                 },
+                "durability": self.durability_diagnostics(),
                 **self.pool_stats(),
             },
         }

@@ -410,6 +410,18 @@ class CORGIService:
         """Engine cache/pool diagnostics (hand-off counters included on a pool)."""
         return self.engine.cache_diagnostics()
 
+    def durability(self) -> Dict[str, object]:
+        """Durable-tier diagnostics: control-log replay, store hits, ratios.
+
+        Exposed on the wire as ``GET /admin/durability``.  A plain engine
+        (or a pool without ``state_dir``) reports ``durable: False`` rather
+        than erroring — the endpoint is a probe, not a capability check.
+        """
+        probe = getattr(self.engine, "durability_diagnostics", None)
+        if callable(probe):
+            return probe()
+        return {"durable": False, "state_dir": None, "errors": []}
+
     def snapshot(self) -> Dict[str, object]:
         """Service metrics plus engine cache diagnostics, JSON-friendly.
 

@@ -14,7 +14,13 @@ the two serialization layers:
   its versioned wire form; truncated and version-skewed blobs are rejected
   with :class:`SnapshotFormatError` (never a worker crash); and the
   consistent-hash ring guarantees that after *any* drain sequence every
-  key is owned by exactly one live shard.
+  key is owned by exactly one live shard;
+* :mod:`repro.service.controllog` / :mod:`repro.service.store` — the
+  durable state tier: WAL records and stored snapshot files round-trip
+  exactly; truncation, single-bit flips, version skew and arbitrary junk
+  are rejected with typed errors (``ControlLogFormatError`` /
+  ``StoreFormatError``) — replay recovers the longest valid prefix and
+  never crashes.
 
 Hypothesis is an optional dependency (pure test tooling); the module skips
 cleanly where only the runtime deps are installed.
@@ -46,16 +52,34 @@ from repro.service.handoff import (  # noqa: E402
     decode_snapshot,
     encode_snapshot,
 )
+from repro.service.controllog import (  # noqa: E402
+    CONTROL_LOG_MAGIC,
+    CONTROL_LOG_VERSION,
+    ControlLogFormatError,
+    decode_record,
+    encode_record,
+    scan_records,
+)
 from repro.service.http import CORGIHTTPServer  # noqa: E402
 from repro.service.netshard import (  # noqa: E402
     FRAME_MAGIC,
+    FRAME_MAGIC_DEFLATE,
+    CONNECT_BACKOFF_BASE_S,
+    CONNECT_BACKOFF_CAP_S,
     FrameAssembler,
     FrameFormatError,
     decode_frame,
     encode_frame,
+    next_backoff_delay,
 )
 from repro.service.pool import build_ring, ring_failover_order  # noqa: E402
 from repro.service.service import CORGIService  # noqa: E402
+from repro.service.store import (  # noqa: E402
+    STORE_VERSION,
+    StoreFormatError,
+    decode_store_blob,
+    encode_store_blob,
+)
 
 #: Deterministic profile shared by every property in this module.
 DETERMINISTIC = settings(
@@ -456,7 +480,7 @@ class TestFrameProperties:
     @given(
         message=frame_messages,
         prefix=st.binary(min_size=4, max_size=32).filter(
-            lambda junk: junk[:4] != FRAME_MAGIC
+            lambda junk: junk[:4] not in (FRAME_MAGIC, FRAME_MAGIC_DEFLATE)
         ),
     )
     def test_garbage_prefix_is_rejected(self, message, prefix):
@@ -504,10 +528,265 @@ class TestFrameProperties:
     def test_junk_blob_is_rejected(self, junk):
         """Any non-frame input raises exactly FrameFormatError — a 400-class
         ValueError, never a crash in the server's reader."""
-        if isinstance(junk, (bytes, bytearray)) and bytes(junk[:4]) == FRAME_MAGIC:
+        if isinstance(junk, (bytes, bytearray)) and bytes(junk[:4]) in (
+            FRAME_MAGIC,
+            FRAME_MAGIC_DEFLATE,
+        ):
             junk = b"XXXX" + bytes(junk[4:])
         with pytest.raises(FrameFormatError):
             decode_frame(junk)
+
+    @DETERMINISTIC
+    @given(message=frame_messages, padding=st.text(max_size=100_000))
+    def test_compressed_frames_roundtrip(self, message, padding):
+        """Forcing the compression threshold to zero exercises the deflate
+        arm for every payload size; the round trip stays exact."""
+        message = dict(message, padding=padding)
+        blob = encode_frame(message, compress_min_bytes=0)
+        assert decode_frame(blob) == message
+        # And the plain arm decodes the same message identically.
+        assert decode_frame(encode_frame(message, compress_min_bytes=None)) == message
+
+    @DETERMINISTIC
+    @given(message=frame_messages, data=st.data())
+    def test_corrupt_compressed_frame_is_rejected(self, message, data):
+        """A bit flip inside a deflated payload raises FrameFormatError —
+        the inflater's error surface maps to the same typed rejection."""
+        blob = bytearray(encode_frame(dict(message, pad="x" * 512), compress_min_bytes=0))
+        header = 8  # magic + u32 length
+        position = data.draw(st.integers(min_value=header, max_value=len(blob) - 1))
+        bit = data.draw(st.integers(min_value=0, max_value=7))
+        blob[position] ^= 1 << bit
+        with pytest.raises(FrameFormatError):
+            decode_frame(bytes(blob))
+
+
+# --------------------------------------------------------------------- #
+# Reconnect backoff: decorrelated jitter stays inside [base, cap]
+# --------------------------------------------------------------------- #
+
+
+class TestBackoffProperties:
+    @DETERMINISTIC
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        steps=st.integers(min_value=1, max_value=12),
+    )
+    def test_backoff_sequence_is_bounded_and_starts_at_base(self, seed, steps):
+        """The decorrelated-jitter sequence starts at exactly the base delay
+        (a fresh dial retries promptly) and every subsequent delay stays
+        inside [base, cap] whatever the RNG draws."""
+        import random as random_module
+
+        rng = random_module.Random(seed)
+        delay = 0.0
+        for step in range(steps):
+            delay = next_backoff_delay(delay, rng=rng)
+            if step == 0:
+                assert delay == CONNECT_BACKOFF_BASE_S
+            assert CONNECT_BACKOFF_BASE_S <= delay <= CONNECT_BACKOFF_CAP_S
+
+    @DETERMINISTIC
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        previous=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        base=st.floats(min_value=0.001, max_value=1.0, allow_nan=False),
+        cap_factor=st.floats(min_value=1.0, max_value=50.0, allow_nan=False),
+    )
+    def test_backoff_respects_arbitrary_base_and_cap(
+        self, seed, previous, base, cap_factor
+    ):
+        import random as random_module
+
+        cap = base * cap_factor
+        delay = next_backoff_delay(
+            previous, base=base, cap=cap, rng=random_module.Random(seed)
+        )
+        assert min(base, cap) <= delay <= cap
+
+
+# --------------------------------------------------------------------- #
+# Control-log (WAL) records: round-trip, prefix replay, corruption
+# --------------------------------------------------------------------- #
+
+#: JSON-object control events, as publish_priors / invalidate would log.
+wal_events = st.dictionaries(
+    st.text(max_size=10),
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(10**9), max_value=10**9),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(max_size=12),
+        st.dictionaries(
+            st.text(max_size=6),
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            max_size=4,
+        ),
+    ),
+    max_size=5,
+)
+
+
+class TestControlLogProperties:
+    @DETERMINISTIC
+    @given(event=wal_events)
+    def test_record_roundtrips(self, event):
+        """Any JSON-object event survives the framed, checksummed round trip
+        exactly, and the decoder reports the precise record length."""
+        blob = encode_record(event)
+        decoded, next_offset = decode_record(blob)
+        assert decoded == json.loads(json.dumps(event))
+        assert next_offset == len(blob)
+
+    @DETERMINISTIC
+    @given(events=st.lists(wal_events, min_size=1, max_size=5))
+    def test_scan_replays_full_log(self, events):
+        data = b"".join(encode_record(event) for event in events)
+        records, valid_bytes, error = scan_records(data)
+        assert records == [json.loads(json.dumps(event)) for event in events]
+        assert valid_bytes == len(data)
+        assert error is None
+
+    @DETERMINISTIC
+    @given(events=st.lists(wal_events, min_size=1, max_size=5), data=st.data())
+    def test_truncated_log_replays_longest_valid_prefix(self, events, data):
+        """Cut the log anywhere — a kill -9 mid-append — and replay returns
+        exactly the records fully committed before the cut, never raising."""
+        blobs = [encode_record(event) for event in events]
+        stream = b"".join(blobs)
+        cut = data.draw(st.integers(min_value=0, max_value=len(stream) - 1))
+        records, valid_bytes, error = scan_records(stream[:cut])
+        # The cut lands inside record k; everything before k replays.
+        boundary, complete = 0, 0
+        for blob in blobs:
+            if boundary + len(blob) > cut:
+                break
+            boundary += len(blob)
+            complete += 1
+        assert records == [json.loads(json.dumps(event)) for event in events[:complete]]
+        assert valid_bytes == boundary
+        assert (error is None) == (cut == boundary)
+
+    @DETERMINISTIC
+    @given(events=st.lists(wal_events, min_size=1, max_size=4), data=st.data())
+    def test_bit_flip_stops_replay_at_corrupt_record(self, events, data):
+        """Flip any single bit anywhere in the log: replay yields exactly
+        the records before the damaged one — checksum coverage means a flip
+        can never alter a decoded event or crash the scan."""
+        blobs = [encode_record(event) for event in events]
+        stream = bytearray(b"".join(blobs))
+        position = data.draw(st.integers(min_value=0, max_value=len(stream) - 1))
+        bit = data.draw(st.integers(min_value=0, max_value=7))
+        stream[position] ^= 1 << bit
+        boundary, damaged = 0, 0
+        for blob in blobs:
+            if boundary + len(blob) > position:
+                break
+            boundary += len(blob)
+            damaged += 1
+        records, valid_bytes, error = scan_records(bytes(stream))
+        assert records == [json.loads(json.dumps(event)) for event in events[:damaged]]
+        assert valid_bytes == boundary
+        assert error is not None
+
+    @DETERMINISTIC
+    @given(
+        event=wal_events,
+        version=st.integers(min_value=0, max_value=255).filter(
+            lambda value: value != CONTROL_LOG_VERSION
+        ),
+    )
+    def test_version_skewed_record_is_rejected(self, event, version):
+        blob = bytearray(encode_record(event))
+        blob[len(CONTROL_LOG_MAGIC)] = version  # the u8 after the magic
+        with pytest.raises(ControlLogFormatError):
+            decode_record(bytes(blob))
+
+    @DETERMINISTIC
+    @given(junk=st.binary(max_size=64))
+    def test_scan_never_crashes_on_junk(self, junk):
+        """Arbitrary bytes — line noise, a foreign file — replay as an
+        empty (or partial) prefix with a diagnostic, never an exception."""
+        records, valid_bytes, error = scan_records(junk)
+        assert valid_bytes <= len(junk)
+        assert isinstance(records, list)
+        if junk and valid_bytes < len(junk):
+            assert error is not None
+
+
+# --------------------------------------------------------------------- #
+# Snapshot-store files: round-trip, corruption, version skew
+# --------------------------------------------------------------------- #
+
+
+class TestStoreBlobProperties:
+    @DETERMINISTIC
+    @given(payload=st.binary(max_size=4096))
+    def test_store_blob_roundtrips(self, payload):
+        assert decode_store_blob(encode_store_blob(payload)) == payload
+
+    @DETERMINISTIC
+    @given(snapshot=cache_snapshots())
+    def test_real_snapshots_roundtrip_through_store_envelope(self, snapshot):
+        """The store wraps the hand-off wire form verbatim: unwrap + decode
+        reproduces the snapshot's canonical JSON bytes exactly."""
+        blob = encode_snapshot(snapshot)
+        assert decode_store_blob(encode_store_blob(blob)) == blob
+
+    @DETERMINISTIC
+    @given(payload=st.binary(min_size=1, max_size=2048), data=st.data())
+    def test_truncated_store_file_is_rejected(self, payload, data):
+        stored = encode_store_blob(payload)
+        cut = data.draw(st.integers(min_value=0, max_value=len(stored) - 1))
+        with pytest.raises(StoreFormatError):
+            decode_store_blob(stored[:cut])
+
+    @DETERMINISTIC
+    @given(payload=st.binary(min_size=1, max_size=2048), data=st.data())
+    def test_bit_flipped_store_file_is_rejected(self, payload, data):
+        """Every byte of the file is covered by magic, version, length or
+        the CRC trailer: any single-bit flip raises StoreFormatError."""
+        stored = bytearray(encode_store_blob(payload))
+        position = data.draw(st.integers(min_value=0, max_value=len(stored) - 1))
+        bit = data.draw(st.integers(min_value=0, max_value=7))
+        stored[position] ^= 1 << bit
+        with pytest.raises(StoreFormatError):
+            decode_store_blob(bytes(stored))
+
+    @DETERMINISTIC
+    @given(
+        payload=st.binary(max_size=2048),
+        version=st.integers(min_value=0, max_value=255).filter(
+            lambda value: value != STORE_VERSION
+        ),
+    )
+    def test_version_skewed_store_file_is_rejected(self, payload, version):
+        stored = bytearray(encode_store_blob(payload))
+        stored[4] = version  # the u8 after the 4-byte magic
+        with pytest.raises(StoreFormatError):
+            decode_store_blob(bytes(stored))
+
+    @DETERMINISTIC
+    @given(payload=st.binary(max_size=1024), tail=st.binary(min_size=1, max_size=32))
+    def test_trailing_garbage_is_rejected(self, payload, tail):
+        """Appended bytes — a torn second write, filesystem garbage — make
+        the file invalid outright rather than silently ignored."""
+        with pytest.raises(StoreFormatError):
+            decode_store_blob(encode_store_blob(payload) + tail)
+
+    @DETERMINISTIC
+    @given(
+        junk=st.one_of(
+            st.binary(max_size=64),
+            st.none(),
+            st.integers(),
+            st.text(max_size=16),
+        )
+    )
+    def test_junk_store_bytes_are_rejected(self, junk):
+        with pytest.raises(StoreFormatError):
+            decode_store_blob(junk)
 
 
 # --------------------------------------------------------------------- #
