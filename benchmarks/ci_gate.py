@@ -51,8 +51,57 @@ GATES: Dict[str, Tuple[str, ...]] = {
         "forest_generation_s.warm_matrix_cache",
         "forest_generation_s.warm_forest_cache",
         "lp_incremental_s.structure_reuse",
+        "lp_warm_start_s.warm",
     ),
 }
+
+#: Required warm-start improvement over rebuild-every-solve when the native
+#: HiGHS backend ran the bench (an *improvement* gate — higher is better —
+#: unlike the latency regressions above).
+NATIVE_WARM_SPEEDUP_MIN = 5.0
+
+
+def gate_native_warm_speedup(fresh_path: Path) -> List[str]:
+    """Enforce the >=5x native warm-start speedup, where the native backend ran.
+
+    ``bench_perf_pipeline.py`` records which solver backend actually
+    executed the ``lp_warm_start_s`` section.  On runners with the
+    ``repro[native]`` extra installed that is ``highs-native`` and the
+    speedup floor applies; on scipy-only environments the fallback backend
+    has no warm path to measure, so the gate skips with a note instead of
+    failing environments that cannot install highspy.
+    """
+    if not fresh_path.exists():
+        return []  # the missing file itself fails in gate_file
+    fresh = json.loads(fresh_path.read_text(encoding="utf-8"))
+    section = fresh.get("lp_warm_start_s")
+    if not isinstance(section, dict):
+        return [
+            "BENCH_pipeline.json: lp_warm_start_s section missing from fresh "
+            "results — the warm-start benchmark disappeared"
+        ]
+    backend = section.get("backend")
+    speedup = section.get("speedup")
+    if backend != "highs-native":
+        print(
+            f"[ci-gate] BENCH_pipeline.json: lp_warm_start_s ran on backend "
+            f"{backend!r} (highspy not installed); native >= "
+            f"{NATIVE_WARM_SPEEDUP_MIN:.1f}x improvement gate skipped"
+        )
+        return []
+    if not isinstance(speedup, (int, float)) or isinstance(speedup, bool):
+        return ["BENCH_pipeline.json: lp_warm_start_s.speedup missing or non-numeric"]
+    verdict = "ok" if speedup >= NATIVE_WARM_SPEEDUP_MIN else "TOO SLOW"
+    print(
+        f"[ci-gate] BENCH_pipeline.json: lp_warm_start_s native speedup "
+        f"{speedup:.2f}x (floor {NATIVE_WARM_SPEEDUP_MIN:.1f}x) {verdict}"
+    )
+    if speedup < NATIVE_WARM_SPEEDUP_MIN:
+        return [
+            f"BENCH_pipeline.json: native warm-start speedup {speedup:.2f}x "
+            f"is below the {NATIVE_WARM_SPEEDUP_MIN:.1f}x floor"
+        ]
+    return []
 
 
 def lookup(document: object, dotted_path: str) -> Optional[float]:
@@ -160,6 +209,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 min_delta_s=args.min_delta_s,
             )
         )
+    failures.extend(gate_native_warm_speedup(args.fresh_dir / "BENCH_pipeline.json"))
     if failures:
         print("\n[ci-gate] FAILED:", file=sys.stderr)
         for failure in failures:

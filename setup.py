@@ -11,6 +11,9 @@ Extras:
   the hard per-test timeouts the stress jobs use), hypothesis for the
   property-based wire fuzzers, and ruff for the lint gate.
 * ``repro[bench]`` — the benchmark harness dependencies.
+* ``repro[native]`` — the native HiGHS bindings (``highspy``) enabling the
+  warm-started LP solver backend (``solver_backend="highs-native"``);
+  everything falls back to scipy ``linprog`` without it.
 """
 
 from setuptools import find_packages, setup
@@ -27,9 +30,13 @@ BENCH_REQUIRES = [
     "pytest-benchmark>=4",
 ]
 
+NATIVE_REQUIRES = [
+    "highspy>=1.7",
+]
+
 setup(
     name="repro",
-    version="0.6.0",
+    version="0.7.0",
     description=(
         "Reproduction of CORGI (EDBT 2023): customizable, robust geo-"
         "indistinguishable location obfuscation, grown into a sharded, "
@@ -45,5 +52,6 @@ setup(
     extras_require={
         "test": TEST_REQUIRES,
         "bench": BENCH_REQUIRES,
+        "native": NATIVE_REQUIRES,
     },
 )

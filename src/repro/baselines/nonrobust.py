@@ -40,6 +40,9 @@ class NonRobustLPMechanism(ObfuscationMechanism):
         efficient O(K²) formulation).
     solver_method:
         scipy ``linprog`` method.
+    solver_backend:
+        Solver engine (``"auto"``, ``"scipy"`` or ``"highs-native"``; see
+        :mod:`repro.core.solver`).
     structure:
         Optional shared :class:`~repro.core.lp.ConstraintStructure` (e.g.
         one structure reused across every point of an ε sweep).
@@ -56,6 +59,7 @@ class NonRobustLPMechanism(ObfuscationMechanism):
         *,
         constraint_set: Optional[GeoIndConstraintSet] = None,
         solver_method: str = "highs",
+        solver_backend: str = "auto",
         structure: Optional[ConstraintStructure] = None,
         level: int = 0,
     ) -> None:
@@ -68,6 +72,7 @@ class NonRobustLPMechanism(ObfuscationMechanism):
             constraint_set=constraint_set,
             level=level,
             structure=structure,
+            solver_backend=solver_backend,
         )
         self._solver_method = solver_method
         self._solution: Optional[LPSolution] = None

@@ -147,6 +147,19 @@ class HTTPTransport:
         """The server's ``GET /healthz`` liveness answer."""
         return self._get("/healthz")
 
+    def diagnostics(self) -> Dict[str, object]:
+        """``GET /admin/diagnostics``: engine cache + LP-solver diagnostics.
+
+        The ``"solver"`` block carries the aggregate warm-start counters
+        (backend, warm vs cold solves, basis-reuse hits, per-stage time
+        totals), summed across shards when the server runs a pool.
+        """
+        return self._get("/admin/diagnostics")
+
+    def durability(self) -> Dict[str, object]:
+        """``GET /admin/durability``: durable state tier diagnostics."""
+        return self._get("/admin/durability")
+
     # ------------------------------------------------------------------ #
     # Admin surface (cache lifecycle)
     # ------------------------------------------------------------------ #

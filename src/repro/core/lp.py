@@ -9,10 +9,12 @@ privacy budget ε'_{i,j} (Eq. 15).  Both are instances of the same LP; the
 only difference is the effective ε used per pair, so one builder serves
 both, taking an optional reserved-privacy-budget matrix.
 
-The LP is solved with scipy's HiGHS backend.  Constraints are assembled as
-sparse matrices: with the graph approximation the problem has ``K²``
-variables, ``K`` equality rows and ``~24·K·K`` inequality rows — a few tens
-of thousands of rows for the paper's K = 49, well within HiGHS territory.
+The LP is solved through a pluggable :class:`~repro.core.solver.SolverSession`
+(scipy ``linprog`` fallback, or the warm-started native HiGHS backend when
+:mod:`highspy` is installed — see :mod:`repro.core.solver`).  Constraints are
+assembled as sparse matrices: with the graph approximation the problem has
+``K²`` variables, ``K`` equality rows and ``~24·K·K`` inequality rows — a few
+tens of thousands of rows for the paper's K = 49, well within HiGHS territory.
 
 Constraint assembly is split into a one-time *structural* part and a cheap
 per-iteration *coefficient refresh* (:class:`ConstraintStructure`).  The
@@ -29,13 +31,13 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
 import numpy as np
-from scipy.optimize import linprog
 from scipy.sparse import coo_matrix
 
 from repro.core.exceptions import InfeasibleMatrixError
 from repro.core.geoind import GeoIndConstraintSet, all_pairs_constraints
 from repro.core.matrix import ObfuscationMatrix
 from repro.core.objective import QualityLossModel
+from repro.core.solver import SolverSession, create_session
 from repro.utils.logging import get_logger
 from repro.utils.timing import Timer
 
@@ -148,7 +150,8 @@ class LPSolution:
     status:
         Solver status string (``"optimal"`` on success).
     solve_time_s:
-        Wall-clock seconds spent inside :func:`scipy.optimize.linprog`.
+        Wall-clock seconds spent inside the backend's solve call (the
+        ``solve`` stage of ``diagnostics["solve_breakdown_s"]``).
     num_variables, num_inequality_constraints, num_equality_constraints:
         Problem dimensions, used by the Fig. 10 experiments.
     """
@@ -189,6 +192,17 @@ class ObfuscationLP:
         structure shared across every point of an ε/δ sweep over the same
         location set).  When omitted, a structure is built lazily on the
         first solve and reused by later solves of this instance.
+    solver_backend:
+        ``"auto"`` (default), ``"scipy"`` or ``"highs-native"`` — see
+        :mod:`repro.core.solver`.  ``auto`` uses the warm-started native
+        HiGHS backend when :mod:`highspy` is installed and the solver
+        method is simplex-class, falling back to scipy otherwise.
+    session:
+        Optional pre-built :class:`~repro.core.solver.SolverSession` to
+        reuse (e.g. one per worker process, shared with the structure
+        across every point of a sweep).  When omitted, a session is
+        created lazily on the first solve and reused by later solves of
+        this instance — which is what warm-starts Algorithm 1.
     """
 
     def __init__(
@@ -201,6 +215,8 @@ class ObfuscationLP:
         constraint_set: Optional[GeoIndConstraintSet] = None,
         level: int = 0,
         structure: Optional[ConstraintStructure] = None,
+        solver_backend: str = "auto",
+        session: Optional[SolverSession] = None,
     ) -> None:
         if epsilon <= 0:
             raise ValueError(f"epsilon must be positive, got {epsilon}")
@@ -233,6 +249,9 @@ class ObfuscationLP:
                 )
             self._structure = structure
             self._structure_shared = True
+        self.solver_backend = str(solver_backend)
+        self._session: Optional[SolverSession] = session
+        self._session_shared = session is not None
 
     # ------------------------------------------------------------------ #
     # Problem construction
@@ -254,6 +273,12 @@ class ObfuscationLP:
         if self._structure is None:
             self._structure = ConstraintStructure(self.size, self.constraint_set)
         return self._structure
+
+    def session(self, solver_method: str = "highs") -> SolverSession:
+        """The (lazily built) solver session carrying warm state across solves."""
+        if self._session is None:
+            self._session = create_session(self.solver_backend, solver_method=solver_method)
+        return self._session
 
     def effective_epsilons(self, reserved_budget: Optional[np.ndarray] = None) -> np.ndarray:
         """Per-pair effective ε after subtracting the reserved budget ε'_{i,j}.
@@ -320,41 +345,51 @@ class ObfuscationLP:
         delta:
             Recorded on the produced matrix (provenance only).
         solver_method:
-            scipy ``linprog`` method; HiGHS is the default and the only one
-            exercised by the tests.
+            scipy ``linprog`` method, used verbatim by the scipy backend
+            and ignored by the native backend (which always runs dual
+            simplex — the warm-startable algorithm).
 
         Raises
         ------
         InfeasibleMatrixError
-            If the solver reports infeasibility or fails to converge.
+            If the solver reports infeasibility or fails to converge, or if
+            it returns a degenerate all-zero probability row (which would
+            turn into NaNs under row normalization).
         """
         objective = self.quality_model.objective_vector()
         structure = self.structure
         structure_was_fresh = structure.refresh_count == 0
-        with Timer() as build_timer:
+        session = self.session(solver_method)
+        with Timer() as refresh_timer:
             a_ub = self.build_inequalities(reserved_budget)
-        b_ub = structure.b_ub
-        a_eq = structure.a_eq
-        b_eq = structure.b_eq
-        with Timer() as timer:
-            result = linprog(
-                c=objective,
-                A_ub=a_ub,
-                b_ub=b_ub,
-                A_eq=a_eq,
-                b_eq=b_eq,
-                bounds=(0.0, 1.0),
-                method=solver_method,
-            )
-        if not result.success:
+        raw = session.solve(
+            objective,
+            a_ub,
+            structure.b_ub,
+            structure.a_eq,
+            structure.b_eq,
+            bounds=(0.0, 1.0),
+            solver_method=solver_method,
+        )
+        if not raw.ok:
             raise InfeasibleMatrixError(
-                f"LP solve failed with status {result.status}: {result.message}",
-                solver_status=str(result.status),
+                f"LP solve failed with status {raw.status}: {raw.message}",
+                solver_status=raw.status,
             )
-        values = np.asarray(result.x, dtype=float).reshape(self.size, self.size)
-        # Clean up tiny numerical noise so downstream validation is strict.
-        values = np.clip(values, 0.0, None)
-        values = values / values.sum(axis=1, keepdims=True)
+        with Timer() as extract_timer:
+            values = np.asarray(raw.x, dtype=float).reshape(self.size, self.size)
+            # Clean up tiny numerical noise so downstream validation is strict.
+            values = np.clip(values, 0.0, None)
+            row_sums = values.sum(axis=1, keepdims=True)
+            zero_rows = np.flatnonzero(row_sums[:, 0] <= 0.0)
+            if zero_rows.size:
+                raise InfeasibleMatrixError(
+                    f"solver returned an all-zero probability row after clipping "
+                    f"(row {int(zero_rows[0])} of {self.size}; {zero_rows.size} such "
+                    "rows); refusing to normalize into a NaN matrix",
+                    solver_status=raw.status,
+                )
+            values = values / row_sums
         matrix = ObfuscationMatrix(
             values=values,
             node_ids=self.node_ids,
@@ -362,27 +397,37 @@ class ObfuscationLP:
             epsilon=self.epsilon,
             delta=delta,
             metadata={
-                "objective_value": float(result.fun),
+                "objective_value": float(raw.objective_value),
                 "constraint_description": self.constraint_set.description,
                 "robust": reserved_budget is not None,
             },
         )
+        breakdown = dict(raw.timings_s)
+        breakdown["refresh"] = refresh_timer.elapsed
+        breakdown["extract"] = breakdown.get("extract", 0.0) + extract_timer.elapsed
         return LPSolution(
             matrix=matrix,
-            objective_value=float(result.fun),
+            objective_value=float(raw.objective_value),
             status="optimal",
-            solve_time_s=timer.elapsed,
+            solve_time_s=breakdown["solve"],
             num_variables=self.num_variables,
             num_inequality_constraints=a_ub.shape[0],
             num_equality_constraints=self.size,
             diagnostics={
-                "scipy_status": int(result.status),
-                "iterations": _iteration_count(result),
-                "matrix_build_time_s": build_timer.elapsed,
+                "solver_backend": session.backend,
+                "solver_status": raw.status,
+                "scipy_status": _int_or_none(raw.status),
+                "iterations": raw.iterations,
+                "warm_start": raw.warm,
+                "basis_reused": raw.basis_reused,
+                "cold_retry": raw.cold_retry,
+                "solve_breakdown_s": breakdown,
+                "matrix_build_time_s": refresh_timer.elapsed,
                 "structure_build_time_s": structure.build_time_s,
                 "structure_refresh_count": structure.refresh_count,
                 "structure_reused": not structure_was_fresh,
                 "structure_shared": self._structure_shared,
+                "session_shared": self._session_shared,
             },
         )
 
@@ -391,11 +436,9 @@ class ObfuscationLP:
         return self.solve(reserved_budget=None, delta=0, solver_method=solver_method)
 
 
-def _iteration_count(result) -> Optional[int]:
-    nit = getattr(result, "nit", None)
-    if nit is None:
-        return None
+def _int_or_none(status: str) -> Optional[int]:
+    """Numeric scipy status when the backend reports one (kept for dashboards)."""
     try:
-        return int(nit)
+        return int(status)
     except (TypeError, ValueError):
         return None

@@ -30,6 +30,7 @@ from repro.core.geoind import GeoIndConstraintSet
 from repro.core.lp import ConstraintStructure, LPSolution, ObfuscationLP
 from repro.core.matrix import ObfuscationMatrix
 from repro.core.objective import QualityLossModel
+from repro.core.solver import SolverSession
 from repro.utils.logging import get_logger
 
 logger = get_logger(__name__)
@@ -219,11 +220,22 @@ class RobustMatrixGenerator:
     basis_row:
         Passed through to :func:`reserved_privacy_budget_approx`.
     solver_method:
-        scipy ``linprog`` method used for every solve.
+        scipy ``linprog`` method used for every solve (ignored by the
+        native backend, which always runs dual simplex).
+    solver_backend:
+        Solver backend choice (``"auto"`` / ``"scipy"`` /
+        ``"highs-native"``); see :mod:`repro.core.solver`.  One
+        :class:`~repro.core.solver.SolverSession` is reused across all
+        ``t + 1`` solves of Algorithm 1, so the native backend re-solves
+        warm from the previous iteration's optimal basis.
     structure:
         Optional shared :class:`~repro.core.lp.ConstraintStructure`; when
         omitted the LP builds (and reuses) its own across the ``t``
         iterations.
+    session:
+        Optional shared :class:`~repro.core.solver.SolverSession` (e.g.
+        the pipeline executor's per-worker session); when omitted the LP
+        creates its own.
     """
 
     def __init__(
@@ -241,7 +253,9 @@ class RobustMatrixGenerator:
         rpb_method: Literal["approx", "exact"] = "approx",
         basis_row: BasisRow = "real",
         solver_method: str = "highs",
+        solver_backend: str = "auto",
         structure: Optional["ConstraintStructure"] = None,
+        session: Optional["SolverSession"] = None,
         level: int = 0,
     ) -> None:
         if delta < 0:
@@ -258,6 +272,8 @@ class RobustMatrixGenerator:
             constraint_set=constraint_set,
             level=level,
             structure=structure,
+            solver_backend=solver_backend,
+            session=session,
         )
         self.solver_method = str(solver_method)
         self.quality_model = quality_model

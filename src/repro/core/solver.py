@@ -1,0 +1,476 @@
+"""Pluggable LP solver backends: scipy fallback and warm-started native HiGHS.
+
+Every obfuscation LP in the repo used to go through
+:func:`scipy.optimize.linprog`, which re-presolves and re-factorizes the
+constraint matrix from scratch on every call — ~95% of the hot-path time,
+which is why :class:`~repro.core.lp.ConstraintStructure` reuse alone only
+bought ~1.05× (`BENCH_pipeline.json` ``lp_incremental_s``).  Algorithm 1
+solves the *same* LP ``t``≈10 times with only the ``e^{ε_eff·d}``
+inequality coefficients changing (Eq. 14→16), and ε/δ sweeps repeat that
+across a grid: the textbook case for simplex warm-starting from the
+previous optimal basis.
+
+This module abstracts the solve behind a :class:`SolverSession` with two
+implementations:
+
+* :class:`ScipySolverSession` — the existing ``linprog`` path, kept as the
+  zero-extra-deps fallback.  Stateless: every solve is cold.
+* :class:`HighsNativeSession` — a persistent ``highspy.Highs`` instance.
+  The combined (inequality + equality) column-wise sparsity pattern is
+  computed once per bound :class:`~repro.core.lp.ConstraintStructure`;
+  each solve pushes only refreshed coefficient values and re-solves the
+  dual simplex warm from the retained optimal basis of the previous solve
+  (presolve is disabled on warm solves so the basis maps onto the model
+  one-to-one).  A stale or singular basis can never fail a solve: the
+  session falls back to one cold re-solve before reporting infeasibility.
+
+Backend selection (``solver_backend`` everywhere in the stack):
+
+* ``"auto"`` (default) — ``highs-native`` when :mod:`highspy` is
+  importable *and* the requested scipy ``solver_method`` is a simplex
+  method (``highs`` / ``highs-ds``); ``scipy`` otherwise.  An explicit
+  ``highs-ipm`` request keeps its scipy semantics — interior-point
+  solutions of degenerate LPs differ from vertex solutions, and existing
+  call sites rely on them.
+* ``"scipy"`` — always the fallback path.
+* ``"highs-native"`` — the native path; raises
+  :class:`SolverBackendUnavailableError` where :mod:`highspy` is absent
+  (install via the ``repro[native]`` extra).
+
+Determinism note: warm-started simplex may terminate at a *different
+optimal vertex* than a cold solve of the same LP when the optimum is
+degenerate, so warm state makes a solve's bits a function of the solves
+before it.  Within one Algorithm-1 run the solve sequence is fixed, so
+results are reproducible; across independent tasks the pipeline executor
+calls :meth:`SolverSession.reset` at task boundaries so task results stay
+independent of grouping, worker count and shard assignment (the
+byte-identity contract the pool/netshard suites verify).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+from scipy.sparse import csc_matrix, vstack
+
+from repro.utils.timing import Timer
+
+try:  # pragma: no cover - absent in scipy-only environments (CI runs both)
+    import highspy
+except ImportError:  # pragma: no cover
+    highspy = None
+
+SCIPY_BACKEND = "scipy"
+NATIVE_BACKEND = "highs-native"
+AUTO_BACKEND = "auto"
+KNOWN_BACKENDS = (AUTO_BACKEND, SCIPY_BACKEND, NATIVE_BACKEND)
+
+#: scipy ``linprog`` methods that are semantically interchangeable with the
+#: native dual-simplex path; only these are promoted to ``highs-native`` by
+#: ``auto`` resolution.
+SIMPLEX_METHODS = frozenset({"highs", "highs-ds"})
+
+
+class SolverBackendUnavailableError(RuntimeError):
+    """An explicitly requested solver backend cannot run in this environment."""
+
+
+def native_available() -> bool:
+    """Whether the native HiGHS bindings (:mod:`highspy`) are importable."""
+    return highspy is not None
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The concrete backends usable in this environment, preferred first."""
+    if native_available():
+        return (NATIVE_BACKEND, SCIPY_BACKEND)
+    return (SCIPY_BACKEND,)
+
+
+def resolve_backend(name: Optional[str], *, solver_method: str = "highs") -> str:
+    """Resolve a backend request to a concrete backend name.
+
+    ``None`` and ``"auto"`` pick ``highs-native`` when available and the
+    solver method is simplex-class, else ``scipy``.  An explicit
+    ``"highs-native"`` raises :class:`SolverBackendUnavailableError` where
+    :mod:`highspy` is absent instead of silently degrading — silent
+    degradation is exactly what ``auto`` is for.
+    """
+    if name is None:
+        name = AUTO_BACKEND
+    name = str(name)
+    if name == AUTO_BACKEND:
+        if native_available() and str(solver_method) in SIMPLEX_METHODS:
+            return NATIVE_BACKEND
+        return SCIPY_BACKEND
+    if name == SCIPY_BACKEND:
+        return SCIPY_BACKEND
+    if name == NATIVE_BACKEND:
+        if not native_available():
+            raise SolverBackendUnavailableError(
+                "solver_backend='highs-native' requested but highspy is not "
+                "installed; install the repro[native] extra or use "
+                "solver_backend='auto'/'scipy'"
+            )
+        return NATIVE_BACKEND
+    raise ValueError(f"unknown solver_backend {name!r}; known: {KNOWN_BACKENDS}")
+
+
+@dataclass
+class RawSolution:
+    """Backend-agnostic outcome of one LP solve.
+
+    ``x`` is the raw variable vector (``None`` on failure); ``timings_s``
+    breaks the solve into ``presolve`` / ``build`` / ``solve`` / ``extract``
+    stages.  scipy cannot split presolve out of :func:`linprog` (reported
+    0.0, included in ``solve``); the native backend reports 0.0 on warm
+    solves because presolve is genuinely disabled there.
+    """
+
+    ok: bool
+    x: Optional[np.ndarray]
+    objective_value: Optional[float]
+    status: str
+    message: str
+    iterations: Optional[int]
+    warm: bool
+    basis_reused: bool
+    cold_retry: bool
+    timings_s: Dict[str, float]
+
+
+@dataclass
+class SessionStats:
+    """Cumulative per-session solver counters (aggregated by the engine)."""
+
+    solves: int = 0
+    warm_solves: int = 0
+    cold_solves: int = 0
+    basis_reuse_hits: int = 0
+    cold_retries: int = 0
+    resets: int = 0
+    time_s: Dict[str, float] = field(
+        default_factory=lambda: {"presolve": 0.0, "build": 0.0, "solve": 0.0, "extract": 0.0}
+    )
+
+    def record(self, raw: RawSolution) -> None:
+        self.solves += 1
+        if raw.warm:
+            self.warm_solves += 1
+        else:
+            self.cold_solves += 1
+        if raw.basis_reused:
+            self.basis_reuse_hits += 1
+        if raw.cold_retry:
+            self.cold_retries += 1
+        for stage, elapsed in raw.timings_s.items():
+            self.time_s[stage] = self.time_s.get(stage, 0.0) + float(elapsed)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "solves": self.solves,
+            "warm_solves": self.warm_solves,
+            "cold_solves": self.cold_solves,
+            "basis_reuse_hits": self.basis_reuse_hits,
+            "cold_retries": self.cold_retries,
+            "resets": self.resets,
+            "time_s": dict(self.time_s),
+        }
+
+
+class SolverSession:
+    """One persistent solver state, reused across solves of congruent LPs.
+
+    Subclasses implement :meth:`solve`; callers that need task-boundary
+    determinism call :meth:`reset` to drop warm state while keeping the
+    (possibly expensive) bound model pattern.
+    """
+
+    backend: str = "abstract"
+
+    def __init__(self) -> None:
+        self.stats = SessionStats()
+
+    def solve(
+        self,
+        objective: np.ndarray,
+        a_ub,
+        b_ub: np.ndarray,
+        a_eq,
+        b_eq: np.ndarray,
+        *,
+        bounds: Tuple[float, float] = (0.0, 1.0),
+        solver_method: str = "highs",
+        warm: bool = True,
+    ) -> RawSolution:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Drop warm state (basis); the next solve runs cold."""
+        self.stats.resets += 1
+
+    def stats_snapshot(self) -> Dict[str, object]:
+        return {"backend": self.backend, **self.stats.as_dict()}
+
+
+class ScipySolverSession(SolverSession):
+    """The zero-extra-deps fallback: every solve is a cold ``linprog`` call."""
+
+    backend = SCIPY_BACKEND
+
+    def solve(
+        self,
+        objective: np.ndarray,
+        a_ub,
+        b_ub: np.ndarray,
+        a_eq,
+        b_eq: np.ndarray,
+        *,
+        bounds: Tuple[float, float] = (0.0, 1.0),
+        solver_method: str = "highs",
+        warm: bool = True,
+    ) -> RawSolution:
+        with Timer() as solve_timer:
+            result = linprog(
+                c=objective,
+                A_ub=a_ub,
+                b_ub=b_ub,
+                A_eq=a_eq,
+                b_eq=b_eq,
+                bounds=bounds,
+                method=solver_method,
+            )
+        with Timer() as extract_timer:
+            x = None if result.x is None else np.asarray(result.x, dtype=float)
+            nit = getattr(result, "nit", None)
+            try:
+                iterations = None if nit is None else int(nit)
+            except (TypeError, ValueError):
+                iterations = None
+        raw = RawSolution(
+            ok=bool(result.success),
+            x=x,
+            objective_value=None if result.fun is None else float(result.fun),
+            status=str(result.status),
+            message=str(result.message),
+            iterations=iterations,
+            warm=False,
+            basis_reused=False,
+            cold_retry=False,
+            timings_s={
+                "presolve": 0.0,  # folded into linprog; scipy exposes no split
+                "build": 0.0,
+                "solve": solve_timer.elapsed,
+                "extract": extract_timer.elapsed,
+            },
+        )
+        self.stats.record(raw)
+        return raw
+
+
+class HighsNativeSession(SolverSession):
+    """Persistent native HiGHS model with basis reuse across solves.
+
+    The session binds lazily to the *identity* of the constraint matrices it
+    is given (the :class:`~repro.core.lp.ConstraintStructure` rewrites its
+    CSC data in place between solves, so object identity is an exact "same
+    pattern" check).  Binding computes, once, the column-wise pattern of the
+    stacked ``[A_ub; A_eq]`` system plus the permutation taking refreshed
+    source coefficients into the stacked value array; each solve is then an
+    O(nnz) value push (``passModel``) followed by ``setBasis`` with the
+    previous optimal basis and a dual-simplex ``run`` with presolve off.
+    """
+
+    backend = NATIVE_BACKEND
+
+    def __init__(self) -> None:
+        if highspy is None:  # pragma: no cover - guarded by resolve_backend
+            raise SolverBackendUnavailableError(
+                "highspy is not installed; install the repro[native] extra"
+            )
+        super().__init__()
+        self._highs = highspy.Highs()
+        self._highs.setOptionValue("output_flag", False)
+        # The pipeline parallelises across processes; keep each solve
+        # single-threaded and deterministic.
+        self._highs.setOptionValue("threads", 1)
+        self._basis = None
+        self._bound_a_ub = None
+        self._bound_a_eq = None
+        self._indptr: Optional[np.ndarray] = None
+        self._indices: Optional[np.ndarray] = None
+        self._perm: Optional[np.ndarray] = None
+        self._eq_values: Optional[np.ndarray] = None
+        self._num_rows = 0
+        self._num_cols = 0
+        self._num_ub_rows = 0
+
+    # ------------------------------------------------------------------ #
+    # Model pattern binding
+    # ------------------------------------------------------------------ #
+
+    def _bind_pattern(self, a_ub, a_eq) -> None:
+        """(Re)compute the stacked column-wise pattern for new matrices."""
+        a_ub_csc = a_ub if isinstance(a_ub, csc_matrix) else csc_matrix(a_ub)
+        a_eq_csc = a_eq if isinstance(a_eq, csc_matrix) else csc_matrix(a_eq)
+        nnz_ub = int(a_ub_csc.nnz)
+        nnz_eq = int(a_eq_csc.nnz)
+        # Number every entry 1..nnz in source order; after stacking and CSC
+        # conversion the data array tells us where each source entry landed.
+        marker_ub = csc_matrix(
+            (
+                np.arange(1, nnz_ub + 1, dtype=float),
+                a_ub_csc.indices.copy(),
+                a_ub_csc.indptr.copy(),
+            ),
+            shape=a_ub_csc.shape,
+        )
+        marker_eq = csc_matrix(
+            (
+                np.arange(nnz_ub + 1, nnz_ub + nnz_eq + 1, dtype=float),
+                a_eq_csc.indices.copy(),
+                a_eq_csc.indptr.copy(),
+            ),
+            shape=a_eq_csc.shape,
+        )
+        combined = vstack([marker_ub, marker_eq]).tocsc()
+        combined.sort_indices()
+        self._perm = combined.data.astype(np.int64) - 1
+        self._indptr = combined.indptr.astype(np.int32)
+        self._indices = combined.indices.astype(np.int32)
+        self._eq_values = np.asarray(a_eq_csc.data, dtype=float).copy()
+        self._num_ub_rows = int(a_ub_csc.shape[0])
+        self._num_rows = int(a_ub_csc.shape[0] + a_eq_csc.shape[0])
+        self._num_cols = int(a_ub_csc.shape[1])
+        self._bound_a_ub = a_ub
+        self._bound_a_eq = a_eq
+        self._basis = None  # a new pattern invalidates any retained basis
+
+    # ------------------------------------------------------------------ #
+    # Solving
+    # ------------------------------------------------------------------ #
+
+    def solve(
+        self,
+        objective: np.ndarray,
+        a_ub,
+        b_ub: np.ndarray,
+        a_eq,
+        b_eq: np.ndarray,
+        *,
+        bounds: Tuple[float, float] = (0.0, 1.0),
+        solver_method: str = "highs",
+        warm: bool = True,
+    ) -> RawSolution:
+        del solver_method  # native backend always runs (dual) simplex
+        with Timer() as build_timer:
+            if self._bound_a_ub is not a_ub or self._bound_a_eq is not a_eq:
+                self._bind_pattern(a_ub, a_eq)
+            source = np.concatenate((np.asarray(a_ub.data, dtype=float), self._eq_values))
+            values = source[self._perm]
+            infinity = highspy.kHighsInf
+            lp = highspy.HighsLp()
+            lp.num_col_ = self._num_cols
+            lp.num_row_ = self._num_rows
+            lp.sense_ = highspy.ObjSense.kMinimize
+            lp.offset_ = 0.0
+            lp.col_cost_ = np.asarray(objective, dtype=float)
+            lp.col_lower_ = np.full(self._num_cols, float(bounds[0]))
+            lp.col_upper_ = np.full(self._num_cols, float(bounds[1]))
+            lp.row_lower_ = np.concatenate(
+                (np.full(self._num_ub_rows, -infinity), np.asarray(b_eq, dtype=float))
+            )
+            lp.row_upper_ = np.concatenate(
+                (np.asarray(b_ub, dtype=float), np.asarray(b_eq, dtype=float))
+            )
+            lp.a_matrix_.format_ = highspy.MatrixFormat.kColwise
+            lp.a_matrix_.num_col_ = self._num_cols
+            lp.a_matrix_.num_row_ = self._num_rows
+            lp.a_matrix_.start_ = self._indptr
+            lp.a_matrix_.index_ = self._indices
+            lp.a_matrix_.value_ = values
+            pass_status = self._highs.passModel(lp)
+            if pass_status == highspy.HighsStatus.kError:
+                raise RuntimeError("HiGHS rejected the LP model (passModel returned kError)")
+
+        warm_attempt = bool(warm) and self._basis is not None
+        cold_retry = False
+        with Timer() as solve_timer:
+            if warm_attempt:
+                # Presolve would remap rows/columns out from under the basis.
+                self._highs.setOptionValue("presolve", "off")
+                set_status = self._highs.setBasis(self._basis)
+                if set_status == highspy.HighsStatus.kError:
+                    warm_attempt = False
+                    self._highs.setOptionValue("presolve", "choose")
+            else:
+                self._highs.setOptionValue("presolve", "choose")
+            self._highs.setOptionValue("solver", "simplex")
+            self._highs.run()
+            model_status = self._highs.getModelStatus()
+            ok = model_status == highspy.HighsModelStatus.kOptimal
+            if warm_attempt and not ok:
+                # Stale-basis safety net: a retained basis must never turn a
+                # feasible LP into a reported failure.  Drop it, presolve on,
+                # solve cold once.
+                self._highs.clearSolver()
+                self._highs.setOptionValue("presolve", "choose")
+                self._highs.run()
+                model_status = self._highs.getModelStatus()
+                ok = model_status == highspy.HighsModelStatus.kOptimal
+                warm_attempt = False
+                cold_retry = True
+
+        with Timer() as extract_timer:
+            x = None
+            objective_value = None
+            iterations = None
+            if ok:
+                solution = self._highs.getSolution()
+                x = np.asarray(solution.col_value, dtype=float)
+                info = self._highs.getInfo()
+                objective_value = float(info.objective_function_value)
+                iterations = int(info.simplex_iteration_count)
+                basis = self._highs.getBasis()
+                valid = bool(getattr(basis, "valid", getattr(basis, "valid_", True)))
+                self._basis = basis if valid else None
+            else:
+                self._basis = None
+            status = self._highs.modelStatusToString(model_status)
+
+        raw = RawSolution(
+            ok=ok,
+            x=x,
+            objective_value=objective_value,
+            status=str(status),
+            message=str(status),
+            iterations=iterations,
+            warm=warm_attempt,
+            basis_reused=warm_attempt and ok,
+            cold_retry=cold_retry,
+            timings_s={
+                "presolve": 0.0,  # off on warm solves; folded into run when cold
+                "build": build_timer.elapsed,
+                "solve": solve_timer.elapsed,
+                "extract": extract_timer.elapsed,
+            },
+        )
+        self.stats.record(raw)
+        return raw
+
+    def reset(self) -> None:
+        super().reset()
+        self._basis = None
+
+
+def create_session(
+    backend: Optional[str] = AUTO_BACKEND, *, solver_method: str = "highs"
+) -> SolverSession:
+    """Build a solver session for the (resolved) backend."""
+    resolved = resolve_backend(backend, solver_method=solver_method)
+    if resolved == NATIVE_BACKEND:
+        return HighsNativeSession()
+    return ScipySolverSession()

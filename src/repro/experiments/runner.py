@@ -120,6 +120,7 @@ def serve(config: ExperimentConfig, args: argparse.Namespace) -> int:
         num_targets=config.num_targets,
         robust_iterations=config.robust_iterations,
         solver_method=config.solver_method,
+        solver_backend=config.solver_backend,
         max_workers=config.max_workers,
         forest_ttl_s=args.forest_ttl,
     )
@@ -214,6 +215,13 @@ def main(argv: Optional[list] = None) -> int:
         default=None,
         help=f"subset of experiments to run (choices: {', '.join(EXPERIMENTS)})",
     )
+    parser.add_argument(
+        "--solver-backend",
+        choices=("auto", "scipy", "highs-native"),
+        default=None,
+        help="LP solver engine (default auto: warm-started native HiGHS when "
+        "highspy is installed and the method is simplex-class, else scipy)",
+    )
     parser.add_argument("--output", default=None, help="write results as JSON to this path")
     parser.add_argument("--verbose", action="store_true", help="enable debug logging")
     parser.add_argument(
@@ -284,6 +292,8 @@ def main(argv: Optional[list] = None) -> int:
         if args.workers < 1:
             parser.error("--workers must be >= 1")
         config = config.derive(max_workers=args.workers)
+    if args.solver_backend is not None:
+        config = config.derive(solver_backend=args.solver_backend)
     if args.shards < 1:
         parser.error("--shards must be >= 1")
     if args.forest_ttl < 0:

@@ -26,9 +26,20 @@ from repro.core.geoind import GeoIndConstraintSet
 from repro.core.lp import ConstraintStructure
 from repro.core.objective import LinearQualityModel
 from repro.core.robust import RobustGenerationResult, RobustMatrixGenerator
+from repro.core.solver import SolverSession, create_session
+from repro.pipeline.fingerprint import structure_fingerprint
 from repro.utils.logging import get_logger
 
 logger = get_logger(__name__)
+
+#: Per-process cache of the most recent (structure, solver session) pair,
+#: keyed by structure fingerprint + solver knobs.  A worker process that
+#: executes many congruent groups in sequence — every point of an ε/δ sweep
+#: over the same location set routes here — keeps ONE persistent solver
+#: session and batches all its solves through it instead of building a fresh
+#: LP model per point.  Bounded to a single entry: sweeps are homogeneous,
+#: and one structure + one native model is the memory budget per worker.
+_WORKER_SOLVER_STATE: dict = {"key": None, "structure": None, "session": None}
 
 
 @dataclass
@@ -54,6 +65,7 @@ class RobustGenerationTask:
     rpb_method: str = "approx"
     basis_row: str = "real"
     solver_method: str = "highs"
+    solver_backend: str = "auto"
     level: int = 0
     metadata: dict = field(default_factory=dict)
 
@@ -72,6 +84,7 @@ def execute_robust_task(
     task: RobustGenerationTask,
     *,
     structure: Optional[ConstraintStructure] = None,
+    session: Optional[SolverSession] = None,
 ) -> RobustGenerationResult:
     """Run Algorithm 1 for one task (the worker entry point).
 
@@ -80,8 +93,20 @@ def execute_robust_task(
     constraint pairs, so sibling problems with identical geometry skip the
     structural assembly; the refreshed coefficients are identical to a cold
     build, so results do not depend on whether a structure was shared.
+
+    ``session`` optionally injects a shared
+    :class:`~repro.core.solver.SolverSession` (the per-worker warm solver).
+    Its warm state is **reset at the task boundary**: basis reuse spans the
+    ``t`` solves *within* one Algorithm-1 run — where the solve sequence is
+    fixed — but never leaks across tasks, so a task's result stays
+    independent of which tasks its worker happened to execute before it
+    (the grouping/worker-count/shard byte-identity contract).  What carries
+    across tasks is the expensive part: the persistent native model and its
+    stacked sparsity pattern.
     """
     quality_model = LinearQualityModel(task.cost_matrix, task.priors)
+    if session is not None:
+        session.reset()
     generator = RobustMatrixGenerator(
         task.node_ids,
         task.distance_matrix_km,
@@ -93,7 +118,9 @@ def execute_robust_task(
         rpb_method=task.rpb_method,  # type: ignore[arg-type]
         basis_row=task.basis_row,  # type: ignore[arg-type]
         solver_method=task.solver_method,
+        solver_backend=task.solver_backend,
         structure=structure,
+        session=session,
         level=task.level,
     )
     result = generator.generate()
@@ -104,27 +131,51 @@ def execute_robust_task(
 def execute_robust_task_group(
     tasks: Sequence[RobustGenerationTask],
 ) -> List[RobustGenerationResult]:
-    """Execute a batch of congruent tasks sharing one constraint structure.
+    """Execute a batch of congruent tasks sharing one structure and solver session.
 
-    The first graph-constrained task builds the structure; every later task
-    whose pairs match reuses it (refresh-in-place).  Tasks without explicit
+    The first graph-constrained task builds the structure and the solver
+    session; every later task whose pairs match reuses both (coefficient
+    refresh-in-place, persistent native model).  Both also persist in a
+    per-process slot keyed by structure fingerprint + solver knobs, so a
+    worker that executes many congruent groups across calls — an ε/δ sweep
+    fanned out point by point — batches every solve through one session
+    instead of rebuilding the model per point.  Tasks without explicit
     constraint pairs — the all-pairs formulation, whose constraint set is
     derived from each task's own distance matrix — run unshared, as do tasks
     whose geometry turns out not to match (defensive; the caller groups by
     :func:`~repro.pipeline.fingerprint.structure_fingerprint`, which already
-    prevents that).
+    prevents that).  Warm solver state is reset between tasks (see
+    :func:`execute_robust_task`), so results are identical to unshared
+    serial execution.
     """
-    structure: Optional[ConstraintStructure] = None
     results: List[RobustGenerationResult] = []
+    state = _WORKER_SOLVER_STATE
     for task in tasks:
         constraint_set = task.constraint_set()
         if constraint_set is None:
             results.append(execute_robust_task(task))
             continue
         size = len(task.node_ids)
-        if structure is None or not structure.compatible_with(size, constraint_set):
-            structure = ConstraintStructure(size, constraint_set)
-        results.append(execute_robust_task(task, structure=structure))
+        key = (
+            structure_fingerprint(size, task.constraint_pairs),
+            str(task.solver_backend),
+            str(task.solver_method),
+        )
+        if (
+            state["key"] != key
+            or state["structure"] is None
+            or not state["structure"].compatible_with(size, constraint_set)
+        ):
+            state["structure"] = ConstraintStructure(size, constraint_set)
+            state["session"] = create_session(
+                task.solver_backend, solver_method=task.solver_method
+            )
+            state["key"] = key
+        results.append(
+            execute_robust_task(
+                task, structure=state["structure"], session=state["session"]
+            )
+        )
     return results
 
 

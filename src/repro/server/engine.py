@@ -34,6 +34,7 @@ import numpy as np
 from repro.core.graphapprox import HexNeighborhoodGraph, Weighting
 from repro.core.objective import QualityLossModel, TargetDistribution
 from repro.core.robust import BasisRow, RobustGenerationResult
+from repro.core.solver import KNOWN_BACKENDS, native_available, resolve_backend
 from repro.pipeline.cache import CacheStats, MatrixCache
 from repro.pipeline.executor import (
     RobustGenerationTask,
@@ -79,7 +80,15 @@ class ServerConfig:
     rpb_method / rpb_basis_row:
         Reserved-privacy-budget estimator options (Eq. 12 vs Eq. 14).
     solver_method:
-        scipy ``linprog`` method, threaded through every LP solve.
+        scipy ``linprog`` method, threaded through every LP solve (the
+        native backend ignores it and always runs dual simplex).
+    solver_backend:
+        LP solver backend: ``"auto"`` (default — warm-started native HiGHS
+        when :mod:`highspy` is installed and the solver method is
+        simplex-class, scipy otherwise), ``"scipy"``, or ``"highs-native"``
+        (errors at validation where :mod:`highspy` is absent).  Threaded
+        through every LP solve; each worker process keeps one persistent
+        solver session per constraint structure.
     target_seed:
         Seed for sampling the default target distribution.
     keep_generation_results:
@@ -124,6 +133,7 @@ class ServerConfig:
     rpb_method: str = "approx"
     rpb_basis_row: BasisRow = "real"
     solver_method: str = "highs"
+    solver_backend: str = "auto"
     target_seed: int = 13
     keep_generation_results: bool = False
     max_workers: int = 1
@@ -141,6 +151,15 @@ class ServerConfig:
             raise ValueError("robust_iterations must be non-negative")
         if self.rpb_method not in ("approx", "exact"):
             raise ValueError(f"unknown rpb_method {self.rpb_method!r}")
+        if self.solver_backend not in KNOWN_BACKENDS:
+            raise ValueError(
+                f"unknown solver_backend {self.solver_backend!r}; known: {KNOWN_BACKENDS}"
+            )
+        if self.solver_backend == "highs-native" and not native_available():
+            raise ValueError(
+                "solver_backend='highs-native' requires the highspy package "
+                "(repro[native] extra); use 'auto' for detect-with-fallback"
+            )
         if self.max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         if self.matrix_cache_entries < 0:
@@ -217,6 +236,14 @@ class ForestEngine:
         self._handoff_prewarms = 0
         self.matrix_cache = MatrixCache(self.config.matrix_cache_entries)
         self._structure_stats: Dict[str, int] = {"groups": 0, "builds": 0, "reuses": 0}
+        self._solver_stats: Dict[str, object] = {
+            "solves": 0,
+            "warm_solves": 0,
+            "cold_solves": 0,
+            "basis_reuse_hits": 0,
+            "cold_retries": 0,
+            "time_s": {"presolve": 0.0, "build": 0.0, "solve": 0.0, "extract": 0.0, "refresh": 0.0},
+        }
         self.stopwatch = Stopwatch()
         # Guards the caches, counters and stopwatch: the engine performs no
         # request coalescing (that is the service's job) but it must tolerate
@@ -407,6 +434,7 @@ class ForestEngine:
                 else:
                     pending.append((task, problem_key))
             generated = self._run_pending([task for task, _ in pending])
+            self._accumulate_solver_stats(generated)
             for (task, problem_key), result in zip(pending, generated):
                 if use_cache:
                     with self._state_lock:
@@ -641,6 +669,39 @@ class ForestEngine:
                 self._handoff_imports += 1
         return "imported"
 
+    def _accumulate_solver_stats(self, results: List[RobustGenerationResult]) -> None:
+        """Fold per-solve LP diagnostics into the engine-wide solver aggregates.
+
+        Solutions ride back from worker processes inside each
+        :class:`RobustGenerationResult`, so warm/cold counts and the stage
+        breakdown survive the process boundary; matrix-cache hits run no
+        solver and contribute nothing.
+        """
+        counters = {"solves": 0, "warm_solves": 0, "cold_solves": 0, "basis_reuse_hits": 0, "cold_retries": 0}
+        stage_times: Dict[str, float] = {}
+        for result in results:
+            for solution in result.solutions:
+                diagnostics = solution.diagnostics
+                counters["solves"] += 1
+                if diagnostics.get("warm_start"):
+                    counters["warm_solves"] += 1
+                else:
+                    counters["cold_solves"] += 1
+                if diagnostics.get("basis_reused"):
+                    counters["basis_reuse_hits"] += 1
+                if diagnostics.get("cold_retry"):
+                    counters["cold_retries"] += 1
+                for stage, elapsed in (diagnostics.get("solve_breakdown_s") or {}).items():
+                    stage_times[stage] = stage_times.get(stage, 0.0) + float(elapsed)
+        if not counters["solves"]:
+            return
+        with self._state_lock:
+            for name, value in counters.items():
+                self._solver_stats[name] = int(self._solver_stats[name]) + value
+            time_s = self._solver_stats["time_s"]
+            for stage, elapsed in stage_times.items():
+                time_s[stage] = time_s.get(stage, 0.0) + elapsed
+
     def _run_pending(self, tasks: List[RobustGenerationTask]) -> List[RobustGenerationResult]:
         """Execute uncached sub-tree tasks, sharing structures across congruent siblings.
 
@@ -726,6 +787,7 @@ class ForestEngine:
             rpb_method=self.config.rpb_method,
             basis_row=self.config.rpb_basis_row,
             solver_method=self.config.solver_method,
+            solver_backend=self.config.solver_backend,
             level=0,
             metadata={"subtree_root": subtree_root_id},
         )
@@ -741,6 +803,7 @@ class ForestEngine:
             rpb_method=str(self.config.rpb_method),
             max_iterations=int(self.config.robust_iterations),
             solver_method=str(self.config.solver_method),
+            extra={"solver_backend": str(self.config.solver_backend)},
         )
         return task, problem_key
 
@@ -757,6 +820,7 @@ class ForestEngine:
         """
         task, _ = self._subtree_task(subtree_root_id, delta, epsilon)
         result = execute_robust_task(task)
+        self._accumulate_solver_stats([result])
         return result.matrix, result
 
     # ------------------------------------------------------------------ #
@@ -800,5 +864,17 @@ class ForestEngine:
                 "matrix_entries": len(self.matrix_cache),
                 "matrix_stats": self.matrix_cache.stats.as_dict(),
                 "structure_sharing": dict(self._structure_stats),
+                "solver": {
+                    "backend_requested": str(self.config.solver_backend),
+                    "backend_resolved": resolve_backend(
+                        self.config.solver_backend,
+                        solver_method=self.config.solver_method,
+                    ),
+                    "native_available": native_available(),
+                    **{
+                        name: (dict(value) if isinstance(value, dict) else value)
+                        for name, value in self._solver_stats.items()
+                    },
+                },
                 "max_workers": self.config.max_workers,
             }

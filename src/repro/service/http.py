@@ -14,6 +14,11 @@ adds routing, status codes and JSON framing, nothing else:
 * ``GET /admin/durability`` — durable-tier diagnostics (control-log replay
   length, snapshot-store hits and compression ratio, pre-warm counters);
   ``{"durable": false, ...}`` when serving without a ``--state-dir``.
+* ``GET /admin/diagnostics`` — engine cache/solver diagnostics
+  (:meth:`CORGIService.diagnostics`): forest/matrix cache stats, structure
+  sharing, and the aggregate LP-solver block (backend, warm vs cold solve
+  counts, basis-reuse hits, per-stage time totals) — summed across shards
+  on a pool.
 * ``POST /admin/invalidate`` — body ``{"privacy_level": <int|null>}``
   (field optional); drops cached forests — on a sharded
   :class:`~repro.service.pool.EnginePool` across every shard — and answers
@@ -134,6 +139,8 @@ class CORGIRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(200, self.service.snapshot())
             elif self.path == "/admin/durability":
                 self._send_json(200, self.service.durability())
+            elif self.path == "/admin/diagnostics":
+                self._send_json(200, self.service.diagnostics())
             elif self.path.startswith("/priors/"):
                 subtree_root_id = self.path[len("/priors/") :]
                 self._send_json(200, self.service.publish_leaf_priors(subtree_root_id))

@@ -1129,6 +1129,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         num_targets=config.num_targets,
         robust_iterations=config.robust_iterations,
         solver_method=config.solver_method,
+        solver_backend=config.solver_backend,
         forest_ttl_s=args.forest_ttl,
     )
     spec = ShardSpec(

@@ -1778,9 +1778,27 @@ class EnginePool:
         forest_stats = {"hits": 0, "misses": 0, "evictions": 0}
         matrix_stats = {"hits": 0, "misses": 0, "evictions": 0}
         structure = {"groups": 0, "builds": 0, "reuses": 0}
+        solver = {
+            "solves": 0,
+            "warm_solves": 0,
+            "cold_solves": 0,
+            "basis_reuse_hits": 0,
+            "cold_retries": 0,
+        }
+        solver_time: Dict[str, float] = {}
+        solver_backends: set = set()
+        solver_native = False
         for diagnostics in answers.values():
             for name in summed:
                 summed[name] += int(diagnostics.get(name, 0))
+            solver_source = diagnostics.get("solver", {})
+            for name in solver:
+                solver[name] += int(solver_source.get(name, 0))
+            for stage, elapsed in (solver_source.get("time_s") or {}).items():
+                solver_time[stage] = solver_time.get(stage, 0.0) + float(elapsed)
+            if solver_source.get("backend_resolved"):
+                solver_backends.add(str(solver_source["backend_resolved"]))
+            solver_native = solver_native or bool(solver_source.get("native_available"))
             for target, source_key in (
                 (forest_stats, "forest_stats"),
                 (matrix_stats, "matrix_stats"),
@@ -1795,6 +1813,15 @@ class EnginePool:
             "forest_ttl_s": float(self.config.forest_ttl_s),
             "matrix_stats": matrix_stats,
             "structure_sharing": structure,
+            "solver": {
+                "backend_requested": str(self.config.solver_backend),
+                # Shards may resolve "auto" differently across hosts; report
+                # every backend the reporting shards actually use.
+                "backend_resolved": sorted(solver_backends),
+                "native_available": solver_native,
+                **solver,
+                "time_s": solver_time,
+            },
             "max_workers": self.num_shards,
             "pool": {
                 "num_shards": self.num_shards,
