@@ -26,6 +26,12 @@ Four serving workloads, each the one its mechanism exists for:
   snapshot store, was SIGKILLed wholesale, and the reborn pool pre-warms
   from disk — first responses are cache hits.  The warm p50 must sit at
   least 20× below the cold p50 (the ISSUE acceptance bound).
+* **gateway** — push vs. poll freshness after an invalidation.  Push: a
+  client holds one gateway connection and measures invalidate → refreshed
+  matrix *pushed* onto its socket.  Poll: the same client re-requests on a
+  fixed interval until the rebuilt forest shows up — the pre-gateway
+  pattern, which always pays expected-interval/2 of staleness on top of
+  the rebuild.  The push p50 must beat the poll p50.
 
 Results are recorded section-by-section in ``BENCH_service.json`` so future
 PRs can track all three trends.  The sharded-beats-single assertion only
@@ -54,8 +60,10 @@ from typing import Callable, Dict, List, Sequence
 import pytest
 
 from helpers_concurrency import run_burst, wait_until  # tests/; see benchmarks/conftest.py
+from repro.client.gateway import GatewayClient
 from repro.geometry.haversine import LatLng
 from repro.server.engine import ForestEngine, ServerConfig
+from repro.service.gateway import GatewayConfig, GatewayServer
 from repro.service.netshard import serve_netshard
 from repro.service.pool import EnginePool
 from repro.service.service import CORGIService, ServiceConfig
@@ -117,7 +125,14 @@ def _update_results(section: str, payload: Dict[str, object]) -> None:
     if RESULT_PATH.exists():
         try:
             existing = json.loads(RESULT_PATH.read_text(encoding="utf-8"))
-            known_sections = ("coalescing", "sharding", "handoff", "netshard", "restart")
+            known_sections = (
+                "coalescing",
+                "sharding",
+                "handoff",
+                "netshard",
+                "restart",
+                "gateway",
+            )
             if isinstance(existing, dict) and any(
                 section in existing for section in known_sections
             ):
@@ -582,3 +597,89 @@ def test_perf_service_netshard():
     assert len(set(routing.values())) == 2
     assert pool_stats["warm_failovers"] >= 1
     assert failover_p50 < 30.0, payload["failover_latency_s"]
+
+
+@pytest.mark.perf
+def test_perf_service_gateway():
+    """Push vs. poll freshness after an invalidation, through real sockets.
+
+    Both sides pay the same rebuild; the difference under measurement is the
+    *delivery* model.  The poller sleeps a fixed interval between
+    re-requests (the pre-gateway client pattern), so its freshness latency
+    is quantized to the polling cadence.  The gateway subscriber holds one
+    connection and the refreshed matrix is pushed the moment the
+    invalidation-triggered rebuild settles.
+    """
+    rounds = 7
+    poll_interval_s = 0.05
+
+    # Poll baseline: its own service, no gateway attached — the client
+    # re-requests until the rebuilt forest replaces the invalidated one.
+    poll_service = CORGIService(
+        _build_engine(), ServiceConfig(max_in_flight=2, max_queue_depth=32)
+    )
+    poll_latencies: List[float] = []
+    for _ in range(rounds):
+        before = poll_service.generate_privacy_forest(PRIVACY_LEVEL, DELTA)
+        begin = time.perf_counter()
+        poll_service.invalidate(privacy_level=PRIVACY_LEVEL)
+        while True:
+            time.sleep(poll_interval_s)
+            if poll_service.generate_privacy_forest(PRIVACY_LEVEL, DELTA) is not before:
+                break
+        poll_latencies.append(time.perf_counter() - begin)
+
+    # Push path: one held connection; measure invalidate -> pushed matrix.
+    push_service = CORGIService(
+        _build_engine(), ServiceConfig(max_in_flight=2, max_queue_depth=32)
+    )
+    push_latencies: List[float] = []
+    with GatewayServer(push_service, GatewayConfig(heartbeat_interval_s=30.0)) as gateway:
+        client = GatewayClient(gateway.host, gateway.port)
+        try:
+            key = client.subscribe(PRIVACY_LEVEL, DELTA, wait_s=30.0)
+            client.wait_forest(key, min_generation=1, timeout_s=120)
+            for _ in range(rounds):
+                base = client.held(key).generation
+                begin = time.perf_counter()
+                push_service.invalidate(privacy_level=PRIVACY_LEVEL)
+                client.wait_forest(key, min_generation=base + 1, timeout_s=120)
+                push_latencies.append(time.perf_counter() - begin)
+            counters = {
+                name: push_service.metrics.count(name)
+                for name in ("gateway_pushes", "gateway_evicted_slow")
+            }
+        finally:
+            client.close()
+
+    push_p50 = statistics.median(push_latencies)
+    poll_p50 = statistics.median(poll_latencies)
+    payload = {
+        "workload": {
+            "tree_height": TREE_HEIGHT,
+            "privacy_level": PRIVACY_LEVEL,
+            "epsilon": EPSILON,
+            "delta": DELTA,
+            "robust_iterations": ITERATIONS,
+            "rounds": rounds,
+            "poll_interval_s": poll_interval_s,
+        },
+        "push_latency_s": {
+            "p50": push_p50,
+            "max": max(push_latencies),
+        },
+        "poll_latency_s": {
+            "p50": poll_p50,
+            "max": max(poll_latencies),
+        },
+        "push_vs_poll_speedup": poll_p50 / push_p50 if push_p50 else float("inf"),
+        "gateway_counters": counters,
+    }
+    _update_results("gateway", payload)
+    print(json.dumps({k: payload[k] for k in ("push_latency_s", "poll_latency_s")}, indent=2))
+    print("push vs poll speedup:", payload["push_vs_poll_speedup"])
+
+    # Acceptance: every round was delivered by push (no eviction), and
+    # pushed freshness beats polled freshness.
+    assert counters["gateway_evicted_slow"] == 0
+    assert push_p50 < poll_p50, payload

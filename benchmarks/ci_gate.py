@@ -45,6 +45,8 @@ GATES: Dict[str, Tuple[str, ...]] = {
         "netshard.failover_latency_s.p50",
         "restart.first_response_s.cold_p50",
         "restart.first_response_s.warm_p50",
+        "gateway.push_latency_s.p50",
+        "gateway.poll_latency_s.p50",
     ),
     "BENCH_pipeline.json": (
         "forest_generation_s.cold",

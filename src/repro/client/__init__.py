@@ -9,6 +9,7 @@ the obfuscated location to hand to location-based applications.
 """
 
 from repro.client.client import CORGIClient, ObfuscationOutcome
+from repro.client.gateway import AsyncGatewayClient, GatewayClient, GatewayPush
 from repro.client.session import ObfuscationSession
 from repro.client.transport import (
     ForestTransport,
@@ -21,7 +22,10 @@ from repro.client.transport import (
 )
 
 __all__ = [
+    "AsyncGatewayClient",
     "CORGIClient",
+    "GatewayClient",
+    "GatewayPush",
     "ObfuscationOutcome",
     "ObfuscationSession",
     "ForestTransport",

@@ -176,12 +176,26 @@ def serve(config: ExperimentConfig, args: argparse.Namespace) -> int:
             print(json.dumps(service.snapshot(), indent=2, default=str))
             return 0
 
+        gateway = None
+        if args.gateway_port is not None:
+            from repro.service.gateway import GatewayServer
+
+            gateway = GatewayServer(
+                service, host=args.host, port=args.gateway_port
+            ).start()
+            print(
+                f"push gateway holding connections on {args.host}:{gateway.port} "
+                "(subscribe once, refreshed matrices are pushed)"
+            )
         server = CORGIHTTPServer(service, host=args.host, port=args.port)
         print(f"serving CORGI forests on {server.url} (Ctrl-C to stop)")
         try:
             server.serve_forever()
         except KeyboardInterrupt:
             server.shutdown()
+        finally:
+            if gateway is not None:
+                gateway.close()
         return 0
     finally:
         if pool is not None:
@@ -240,6 +254,15 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--host", default="127.0.0.1", help="bind address for --serve")
     parser.add_argument(
         "--port", type=int, default=8350, help="bind port for --serve (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--gateway-port",
+        type=int,
+        default=None,
+        help="also start the asyncio push gateway on this port (0 = ephemeral): "
+        "clients hold one connection, subscribe to (level, delta, epsilon) keys "
+        "and get refreshed matrices pushed on invalidate/priors instead of "
+        "re-polling the HTTP endpoint",
     )
     parser.add_argument(
         "--shards",

@@ -21,7 +21,12 @@ logic / control separation the related DB-nets work argues for):
 * :mod:`repro.service.controllog` / :mod:`repro.service.store` — the
   durable state tier: a crash-safe priors/invalidation write-ahead log
   replayed on boot, plus a compressed, checksummed snapshot store that
-  pre-warms a restarted fleet (``EnginePool(state_dir=...)``).
+  pre-warms a restarted fleet (``EnginePool(state_dir=...)``);
+* :mod:`repro.service.gateway` — the asyncio push front-end: clients hold
+  one connection, subscribe to keys, and get refreshed matrices *pushed*
+  on invalidate/priors events (async single-flight over a bounded
+  executor, per-connection queues, slow-consumer eviction, generation
+  tags).  The sync HTTP transport stays a thin adapter over the same core.
 
 Client-side counterparts (the transport protocol, ``InProcessTransport``
 and ``HTTPTransport``) live in :mod:`repro.client.transport`.
@@ -34,6 +39,13 @@ from repro.service.handoff import (
     SnapshotFormatError,
     decode_snapshot,
     encode_snapshot,
+)
+from repro.service.gateway import (
+    AsyncCORGIService,
+    GatewayConfig,
+    GatewayProtocolError,
+    GatewayServer,
+    serve_gateway,
 )
 from repro.service.http import CORGIHTTPServer, serve_http
 from repro.service.metrics import ServiceMetrics
@@ -55,6 +67,11 @@ __all__ = [
     "ServiceMetrics",
     "CORGIHTTPServer",
     "serve_http",
+    "AsyncCORGIService",
+    "GatewayConfig",
+    "GatewayProtocolError",
+    "GatewayServer",
+    "serve_gateway",
     "EnginePool",
     "EnginePoolError",
     "PoolTimeoutError",

@@ -48,12 +48,17 @@ and examples use to avoid collisions.
 from __future__ import annotations
 
 import json
+import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
 from repro.core.exceptions import CORGIError
-from repro.service.service import CORGIService, ServiceOverloadedError
+from repro.service.service import (
+    CORGIService,
+    ServiceBuildTimeoutError,
+    ServiceOverloadedError,
+)
 from repro.utils.logging import get_logger
 
 logger = get_logger(__name__)
@@ -182,6 +187,10 @@ class CORGIRequestHandler(BaseHTTPRequestHandler):
     def _send_mapped_error(self, error: Exception) -> None:
         if isinstance(error, ServiceOverloadedError):
             self._send_error(503, "overloaded", str(error))
+        elif isinstance(error, ServiceBuildTimeoutError):
+            # A follower deadline is transient — retrying starts a fresh
+            # build — so it must surface as 503, never 500.
+            self._send_error(503, "build_timeout", str(error))
         elif isinstance(error, (json.JSONDecodeError, ValueError, TypeError, OverflowError)):
             # OverflowError: json.loads accepts ``Infinity`` and int(inf)
             # overflows — a malformed payload, not a server fault.
@@ -196,6 +205,51 @@ class CORGIRequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
         # Route the stdlib's per-request stderr chatter through our logger.
         logger.debug("%s - %s", self.address_string(), format % args)
+
+
+class _TrackingThreadingHTTPServer(ThreadingHTTPServer):
+    """:class:`ThreadingHTTPServer` that can force-close held connections.
+
+    With ``daemon_threads = True`` the stock ``server_close`` neither joins
+    handler threads nor closes their sockets, so a client holding a
+    keep-alive connection left its handler thread parked in
+    ``rfile.readline()`` forever after shutdown — a silent thread *and*
+    socket leak on every restart.  Accepted sockets are tracked from
+    ``process_request`` until ``shutdown_request`` so shutdown can shut
+    them down explicitly, which pops every parked handler thread out of
+    its blocking read.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._open_connections: set = set()
+        self._open_connections_lock = threading.Lock()
+
+    def process_request(self, request, client_address) -> None:
+        with self._open_connections_lock:
+            self._open_connections.add(request)
+        super().process_request(request, client_address)
+
+    def shutdown_request(self, request) -> None:
+        with self._open_connections_lock:
+            self._open_connections.discard(request)
+        super().shutdown_request(request)
+
+    def force_close_connections(self) -> int:
+        """Shut down every connection still held open; return how many."""
+        with self._open_connections_lock:
+            lingering = list(self._open_connections)
+            self._open_connections.clear()
+        for connection in lingering:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass  # already half-closed by the peer
+            try:
+                connection.close()
+            except OSError:
+                pass
+        return len(lingering)
 
 
 class CORGIHTTPServer:
@@ -226,7 +280,7 @@ class CORGIHTTPServer:
         if not isinstance(service, CORGIService):
             service = CORGIService(service)
         self.service = service
-        self._httpd = ThreadingHTTPServer((host, port), CORGIRequestHandler)
+        self._httpd = _TrackingThreadingHTTPServer((host, port), CORGIRequestHandler)
         self._httpd.corgi_service = service  # type: ignore[attr-defined]
         self._httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
@@ -274,12 +328,33 @@ class CORGIHTTPServer:
         logger.info("CORGI HTTP service listening on %s", self.url)
         self._httpd.serve_forever()
 
+    #: Deadline for the serving thread to exit after ``shutdown()``.
+    JOIN_TIMEOUT_S = 5.0
+
     def shutdown(self) -> None:
-        """Stop serving and release the socket (idempotent)."""
+        """Stop serving, force-close held connections, release the socket.
+
+        Idempotent.  Keep-alive connections still held by clients are
+        shut down explicitly — without that, their handler threads stay
+        parked in a blocking read forever (the stock ``server_close``
+        neither joins nor closes them under ``daemon_threads``).  A serving
+        thread that then still fails to exit within
+        :attr:`JOIN_TIMEOUT_S` raises :class:`RuntimeError` instead of
+        returning as if the shutdown were clean.
+        """
         self._httpd.shutdown()
         self._httpd.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
+        forced = self._httpd.force_close_connections()
+        if forced:
+            logger.info("force-closed %d held keep-alive connection(s) on shutdown", forced)
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=self.JOIN_TIMEOUT_S)
+            if thread.is_alive():
+                raise RuntimeError(
+                    f"HTTP serving thread did not stop within {self.JOIN_TIMEOUT_S:.1f}s "
+                    "of shutdown; the listener socket may still be held"
+                )
             self._thread = None
 
     def __enter__(self) -> "CORGIHTTPServer":

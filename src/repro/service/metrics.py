@@ -23,6 +23,7 @@ COUNTER_NAMES: Tuple[str, ...] = (
     "engine_cache_hits",
     "rejected",
     "failed",
+    "build_timeouts",
     "batches",
     "batch_requests",
     "batch_coalesced",
@@ -33,6 +34,16 @@ COUNTER_NAMES: Tuple[str, ...] = (
     "drains",
     "handoffs",
     "warm_failovers",
+    # Push-gateway lifecycle (incremented by repro.service.gateway so held
+    # connections, pushes and evictions land in the same snapshot as the
+    # request counters they amortize).
+    "gateway_connections",
+    "gateway_disconnects",
+    "gateway_subscriptions",
+    "gateway_pushes",
+    "gateway_heartbeats",
+    "gateway_evicted_slow",
+    "gateway_rejected_frames",
 )
 
 #: Default latency-window size (observations, not seconds).

@@ -51,8 +51,11 @@ logger = get_logger(__name__)
 
 __all__ = [
     "CORGIService",
+    "CoalescedBuildError",
+    "ServiceBuildTimeoutError",
     "ServiceConfig",
     "ServiceOverloadedError",
+    "rewrap_for_follower",
 ]
 
 
@@ -63,6 +66,46 @@ class ServiceOverloadedError(CORGIError):
     retry.  Carrying a dedicated type (rather than a generic ``RuntimeError``)
     lets callers distinguish overload from request errors.
     """
+
+
+class ServiceBuildTimeoutError(CORGIError):
+    """A coalesced follower's wait for the build leader exceeded its deadline.
+
+    Followers used to block on the leader's rendezvous event with no
+    timeout; a leader thread dying without reaching its ``finally`` block
+    (interpreter teardown, ``SystemExit`` in a transport thread) would hang
+    them forever.  This error is transient from the caller's perspective —
+    retrying starts a fresh build — so transports map it to HTTP 503, never
+    500.
+    """
+
+
+class CoalescedBuildError(CORGIError):
+    """Fallback wrapper for a leader error that cannot be copied per follower.
+
+    Used by :func:`rewrap_for_follower` when the original exception type
+    cannot be reconstructed from its ``args`` (custom constructor
+    signature); the original is always attached as ``__cause__``.
+    """
+
+
+def rewrap_for_follower(error: BaseException) -> BaseException:
+    """A per-follower copy of the leader's exception, original as ``__cause__``.
+
+    Re-raising the leader's *same* exception instance in every coalesced
+    follower makes N threads concurrently mutate one shared
+    ``__traceback__``, interleaving frames from unrelated requests in the
+    logs.  Each follower instead raises its own instance: same type and
+    ``args`` when the type is reconstructible (so transport error mapping
+    is unchanged), else a :class:`CoalescedBuildError` carrying the
+    message.  Either way the untouched original hangs off ``__cause__``.
+    """
+    try:
+        copy = type(error)(*error.args)
+    except BaseException:  # noqa: BLE001 - constructor shape is arbitrary
+        copy = CoalescedBuildError(f"{type(error).__name__}: {error}")
+    copy.__cause__ = error
+    return copy
 
 
 @dataclass
@@ -84,12 +127,20 @@ class ServiceConfig:
         inside the batch are deduplicated first and don't count).
     latency_window:
         Number of latency observations retained for percentile reporting.
+    build_wait_timeout_s:
+        Deadline (seconds) a coalesced follower waits for its build leader
+        before failing with :class:`ServiceBuildTimeoutError` (HTTP 503).
+        Size it to the slowest legitimate cold build, not to network
+        latency — it only exists so a leader that died without reaching its
+        ``finally`` (interpreter teardown, ``SystemExit``) cannot strand
+        followers forever.
     """
 
     max_in_flight: int = 4
     max_queue_depth: int = 32
     max_batch_size: int = 16
     latency_window: int = 4096
+    build_wait_timeout_s: float = 300.0
 
     def validate(self) -> None:
         """Raise :class:`ValueError` for inconsistent settings."""
@@ -101,6 +152,8 @@ class ServiceConfig:
             raise ValueError("max_batch_size must be >= 1")
         if self.latency_window < 1:
             raise ValueError("latency_window must be >= 1")
+        if self.build_wait_timeout_s <= 0:
+            raise ValueError("build_wait_timeout_s must be positive")
 
 
 class _InFlightBuild:
@@ -158,6 +211,14 @@ class CORGIService:
         self._inflight: Dict[RequestKey, _InFlightBuild] = {}
         self._pending_leaders = 0
         self._build_slots = threading.BoundedSemaphore(self.config.max_in_flight)
+        # Cache-update listeners (the push gateway subscribes here): called
+        # after invalidate / publish_priors so held connections learn about
+        # refreshes without polling.  Guarded like the pool stats listener —
+        # a raising listener must never fail the admin operation itself.
+        self._update_listeners: List = []
+        # Attached gateway diagnostics providers (callables returning a
+        # JSON-friendly dict), merged into diagnostics()/snapshot().
+        self._gateway_diagnostics: List = []
         # A sharded pool reports hand-off lifecycle events (drains,
         # hand-offs, warm failovers) through a listener; mirroring them into
         # ServiceMetrics keeps the wire snapshot lock-consistent with every
@@ -172,6 +233,51 @@ class CORGIService:
     def _record_pool_event(self, name: str, amount: int) -> None:
         if name in self._POOL_MIRRORED_EVENTS:
             self.metrics.increment(name, amount)
+
+    # ------------------------------------------------------------------ #
+    # Cache-update listeners (push-gateway hook)
+    # ------------------------------------------------------------------ #
+
+    def add_update_listener(self, listener) -> None:
+        """Register ``listener(kind, privacy_level)`` for cache updates.
+
+        Called after every successful :meth:`invalidate` (``kind =
+        "invalidate"``, ``privacy_level`` as requested — ``None`` for a full
+        flush) and :meth:`publish_priors` (``kind = "priors"``,
+        ``privacy_level = None``).  The gateway uses this to push refreshed
+        matrices to held connections.  Listeners run on the admin caller's
+        thread and must not block.
+        """
+        if not callable(listener):
+            raise TypeError("update listener must be callable")
+        self._update_listeners.append(listener)
+
+    def remove_update_listener(self, listener) -> None:
+        """Unregister a listener previously added (missing ones are ignored)."""
+        try:
+            self._update_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify_update(self, kind: str, privacy_level: Optional[int]) -> None:
+        for listener in list(self._update_listeners):
+            try:
+                listener(kind, privacy_level)
+            except Exception:  # noqa: BLE001 - a listener must not fail admin ops
+                logger.exception("cache-update listener failed (kind=%s)", kind)
+
+    def attach_gateway_diagnostics(self, provider) -> None:
+        """Register a gateway stats provider merged into :meth:`diagnostics`."""
+        if not callable(provider):
+            raise TypeError("gateway diagnostics provider must be callable")
+        self._gateway_diagnostics.append(provider)
+
+    def detach_gateway_diagnostics(self, provider) -> None:
+        """Unregister a gateway stats provider (missing ones are ignored)."""
+        try:
+            self._gateway_diagnostics.remove(provider)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------ #
     # Validation / normalization
@@ -251,10 +357,22 @@ class CORGIService:
 
         if not leader:
             self.metrics.increment("coalesced")
-            entry.event.wait()
+            finished = entry.event.wait(timeout=self.config.build_wait_timeout_s)
             self.metrics.observe_latency(time.perf_counter() - start)
+            if not finished:
+                # The leader never reached its finally block (thread killed
+                # mid-build, interpreter teardown) or is pathologically slow;
+                # either way the follower must not hang forever.
+                self.metrics.increment("build_timeouts")
+                raise ServiceBuildTimeoutError(
+                    f"coalesced follower waited {self.config.build_wait_timeout_s:.1f}s "
+                    f"for the build leader of level={privacy_level} delta={delta} "
+                    f"epsilon={epsilon:g}; retry to start a fresh build"
+                )
             if entry.error is not None:
-                raise entry.error
+                # Each follower raises its own copy — re-raising the shared
+                # instance would let N threads mutate one __traceback__.
+                raise rewrap_for_follower(entry.error) from entry.error
             assert entry.forest is not None
             return entry.forest
 
@@ -373,6 +491,7 @@ class CORGIService:
         """
         dropped = int(self.engine.invalidate(privacy_level))
         self.metrics.increment("invalidated", dropped)
+        self._notify_update("invalidate", None if privacy_level is None else int(privacy_level))
         return dropped
 
     def publish_priors(
@@ -385,6 +504,7 @@ class CORGIService:
         """
         dropped = int(self.engine.publish_priors(priors, normalize=normalize))
         self.metrics.increment("invalidated", dropped)
+        self._notify_update("priors", None)
         return dropped
 
     def drain(self, slot: int) -> Dict[str, object]:
@@ -407,8 +527,22 @@ class CORGIService:
         return drain(slot)
 
     def diagnostics(self) -> Dict[str, object]:
-        """Engine cache/pool diagnostics (hand-off counters included on a pool)."""
-        return self.engine.cache_diagnostics()
+        """Engine cache/pool diagnostics (hand-off counters included on a pool).
+
+        When a push gateway is attached its connection/subscription gauges
+        are merged under ``"gateway"`` so ``GET /admin/diagnostics`` is the
+        one stop for the whole serving stack.
+        """
+        diagnostics = dict(self.engine.cache_diagnostics())
+        if self._gateway_diagnostics:
+            gateways = []
+            for provider in self._gateway_diagnostics:
+                try:
+                    gateways.append(provider())
+                except Exception:  # noqa: BLE001 - diagnostics must stay a probe
+                    logger.exception("gateway diagnostics provider failed")
+            diagnostics["gateway"] = gateways[0] if len(gateways) == 1 else gateways
+        return diagnostics
 
     def durability(self) -> Dict[str, object]:
         """Durable-tier diagnostics: control-log replay, store hits, ratios.

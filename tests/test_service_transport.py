@@ -10,6 +10,7 @@ in-process transports return byte-identical forests.
 
 import copy
 import json
+import socket
 import threading
 
 import numpy as np
@@ -29,7 +30,14 @@ from repro.server.engine import ForestEngine, ServerConfig
 from repro.server.messages import ObfuscationRequest, PrivacyForestResponse
 from repro.service.http import CORGIHTTPServer
 from repro.service.metrics import ServiceMetrics
-from repro.service.service import CORGIService, ServiceConfig, ServiceOverloadedError
+from repro.service.service import (
+    CoalescedBuildError,
+    CORGIService,
+    ServiceBuildTimeoutError,
+    ServiceConfig,
+    ServiceOverloadedError,
+    rewrap_for_follower,
+)
 
 
 @pytest.fixture()
@@ -213,6 +221,97 @@ class TestSingleFlight:
         assert first is second
         assert service.metrics.count("engine_builds") == 1
         assert service.metrics.count("engine_cache_hits") == 1
+
+    def test_follower_wait_has_a_deadline(self, engine):
+        """Regression: a follower used to wait on the leader *forever*.
+
+        With the leader's build wedged, a coalesced follower must give up
+        after ``build_wait_timeout_s`` with the typed 503-mapped error —
+        not hold its thread (and, over HTTP, its connection) indefinitely.
+        """
+        service = CORGIService(engine, ServiceConfig(build_wait_timeout_s=0.2))
+        release = threading.Event()
+        entered = threading.Event()
+        original = engine.build_forest_traced
+
+        def wedged_build(*args, **kwargs):
+            entered.set()
+            release.wait(timeout=30)
+            return original(*args, **kwargs)
+
+        engine.build_forest_traced = wedged_build
+        leader = threading.Thread(
+            target=lambda: service.generate_privacy_forest(1, 1), daemon=True
+        )
+        leader.start()
+        try:
+            assert entered.wait(timeout=5)
+            with pytest.raises(ServiceBuildTimeoutError):
+                service.generate_privacy_forest(1, 1)
+            assert service.metrics.count("build_timeouts") == 1
+            assert service.metrics.count("coalesced") == 1
+        finally:
+            engine.build_forest_traced = original
+            release.set()
+            leader.join(timeout=30)
+        # The leader itself was never subject to the follower deadline.
+        assert not leader.is_alive()
+
+    def test_followers_raise_private_copies_of_the_leader_error(self, service, engine):
+        """Regression: followers used to re-raise the leader's *same* object.
+
+        N threads re-raising one shared instance concurrently splice their
+        unrelated frames into a single shared ``__traceback__``.  Each
+        follower must get its own same-typed copy with the pristine
+        original hanging off ``__cause__``.
+        """
+        num_threads = 4
+
+        def failing_build(*args, **kwargs):
+            wait_until(
+                lambda: service.metrics.count("coalesced") == num_threads - 1,
+                timeout_s=10,
+                message="all followers to coalesce before the leader fails",
+            )
+            raise RuntimeError("solver exploded")
+
+        engine.build_forest_traced = failing_build
+        outcome = run_burst(
+            lambda: service.generate_privacy_forest(1, 1),
+            count=num_threads,
+            timeout_s=60,
+        )
+        assert len(outcome.errors) == num_threads
+        # Transport mapping still sees the original type everywhere.
+        assert all(isinstance(error, RuntimeError) for error in outcome.errors)
+        # Exactly one thread (the leader) raised the original instance; the
+        # followers each hold a distinct copy chained back to it.
+        originals = [error for error in outcome.errors if error.__cause__ is None]
+        assert len(originals) == 1
+        followers = [error for error in outcome.errors if error is not originals[0]]
+        assert len(followers) == num_threads - 1
+        assert len({id(error) for error in outcome.errors}) == num_threads
+        for error in followers:
+            assert error.__cause__ is originals[0]
+            assert error.args == originals[0].args
+
+    def test_rewrap_falls_back_when_type_is_not_reconstructible(self):
+        class PickyError(Exception):
+            def __init__(self, code, *, detail):
+                super().__init__(f"{code}: {detail}")
+                self.code = code
+
+        original = PickyError(42, detail="no positional reconstruction")
+        copy_ = rewrap_for_follower(original)
+        assert isinstance(copy_, CoalescedBuildError)
+        assert copy_.__cause__ is original
+        assert "PickyError" in str(copy_)
+        # And the happy path keeps the concrete type.
+        simple = ValueError("bad epsilon")
+        rewrapped = rewrap_for_follower(simple)
+        assert type(rewrapped) is ValueError
+        assert rewrapped is not simple
+        assert rewrapped.__cause__ is simple
 
 
 class TestAdmissionControl:
@@ -585,3 +684,102 @@ class TestProviderNormalization:
     def test_unusable_target_rejected(self):
         with pytest.raises(TypeError):
             as_forest_provider(42)
+
+
+class TestBuildTimeoutOverHTTP:
+    def test_follower_deadline_maps_to_503_build_timeout(self, engine):
+        """Regression: the follower deadline must surface as a retryable 503.
+
+        A wedged leader plus a tiny ``build_wait_timeout_s`` makes the HTTP
+        request for the same key a timed-out follower; the handler maps the
+        typed error to 503/"build_timeout", never a 500.
+        """
+        service = CORGIService(engine, ServiceConfig(build_wait_timeout_s=0.2))
+        release = threading.Event()
+        entered = threading.Event()
+        original = engine.build_forest_traced
+
+        def wedged_build(*args, **kwargs):
+            entered.set()
+            release.wait(timeout=30)
+            return original(*args, **kwargs)
+
+        engine.build_forest_traced = wedged_build
+        leader = threading.Thread(
+            target=lambda: service.generate_privacy_forest(1, 1), daemon=True
+        )
+        with CORGIHTTPServer(service, port=0) as server:
+            transport = HTTPTransport(server.url, timeout_s=30)
+            leader.start()
+            try:
+                assert entered.wait(timeout=5)
+                with pytest.raises(TransportError) as excinfo:
+                    transport.fetch_forest(ObfuscationRequest(privacy_level=1, delta=1))
+                assert excinfo.value.status == 503
+                assert "coalesced follower waited" in str(excinfo.value)
+                assert service.metrics.count("build_timeouts") == 1
+            finally:
+                engine.build_forest_traced = original
+                release.set()
+                leader.join(timeout=30)
+
+
+class TestHTTPShutdown:
+    def test_shutdown_force_closes_held_keepalive_connection(self, service):
+        """Regression: a held keep-alive socket used to leak its handler thread.
+
+        ``shutdown()`` must shut the lingering connection down explicitly
+        (popping the handler out of its blocking read) and still join the
+        serving thread — not return leaving both parked forever.
+        """
+        server = CORGIHTTPServer(service, port=0).start()
+        sock = socket.create_connection((server.host, server.port), timeout=10)
+        try:
+            sock.sendall(
+                b"GET /healthz HTTP/1.1\r\n"
+                b"Host: test\r\nConnection: keep-alive\r\n\r\n"
+            )
+            response = b""
+            while b'{"status": "ok"}' not in response:
+                chunk = sock.recv(65536)
+                assert chunk, f"connection closed mid-response: {response!r}"
+                response += chunk
+            assert b"200" in response.split(b"\r\n", 1)[0]
+            # The connection is now held open and its handler thread is
+            # parked in a blocking read waiting for the next request.
+            server.shutdown()
+            # The server tore the held connection down under us: the next
+            # read sees EOF (or a reset) instead of blocking forever.
+            sock.settimeout(10)
+            try:
+                trailing = sock.recv(65536)
+            except OSError:
+                trailing = b""
+            assert trailing == b""
+            assert server._thread is None
+        finally:
+            sock.close()
+
+    def test_shutdown_raises_when_the_serving_thread_will_not_die(
+        self, service, monkeypatch
+    ):
+        """Regression: a failed join used to return as if shutdown were clean."""
+        server = CORGIHTTPServer(service, port=0).start()
+        real_thread = server._thread
+        hang = threading.Event()
+        stuck = threading.Thread(target=hang.wait, daemon=True)
+        stuck.start()
+        monkeypatch.setattr(CORGIHTTPServer, "JOIN_TIMEOUT_S", 0.1)
+        server._thread = stuck
+        try:
+            with pytest.raises(RuntimeError, match="did not stop"):
+                server.shutdown()
+        finally:
+            hang.set()
+            stuck.join(timeout=5)
+            # Clean up the real serving thread (the listener is already
+            # closed by the failed shutdown attempt, so only the join and
+            # bookkeeping remain).
+            server._thread = real_thread
+            real_thread.join(timeout=5)
+            server._thread = None

@@ -20,7 +20,12 @@ the two serialization layers:
   exactly; truncation, single-bit flips, version skew and arbitrary junk
   are rejected with typed errors (``ControlLogFormatError`` /
   ``StoreFormatError``) — replay recovers the longest valid prefix and
-  never crashes.
+  never crashes;
+* :mod:`repro.service.gateway` — push-gateway frames round-trip through
+  the newline-delimited JSON codec exactly; arbitrary junk either decodes
+  to a JSON object or raises exactly :class:`GatewayProtocolError`; and a
+  *live* gateway answers garbage with typed ``error`` frames — a held
+  connection can never 500 the server or kill its loop.
 
 Hypothesis is an optional dependency (pure test tooling); the module skips
 cleanly where only the runtime deps are installed.
@@ -28,6 +33,7 @@ cleanly where only the runtime deps are installed.
 
 import functools
 import json
+import socket
 import urllib.error
 import urllib.request
 
@@ -71,6 +77,13 @@ from repro.service.netshard import (  # noqa: E402
     decode_frame,
     encode_frame,
     next_backoff_delay,
+)
+from repro.service.gateway import (  # noqa: E402
+    GatewayConfig,
+    GatewayProtocolError,
+    GatewayServer,
+    decode_gateway_frame,
+    encode_gateway_frame,
 )
 from repro.service.pool import build_ring, ring_failover_order  # noqa: E402
 from repro.service.service import CORGIService  # noqa: E402
@@ -984,3 +997,96 @@ class TestSolverSessionProperties:
                 np.testing.assert_allclose(
                     third.matrix.values.sum(axis=1), 1.0, atol=1e-12
                 )
+
+
+# --------------------------------------------------------------------- #
+# Push-gateway frame codec and live-server robustness
+# --------------------------------------------------------------------- #
+
+
+class TestGatewayFrameProperties:
+    @DETERMINISTIC
+    @given(message=frame_messages)
+    def test_gateway_frame_roundtrips(self, message):
+        """Any JSON-object payload survives encode → decode exactly (the
+        newline-delimited codec is a strict inverse pair)."""
+        assert decode_gateway_frame(encode_gateway_frame(message)) == message
+
+    @DETERMINISTIC
+    @given(
+        junk=st.one_of(
+            st.binary(max_size=64),
+            st.text(max_size=32).map(lambda text: text.encode("utf-8")),
+            st.just(b""),
+            st.just(b"\n"),
+            st.just(b"[1, 2, 3]\n"),
+            st.just(b'"a bare string"\n'),
+            st.just(b'{"truncated": \n'),
+        )
+    )
+    def test_gateway_decode_junk_is_typed_rejection(self, junk):
+        """Arbitrary bytes either decode to a JSON object or raise exactly
+        GatewayProtocolError (a ValueError, the 400-class fault transports
+        already map) — never any other exception type."""
+        try:
+            decoded = decode_gateway_frame(junk)
+        except GatewayProtocolError:
+            return
+        assert isinstance(decoded, dict)
+
+    @DETERMINISTIC
+    @given(payload=st.one_of(st.none(), st.integers(), st.lists(st.integers(), max_size=3)))
+    def test_gateway_encode_rejects_non_mappings(self, payload):
+        with pytest.raises(GatewayProtocolError):
+            encode_gateway_frame(payload)
+
+
+@pytest.fixture(scope="module")
+def live_gateway(small_tree_with_priors):
+    engine = ForestEngine(
+        small_tree_with_priors,
+        ServerConfig(epsilon=2.0, num_targets=5, robust_iterations=1),
+    )
+    gateway = GatewayServer(
+        CORGIService(engine), GatewayConfig(heartbeat_interval_s=30.0)
+    ).start()
+    try:
+        yield gateway
+    finally:
+        gateway.close()
+
+
+class TestGatewayNever500s:
+    @DETERMINISTIC
+    @given(garbage=st.binary(max_size=128))
+    def test_garbage_is_answered_and_the_server_survives(self, live_gateway, garbage):
+        """Whatever bytes a client throws at a held connection, the server
+        answers with typed frames (``error`` for each undecodable line) and
+        keeps serving: a ping sent after the garbage is always ponged —
+        on the same connection when framing can resynchronize, and by a
+        fresh connection regardless."""
+        with socket.create_connection(
+            ("127.0.0.1", live_gateway.port), timeout=30
+        ) as sock:
+            stream = sock.makefile("rb")
+            # The garbage may lack a terminator; add one so the follow-up
+            # ping starts on a frame boundary (line framing resyncs at \n).
+            sock.sendall(garbage + b"\n")
+            sock.sendall(encode_gateway_frame({"op": "ping", "nonce": "probe"}))
+            while True:
+                line = stream.readline()
+                assert line, "server closed a connection instead of answering"
+                frame = decode_gateway_frame(line)
+                assert frame["type"] in {"hello", "error", "pong"}
+                if frame["type"] == "pong" and frame.get("nonce") == "probe":
+                    break
+        # And the listener itself is still alive for new connections.
+        with socket.create_connection(
+            ("127.0.0.1", live_gateway.port), timeout=30
+        ) as sock:
+            stream = sock.makefile("rb")
+            sock.sendall(encode_gateway_frame({"op": "ping", "nonce": "fresh"}))
+            while True:
+                frame = decode_gateway_frame(stream.readline())
+                if frame["type"] == "pong" and frame.get("nonce") == "fresh":
+                    break
