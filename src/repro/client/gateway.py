@@ -65,6 +65,7 @@ class _PushStore:
         self.forests: Dict[ClientKey, GatewayPush] = {}
         self.generations_seen: Dict[ClientKey, List[int]] = {}
         self.subscribed: Dict[ClientKey, int] = {}
+        self.subscribe_acks: List[ClientKey] = []
         self.errors: List[Dict[str, object]] = []
         self.pushes = 0
         self.stale_dropped = 0
@@ -92,7 +93,16 @@ class _PushStore:
             self.pushes += 1
         elif kind == "subscribed":
             key = key_from_wire(frame["key"])  # type: ignore[arg-type]
-            self.subscribed[key] = int(frame.get("generation", 1))  # type: ignore[arg-type]
+            generation = int(frame.get("generation", 1))  # type: ignore[arg-type]
+            held = self.forests.get(key)
+            if held is not None and generation < held.generation:
+                # The server forgot the key (its state is pruned when the
+                # last subscriber leaves) and restarted its generation
+                # count: a new epoch.  Clear the held entry so the epoch's
+                # pushes are installed rather than dropped as stale.
+                del self.forests[key]
+            self.subscribed[key] = generation
+            self.subscribe_acks.append(key)
         elif kind == "heartbeat":
             self.heartbeats += 1
         elif kind == "pong":
@@ -162,8 +172,17 @@ class GatewayClient:
         wait_s: Optional[float] = 10.0,
     ) -> Optional[ClientKey]:
         """Subscribe to a key; returns the server-resolved key (or ``None``
-        when ``wait_s`` is ``None`` — the ack then arrives asynchronously)."""
-        before = dict(self._store.subscribed)
+        when ``wait_s`` is ``None`` — the ack then arrives asynchronously).
+
+        Only frames arriving *after* this send count: every subscribe —
+        including a re-subscribe to an already-acked key — is acked with
+        its own ``subscribed`` frame, and earlier async errors (say, a
+        ``refresh_failed`` from a prior subscription) never bleed into
+        this call's verdict.
+        """
+        with self._cond:
+            acks_before = len(self._store.subscribe_acks)
+            errors_before = len(self._store.errors)
         self._send(
             {
                 "op": "subscribe",
@@ -177,14 +196,13 @@ class GatewayClient:
         deadline = time.monotonic() + wait_s
         with self._cond:
             while True:
-                fresh = [key for key in self._store.subscribed if key not in before]
-                if fresh:
-                    return fresh[0]
-                if self._store.errors:
-                    error = self._store.errors[-1]
-                    raise GatewayProtocolError(
-                        f"subscribe rejected: {error.get('error')}: {error.get('detail')}"
-                    )
+                if len(self._store.subscribe_acks) > acks_before:
+                    return self._store.subscribe_acks[acks_before]
+                for error in self._store.errors[errors_before:]:
+                    if error.get("error") in ("bad_request", "too_many_subscriptions"):
+                        raise GatewayProtocolError(
+                            f"subscribe rejected: {error.get('error')}: {error.get('detail')}"
+                        )
                 self._raise_if_dead()
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:

@@ -363,6 +363,7 @@ class _GatewayConnection:
         self.closing = False
         self.dropped = False
         self.evicted = False
+        self.writer_task: Optional["asyncio.Task"] = None
 
     def try_push(self, frame: bytes) -> bool:
         """Queue one outbound frame; False means the queue is full (slow peer)."""
@@ -388,8 +389,11 @@ class _GatewayConnection:
         """Drain the queue onto the socket until cancelled or the peer dies."""
         while True:
             frame = await self.queue.get()
-            self.writer.write(frame)
-            await self.writer.drain()
+            try:
+                self.writer.write(frame)
+                await self.writer.drain()
+            except (ConnectionError, RuntimeError, OSError):
+                return  # transport aborted (eviction) or peer went away
 
 
 class GatewayServer:
@@ -597,6 +601,8 @@ class GatewayServer:
         """
         try:
             while True:
+                if key not in self._subscribers:
+                    return  # last subscriber left mid-storm; nothing to push
                 generation = self._generations.get(key, 1)
                 try:
                     response = await self._async.forest_response(key, generation=generation)
@@ -614,6 +620,12 @@ class GatewayServer:
                         }
                     )
                     self._fan_out(key, frame, count_as=None)
+                    if self._generations.get(key, 1) != generation:
+                        # An update raced the failed build.  _mark_updated
+                        # skipped scheduling while this task held the key,
+                        # so returning here would strand subscribers on
+                        # stale data — go again for the newer generation.
+                        continue
                     return
                 if self._generations.get(key, 1) != generation:
                     continue  # superseded mid-build — go again
@@ -629,7 +641,10 @@ class GatewayServer:
                 self._fan_out(key, frame, count_as="gateway_pushes")
                 return
         finally:
-            self._refreshing.pop(key, None)
+            # Guarded: a task cancelled by key release may only unwind after
+            # a re-subscribe installed a successor task under the same key.
+            if self._refreshing.get(key) is asyncio.current_task():
+                del self._refreshing[key]
 
     def _fan_out(self, key: RequestKey, frame: bytes, *, count_as: Optional[str]) -> None:
         """Push one pre-encoded frame to every subscriber of *key*."""
@@ -662,6 +677,8 @@ class GatewayServer:
             self.config.queue_limit,
         )
         connection.abort()
+        if connection.writer_task is not None:
+            connection.writer_task.cancel()
         self._drop_connection(connection)
 
     async def _heartbeat_loop(self) -> None:
@@ -717,6 +734,7 @@ class GatewayServer:
             )
         )
         writer_task = asyncio.create_task(connection.writer_loop())
+        connection.writer_task = writer_task
         try:
             await self._reader_loop(connection)
         finally:
@@ -836,7 +854,7 @@ class GatewayServer:
                 {"type": "subscribed", "key": key_to_wire(key), "generation": generation}
             ),
         )
-        task = asyncio.create_task(self._push_snapshot(connection, key))
+        task = asyncio.create_task(self._push_snapshot(connection, key, generation))
         self._snapshot_tasks.add(task)
         task.add_done_callback(self._snapshot_tasks.discard)
 
@@ -860,23 +878,28 @@ class GatewayServer:
         holders = self._subscribers.get(key)
         if holders is not None:
             holders.discard(connection)
-            if not holders:
-                del self._subscribers[key]
+            self._release_if_unwatched(key)
         self._push_or_evict(
             connection,
             encode_gateway_frame({"type": "unsubscribed", "key": key_to_wire(key)}),
         )
 
-    async def _push_snapshot(self, connection: _GatewayConnection, key: RequestKey) -> None:
-        """Push the current forest to one fresh subscriber (joins any build).
+    async def _push_snapshot(
+        self, connection: _GatewayConnection, key: RequestKey, generation: int
+    ) -> None:
+        """Push the current forest to one fresh subscriber.
 
-        The frame carries the generation current when the build *finished*;
-        if a refresh push for a newer generation already reached the queue
-        first, the client's generation guard drops this one — it can never
-        roll a client backwards.
+        *generation* is the key's generation at subscribe time — both the
+        freshness floor for the build (a stale in-flight build is waited
+        out, never joined) and the frame's label.  An update that lands
+        mid-build bumps the key past *generation* and its refresh task
+        pushes the newer frame separately; this frame keeps the older tag,
+        so the client's generation guard orders the two correctly instead
+        of dropping the genuine refresh because a stale payload usurped
+        its tag.
         """
         try:
-            response = await self._async.forest_response(key)
+            response = await self._async.forest_response(key, generation=generation)
         except asyncio.CancelledError:
             raise
         except BaseException as error:  # noqa: BLE001 - answered, not fatal
@@ -891,7 +914,6 @@ class GatewayServer:
                 )
             )
             return
-        generation = self._generations.get(key, 1)
         delivered = connection.try_push(
             encode_gateway_frame(
                 {
@@ -918,10 +940,27 @@ class GatewayServer:
             holders = self._subscribers.get(key)
             if holders is not None:
                 holders.discard(connection)
-                if not holders:
-                    del self._subscribers[key]
+                self._release_if_unwatched(key)
         connection.subscriptions.clear()
         self.service.metrics.increment("gateway_disconnects")
+
+    def _release_if_unwatched(self, key: RequestKey) -> None:
+        """Forget a key's gateway state once its last subscriber is gone.
+
+        Keys embed a client-chosen epsilon, so without pruning a long-lived
+        server accrues an unbounded ``_generations`` dict.  The generation
+        restarts at 1 on re-subscribe; the client store treats a subscribe
+        ack announcing a lower generation than it holds as a new server
+        epoch and clears the held entry, so the per-key guard cannot wedge
+        on the restart.
+        """
+        if self._subscribers.get(key):
+            return
+        self._subscribers.pop(key, None)
+        self._generations.pop(key, None)
+        task = self._refreshing.pop(key, None)
+        if task is not None:
+            task.cancel()
 
     # ------------------------------------------------------------------ #
     # Introspection

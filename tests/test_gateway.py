@@ -29,6 +29,7 @@ from repro.server.engine import ForestEngine, ServerConfig
 from repro.service.gateway import (
     AsyncCORGIService,
     GatewayConfig,
+    GatewayProtocolError,
     GatewayServer,
     decode_gateway_frame,
     encode_gateway_frame,
@@ -221,6 +222,21 @@ class TestProtocolErrors:
             assert (answer["type"], answer["error"]) == ("error", "bad_request")
         finally:
             sock.close()
+
+    def test_subscribe_succeeds_after_earlier_error_frame(self, gateway):
+        """Errors accumulate for the connection's lifetime; a rejection of
+        an *earlier* subscribe must not poison a later, valid one."""
+        with GatewayClient(gateway.host, gateway.port) as client:
+            with pytest.raises(GatewayProtocolError):
+                client.subscribe(99, 1)  # bad privacy level -> bad_request
+            assert client.subscribe(1, 1) == KEY
+
+    def test_resubscribe_to_known_key_acks_promptly(self, gateway):
+        """Every subscribe is acked with its own frame, so re-subscribing
+        to an already-held key returns instead of waiting out wait_s."""
+        with GatewayClient(gateway.host, gateway.port) as client:
+            assert client.subscribe(1, 1) == KEY
+            assert client.subscribe(1, 1, wait_s=5.0) == KEY
 
     def test_unsubscribe_stops_pushes(self, service, gateway):
         with GatewayClient(gateway.host, gateway.port) as client:
@@ -428,6 +444,130 @@ class TestGenerationGuard:
         store.apply(dict(frame))
         assert store.pushes == 1
         assert store.stale_dropped == 1
+
+    def test_subscribe_ack_with_lower_generation_starts_new_epoch(self):
+        """A re-subscribe after the server pruned the key restarts its
+        generation count; the ack must reset the client's epoch so the new
+        pushes are installed rather than dropped as stale."""
+        store = _PushStore()
+        key_wire = {"privacy_level": 1, "delta": 1, "epsilon": 2.0}
+        store.apply(
+            {"type": "forest", "key": key_wire, "generation": 5,
+             "reason": "invalidate", "response": {"epoch": "old"}}
+        )
+        store.apply({"type": "subscribed", "key": key_wire, "generation": 1})
+        assert KEY not in store.forests  # held entry belongs to a dead epoch
+        store.apply(
+            {"type": "forest", "key": key_wire, "generation": 1,
+             "reason": "subscribe", "response": {"epoch": "new"}}
+        )
+        assert store.forests[KEY].response == {"epoch": "new"}
+        assert store.stale_dropped == 0
+
+
+# --------------------------------------------------------------------- #
+# Refresh/snapshot races (regressions found in review)
+# --------------------------------------------------------------------- #
+
+
+class TestRefreshRaces:
+    def test_snapshot_racing_invalidate_cannot_wedge_client(self, service):
+        """An invalidate landing while the subscribe snapshot builds must
+        not let the stale snapshot usurp the new generation's tag — the
+        client would then drop the genuine refresh push and wedge on
+        pre-update data tagged as fresh."""
+        gateway = GatewayServer(
+            service, GatewayConfig(heartbeat_interval_s=30.0, queue_limit=8)
+        ).start()
+        try:
+            builds = []
+            release = threading.Event()
+            original = gateway._async._build_sync
+
+            def gated(key):
+                builds.append(key)
+                if len(builds) == 1:
+                    release.wait(timeout=30.0)
+                return original(key)
+
+            gateway._async._build_sync = gated
+            with GatewayClient(gateway.host, gateway.port) as client:
+                key = client.subscribe(1, 1)  # ack is sync; snapshot now blocked
+                wait_until(
+                    lambda: len(builds) == 1,
+                    timeout_s=10.0,
+                    message="snapshot build entered the executor",
+                )
+                service.invalidate()  # generation -> 2 mid-snapshot-build
+                release.set()
+                refreshed = client.wait_forest(key, min_generation=2, timeout_s=30.0)
+                assert refreshed.generation == 2
+                # The snapshot kept its subscribe-time tag (1) and the
+                # refresh carried 2 — nothing was dropped as stale.
+                assert client.generations_seen(key) == [1, 2]
+                assert client.stats()["stale_dropped"] == 0
+        finally:
+            gateway.close()
+
+    def test_update_during_failed_refresh_build_is_not_lost(self, service):
+        """If a refresh build fails while a newer update lands, the refresh
+        task must go again for the newer generation — _mark_updated skipped
+        scheduling while the task held the key, so returning would strand
+        every subscriber on stale data."""
+        gateway = GatewayServer(
+            service, GatewayConfig(heartbeat_interval_s=30.0, queue_limit=8)
+        ).start()
+        try:
+            with GatewayClient(gateway.host, gateway.port) as client:
+                key = client.subscribe(1, 1)
+                client.wait_forest(key)
+                started = threading.Event()
+                release = threading.Event()
+                failed = []
+                original = gateway._async._build_sync
+
+                def failing_once(k):
+                    if not failed:
+                        failed.append(k)
+                        started.set()
+                        release.wait(timeout=30.0)
+                        raise RuntimeError("transient solver failure")
+                    return original(k)
+
+                gateway._async._build_sync = failing_once
+                service.invalidate()  # generation -> 2; refresh build will fail
+                assert started.wait(timeout=10.0)
+                service.invalidate()  # generation -> 3 lands mid-failing-build
+                release.set()
+                refreshed = client.wait_forest(key, min_generation=3, timeout_s=30.0)
+                assert refreshed.generation == 3
+                # The failure itself was still answered to subscribers.
+                assert client.stats()["errors"] >= 1
+        finally:
+            gateway.close()
+
+    def test_key_state_pruned_when_last_subscriber_leaves(self, service, gateway):
+        """Unsubscribing the last holder forgets the key server-side (no
+        unbounded _generations growth); a re-subscribe restarts at
+        generation 1 and the client follows the new epoch."""
+        with GatewayClient(gateway.host, gateway.port) as client:
+            key = client.subscribe(1, 1)
+            client.wait_forest(key)
+            service.invalidate()
+            assert client.wait_forest(key, min_generation=2).generation == 2
+            client._send({"op": "unsubscribe", "privacy_level": 1, "delta": 1})
+            wait_until(
+                lambda: service.diagnostics()["gateway"]["subscribed_keys"] == 0,
+                timeout_s=10.0,
+                message="key released after last unsubscribe",
+            )
+            assert client.subscribe(1, 1) == key
+            wait_until(
+                lambda: (held := client.held(key)) is not None
+                and held.generation == 1,
+                timeout_s=10.0,
+                message="re-subscribe snapshot installed at restarted generation",
+            )
 
 
 # --------------------------------------------------------------------- #
