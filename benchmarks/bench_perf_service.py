@@ -32,6 +32,11 @@ Four serving workloads, each the one its mechanism exists for:
   fixed interval until the rebuilt forest shows up — the pre-gateway
   pattern, which always pays expected-interval/2 of staleness on top of
   the rebuild.  The push p50 must beat the poll p50.
+* **replication** — control-plane propagation through the replicated log:
+  ``publish_priors`` on the primary head → record durably committed and
+  applied on a log-shipping follower.  The measured path is WAL append +
+  fsync, the framed socket hop, the follower's store-and-forward commit
+  and its tree/shard apply.
 
 Results are recorded section-by-section in ``BENCH_service.json`` so future
 PRs can track all three trends.  The sharded-beats-single assertion only
@@ -132,6 +137,7 @@ def _update_results(section: str, payload: Dict[str, object]) -> None:
                 "netshard",
                 "restart",
                 "gateway",
+                "replication",
             )
             if isinstance(existing, dict) and any(
                 section in existing for section in known_sections
@@ -683,3 +689,97 @@ def test_perf_service_gateway():
     # pushed freshness beats polled freshness.
     assert counters["gateway_evicted_slow"] == 0
     assert push_p50 < poll_p50, payload
+
+
+@pytest.mark.perf
+def test_perf_service_replication(tmp_path):
+    """Control-plane propagation: publish on the primary -> applied on a
+    follower, through the real log-shipping socket.
+
+    Measures the end-to-end replication latency of one ``publish_priors``:
+    WAL append + fsync on the primary, frame over the wire, local durable
+    commit (store-and-forward) and tree/shard apply on the follower.  The
+    p50 is gated — a regression here means every follower in a fleet
+    serves stale priors for longer after each publish.
+    """
+    rounds = 10
+    primary = EnginePool(
+        _build_tree(),
+        _server_config(),
+        state_dir=tmp_path / "primary",
+        num_shards=2,
+        replication_port=0,
+    )
+    primary.wait_ready()
+    follower = EnginePool(
+        _build_tree(),
+        _server_config(),
+        state_dir=tmp_path / "follower",
+        num_shards=2,
+        replicate_from=f"127.0.0.1:{primary._replication_server.port}",
+    )
+    follower.wait_ready()
+
+    def follower_cursor() -> int:
+        info = follower.durability_diagnostics().get("replication") or {}
+        return int(info.get("cursor", 0))
+
+    try:
+        wait_until(
+            lambda: (follower.durability_diagnostics()["replication"] or {}).get(
+                "connected", False
+            ),
+            timeout_s=60,
+            message="follower subscribed to the primary",
+        )
+        leaves = sorted(str(leaf.node_id) for leaf in primary.tree.leaves())
+        propagation_latencies: List[float] = []
+        for round_index in range(rounds):
+            priors = {
+                leaf: (2.0 + round_index if position == 0 else 1.0)
+                for position, leaf in enumerate(leaves)
+            }
+            begin = time.perf_counter()
+            primary.publish_priors(priors, normalize=True)
+            version = primary.priors_version
+            wait_until(
+                lambda: follower_cursor() >= version,
+                timeout_s=60,
+                message=f"follower to apply replicated version {version}",
+            )
+            propagation_latencies.append(time.perf_counter() - begin)
+        follower_info = follower.durability_diagnostics()["replication"]
+        primary_info = primary.durability_diagnostics()["replication"]
+    finally:
+        follower.close()
+        primary.close()
+
+    propagation_p50 = statistics.median(propagation_latencies)
+    payload = {
+        "workload": {
+            "tree_height": TREE_HEIGHT,
+            "rounds": rounds,
+            "num_shards": 2,
+            "followers": 1,
+        },
+        "propagation_s": {
+            "p50": propagation_p50,
+            "max": max(propagation_latencies),
+        },
+        "follower_counters": {
+            name: follower_info[name]
+            for name in ("records_applied", "records_skipped", "apply_errors", "resets")
+        },
+        "primary_counters": {
+            name: primary_info[name]
+            for name in ("records_streamed", "evictions", "rejects")
+        },
+    }
+    _update_results("replication", payload)
+    print(json.dumps({"propagation_s": payload["propagation_s"]}, indent=2))
+
+    # Acceptance: every publish propagated (no errors, no resets) and the
+    # follower applied exactly one record per round.
+    assert follower_info["apply_errors"] == 0
+    assert follower_info["resets"] == 0
+    assert follower_info["records_applied"] == rounds

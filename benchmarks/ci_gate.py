@@ -47,6 +47,7 @@ GATES: Dict[str, Tuple[str, ...]] = {
         "restart.first_response_s.warm_p50",
         "gateway.push_latency_s.p50",
         "gateway.poll_latency_s.p50",
+        "replication.propagation_s.p50",
     ),
     "BENCH_pipeline.json": (
         "forest_generation_s.cold",

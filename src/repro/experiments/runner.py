@@ -144,6 +144,10 @@ def serve(config: ExperimentConfig, args: argparse.Namespace) -> int:
             remote_shards=remote_shards,
             respawn_limit=args.respawn_limit,
             state_dir=args.state_dir,
+            replication_port=args.replication_port,
+            replication_host=args.host,
+            replicate_from=args.replicate_from,
+            seed_store_dir=args.seed_store_dir,
         )
         pool.wait_ready()
         remote_note = f" + {len(remote_shards)} socket shard(s)" if remote_shards else ""
@@ -157,6 +161,20 @@ def serve(config: ExperimentConfig, args: argparse.Namespace) -> int:
                 f"priors generation v{pool.priors_version}; "
                 "snapshot pre-warm running in the background"
             )
+        replication = pool.durability_diagnostics().get("replication")
+        if replication:
+            if replication.get("role") == "primary":
+                print(
+                    "replication primary: streaming the control log on "
+                    f"{replication.get('address')} (durable head "
+                    f"v{replication.get('last_version', 0)})"
+                )
+            else:
+                print(
+                    f"replication follower of {replication.get('source')}: "
+                    f"cursor v{replication.get('cursor', 0)} "
+                    "(local control writes are refused; they go to the primary)"
+                )
         engine = pool
     else:
         engine = ForestEngine(workload.tree, server_config, targets=workload.targets)
@@ -301,6 +319,30 @@ def main(argv: Optional[list] = None) -> int:
         "serves warm instead of cold-rebuilding (implies an engine pool)",
     )
     parser.add_argument(
+        "--replication-port",
+        type=int,
+        default=None,
+        help="serve this head as the control-plane replication *primary*: "
+        "stream every durable control-log record (priors publishes, "
+        "invalidations) to follower heads on this port (requires "
+        "--state-dir)",
+    )
+    parser.add_argument(
+        "--replicate-from",
+        default=None,
+        help="host:port of a replication primary; this head becomes a "
+        "*follower* — it tails the primary's control log "
+        "(store-and-forward into its own --state-dir, crash-safe cursor) "
+        "and refuses local /admin/priors and /admin/invalidate writes",
+    )
+    parser.add_argument(
+        "--seed-store-dir",
+        default=None,
+        help="another head's snapshot directory to pre-warm from, read-only "
+        "(same pipeline fingerprint required); typically the primary's "
+        "<state-dir>/snapshots shared across a fleet",
+    )
+    parser.add_argument(
         "--drain-on-shutdown",
         action="store_true",
         help="gracefully drain every shard on shutdown — warm cache hand-off "
@@ -321,6 +363,15 @@ def main(argv: Optional[list] = None) -> int:
         parser.error("--shards must be >= 1")
     if args.forest_ttl < 0:
         parser.error("--forest-ttl must be non-negative")
+    if args.replication_port is not None and args.replicate_from is not None:
+        parser.error(
+            "--replication-port (primary) and --replicate-from (follower) are "
+            "mutually exclusive — multi-primary replication is not supported"
+        )
+    if (args.replication_port is not None or args.replicate_from is not None) and (
+        not args.state_dir
+    ):
+        parser.error("replication requires --state-dir (the log/cursor live there)")
     if args.serve:
         return serve(config, args)
     results = run_all(config, only=args.only)

@@ -28,9 +28,20 @@ valid prefix, so a torn tail from a kill -9 mid-append degrades to "replay
 what was durably committed" and the torn bytes are truncated away before
 the next append.
 
-Append failures (disk full, read-only volume) are counted and logged but
-never raised into the serving path: versions keep advancing in memory so
-the fleet stays consistent, and the diagnostics surface the durability gap.
+Append failures (disk full, read-only volume, an unserializable payload)
+are counted and logged but never raised into the serving path: versions
+keep advancing in memory so the fleet stays consistent, and the
+diagnostics surface the durability gap.  An *encode* failure is the one
+exception to "versions keep advancing": the record never existed, so its
+sequence number is not burned — the next append reuses it.
+
+The log is also the replication source of truth (:mod:`repro.service
+.replication`): appends go through one persistent handle whose file is
+made durable — including the directory entry on first create — before any
+listener observes the record, so a follower tailing the log can never be
+shipped a record that a primary crash would un-happen.  Followers append
+the primary's records verbatim via :meth:`ControlLog.append_replicated`
+(store-and-forward: commit locally first, apply second).
 """
 
 from __future__ import annotations
@@ -43,7 +54,7 @@ import threading
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.exceptions import CORGIError
 
@@ -177,15 +188,36 @@ class ControlLogReplay:
     stats: Dict[str, int] = field(default_factory=dict)
 
 
+def _fsync_dir(path: Path) -> None:
+    """Best-effort directory fsync (some filesystems refuse the handle)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 class ControlLog:
     """Append-only, fsync'd control log with boot-time replay.
 
-    Thread-safe.  ``append`` allocates the next monotonic version, frames
-    the record, and commits it with write+fsync before returning — callers
-    apply/broadcast only after the append, so a crash between commit and
-    broadcast converges on replay (write-ahead ordering).  A torn tail
-    found at open time is truncated away so subsequent appends never land
-    after garbage.
+    Thread-safe.  ``append`` frames the record first (so a bad payload is
+    counted, never raised, and never burns a version), then allocates the
+    next monotonic version and commits it with write+fsync through one
+    persistent append handle before returning — callers apply/broadcast
+    only after the append, so a crash between commit and broadcast
+    converges on replay (write-ahead ordering).  A torn tail found at open
+    time is truncated away so subsequent appends never land after garbage.
+
+    The durable record sequence is retained in memory (control events are
+    rare and small) so a replication primary can stream the backlog to a
+    late-subscribing follower; ``add_listener`` observers fire only after
+    a record — and, on first create, the directory entry of the log file
+    itself — is durable on disk.
     """
 
     def __init__(self, path: os.PathLike) -> None:
@@ -193,9 +225,18 @@ class ControlLog:
         self._lock = threading.Lock()
         self._appends = 0
         self._append_errors = 0
+        self._replicated_appends = 0
         self._disabled = False
+        self._closed = False
+        self._handle = None
+        self._listeners: List[Callable[[Dict[str, object]], None]] = []
         self.replay = self._load()
         self._last_version = self.replay.last_version
+        # Durable records in file order: the replay prefix plus every
+        # append that actually reached disk (in-memory-only appends are
+        # excluded — a follower must never receive a record a primary
+        # crash would un-happen).
+        self._records: List[Dict[str, object]] = [dict(r) for r in self.replay.records]
 
     def _load(self) -> ControlLogReplay:
         try:
@@ -249,29 +290,100 @@ class ControlLog:
         with self._lock:
             return self._last_version
 
+    @property
+    def durable_version(self) -> int:
+        """Highest version that actually reached disk (the replication head).
+
+        Can trail :attr:`last_version` when appends are failing: in-memory
+        versions keep serving monotonic, but only durable records may be
+        shipped to followers — a primary crash must never un-happen a
+        record a follower already holds.
+        """
+        with self._lock:
+            version = 0
+            for record in self._records:
+                value = record.get("version")
+                if isinstance(value, int) and not isinstance(value, bool):
+                    version = max(version, value)
+            return version
+
+    def _ensure_handle(self):
+        """Open (or reuse) the persistent append handle; caller holds the lock.
+
+        On first create the *directory entry* is fsync'd too: a follower
+        that finds the file must be guaranteed every byte it reads survives
+        a primary crash, and a file whose dirent is still only in the page
+        cache does not qualify.
+        """
+        if self._handle is None:
+            existed = self.path.exists()
+            self._handle = open(self.path, "ab")
+            if not existed:
+                _fsync_dir(self.path.parent)
+        return self._handle
+
+    def _drop_handle(self) -> None:
+        handle, self._handle = self._handle, None
+        if handle is not None:
+            try:
+                handle.close()
+            except OSError:
+                pass
+
+    def _write_durable(self, blob: bytes) -> None:
+        """write+fsync one framed record; caller holds the lock.
+
+        On any I/O error the handle is dropped so the next append reopens
+        fresh — the descriptor may point at a rotated/unlinked file or be
+        poisoned by the failed write.
+        """
+        handle = self._ensure_handle()
+        try:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        except OSError:
+            self._drop_handle()
+            raise
+
     def append(self, event_type: str, payload: Optional[Mapping[str, object]] = None) -> int:
         """Durably record one control event; return its version.
 
-        The version advances even when the disk write fails (counted and
-        logged) so the in-memory control plane stays monotonic — durability
-        degrades, serving does not.
+        The record is encoded *before* the version is committed: an
+        unserializable payload is counted as an append error and the
+        current (unchanged) version is returned — the failed event never
+        existed, so its sequence number is not burned.  After a successful
+        encode the version advances even when the disk write fails
+        (counted and logged) so the in-memory control plane stays
+        monotonic — durability degrades, serving does not.
         """
+        durable_record: Optional[Dict[str, object]] = None
         with self._lock:
-            version = self._last_version + 1
-            self._last_version = version
             record: Dict[str, object] = dict(payload or {})
             record["type"] = str(event_type)
+            version = self._last_version + 1
             record["version"] = version
-            blob = encode_record(record)
-            if self._disabled:
+            try:
+                blob = encode_record(record)
+            except (ControlLogFormatError, TypeError, ValueError) as error:
+                self._append_errors += 1
+                logger.warning(
+                    "control log %s cannot encode event %r (%s); event dropped, "
+                    "version not burned",
+                    self.path,
+                    event_type,
+                    error,
+                )
+                return self._last_version
+            self._last_version = version
+            if self._disabled or self._closed:
                 self._append_errors += 1
                 return version
             try:
-                with open(self.path, "ab") as handle:
-                    handle.write(blob)
-                    handle.flush()
-                    os.fsync(handle.fileno())
+                self._write_durable(blob)
                 self._appends += 1
+                self._records.append(record)
+                durable_record = record
             except OSError as error:
                 self._append_errors += 1
                 logger.warning(
@@ -281,7 +393,104 @@ class ControlLog:
                     event_type,
                     version,
                 )
-            return version
+        if durable_record is not None:
+            self._notify(durable_record)
+        return version
+
+    def append_replicated(self, record: Mapping[str, object]) -> bool:
+        """Durably append a record that already carries its version.
+
+        The store-and-forward path for replication followers: the record —
+        allocated and framed by the primary — is committed to the local
+        log *before* it is applied, so a crash between receive and apply
+        converges on replay.  Returns True when the record advanced the
+        local sequence, False when it is stale (version at or below the
+        local head) or unencodable.  Raises :class:`ControlLogFormatError`
+        only for a record with no usable version at all — that is a
+        protocol fault, not data.
+        """
+        event = dict(record)
+        version = event.get("version")
+        if not isinstance(version, int) or isinstance(version, bool) or version <= 0:
+            raise ControlLogFormatError(
+                f"replicated record carries invalid version {version!r}"
+            )
+        durable_record: Optional[Dict[str, object]] = None
+        with self._lock:
+            if version <= self._last_version:
+                return False
+            try:
+                blob = encode_record(event)
+            except (ControlLogFormatError, TypeError, ValueError) as error:
+                self._append_errors += 1
+                logger.warning(
+                    "control log %s cannot encode replicated record v%d (%s)",
+                    self.path,
+                    version,
+                    error,
+                )
+                return False
+            self._last_version = version
+            if self._disabled or self._closed:
+                self._append_errors += 1
+            else:
+                try:
+                    self._write_durable(blob)
+                    self._replicated_appends += 1
+                    self._records.append(event)
+                    durable_record = event
+                except OSError as error:
+                    self._append_errors += 1
+                    logger.warning(
+                        "control log %s replicated append v%d failed (%s); "
+                        "record is in-memory only",
+                        self.path,
+                        version,
+                        error,
+                    )
+        if durable_record is not None:
+            self._notify(durable_record)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Replication tailing: durable-record access and append listeners
+    # ------------------------------------------------------------------ #
+
+    def records_since(self, version: int) -> List[Dict[str, object]]:
+        """Durable records newer than ``version``, in file (commit) order."""
+        with self._lock:
+            return [
+                dict(record)
+                for record in self._records
+                if isinstance(record.get("version"), int)
+                and not isinstance(record.get("version"), bool)
+                and record["version"] > version
+            ]
+
+    def records_after_index(self, index: int) -> List[Dict[str, object]]:
+        """Durable records past a commit-order index (a tailer's read head)."""
+        with self._lock:
+            return [dict(record) for record in self._records[index:]]
+
+    def add_listener(self, listener: Callable[[Dict[str, object]], None]) -> None:
+        """Observe every durably committed record (called outside the lock).
+
+        Listeners must be fast and non-raising; exceptions are swallowed
+        and logged.  Delivery order across concurrent appenders is not
+        guaranteed — tailers should treat the callback as a wake-up and
+        read the ordered sequence via :meth:`records_after_index`.
+        """
+        with self._lock:
+            self._listeners.append(listener)
+
+    def _notify(self, record: Dict[str, object]) -> None:
+        with self._lock:
+            listeners = list(self._listeners)
+        for listener in listeners:
+            try:
+                listener(dict(record))
+            except Exception:  # noqa: BLE001 - observers cannot break the log
+                logger.exception("control-log listener failed for v%s", record.get("version"))
 
     def stats(self) -> Dict[str, object]:
         with self._lock:
@@ -294,8 +503,19 @@ class ControlLog:
                 "replay_error": self.replay.error,
                 "appends": self._appends,
                 "append_errors": self._append_errors,
+                "replicated_appends": self._replicated_appends,
+                "records_retained": len(self._records),
                 "disabled": self._disabled,
+                "closed": self._closed,
             }
 
     def close(self) -> None:
-        """No-op (appends open/fsync/close per record); kept for symmetry."""
+        """Release the persistent append handle (idempotent).
+
+        A closed log refuses further disk writes: late appends still
+        advance the in-memory version (the monotonicity contract) but are
+        counted as append errors instead of racing a shutdown.
+        """
+        with self._lock:
+            self._closed = True
+            self._drop_handle()

@@ -13,7 +13,15 @@ adds routing, status codes and JSON framing, nothing else:
 * ``GET /priors/<subtree_root_id>`` — published leaf priors (footnote 5).
 * ``GET /admin/durability`` — durable-tier diagnostics (control-log replay
   length, snapshot-store hits and compression ratio, pre-warm counters);
-  ``{"durable": false, ...}`` when serving without a ``--state-dir``.
+  ``{"durable": false, ...}`` when serving without a ``--state-dir``.  On
+  a replicated head the payload adds a ``replication`` block — primary:
+  per-follower acked cursors and lag against the durable log head;
+  follower: source address, durable cursor, applied/skipped/reset
+  counters and lag.  A control write (``/admin/priors``,
+  ``/admin/invalidate``) sent to a *follower* head is refused with a
+  structured 400 (:class:`~repro.service.replication
+  .ReplicationRoleError`) naming the primary — replicated state converges
+  through the primary's log, never through side writes.
 * ``GET /admin/diagnostics`` — engine cache/solver diagnostics
   (:meth:`CORGIService.diagnostics`): forest/matrix cache stats, structure
   sharing, and the aggregate LP-solver block (backend, warm vs cold solve

@@ -53,6 +53,19 @@ tail, corrupt snapshot, disk full) degrades to cold rebuild with typed
 diagnostics; none can crash a boot or serve a stale priors generation
 (stored payloads are version-checked at import exactly like hand-offs).
 
+The durable control plane also replicates (:mod:`repro.service
+.replication`): a head started with ``replication_port`` becomes the
+*primary*, streaming every durable control-log record to follower heads
+started with ``replicate_from="host:port"``.  Followers commit each
+record verbatim to their own log before applying it (store-and-forward),
+keep an fsync'd per-source cursor for crash-safe resume, refuse local
+control writes (:class:`~repro.service.replication.ReplicationRoleError`),
+and reset defensively when their replayed version exceeds the primary's
+durable head.  ``seed_store_dir`` additionally lets a follower pre-warm
+read-only from another head's snapshot store when both share a pipeline
+fingerprint.  Replication lag, cursors and applied counters ride in
+:meth:`durability_diagnostics` (``GET /admin/durability``).
+
 Determinism: every shard runs the same serial engine code path, so pooled
 forests are byte-identical to single-process ones for every shard count —
 local, remote or mixed.
@@ -85,6 +98,12 @@ from repro.service.handoff import (
     encode_snapshot,
 )
 from repro.service.netshard import NetShardHandle, parse_shard_hosts
+from repro.service.replication import (
+    ReplicationClient,
+    ReplicationRoleError,
+    ReplicationServer,
+    parse_replication_source,
+)
 from repro.service.store import SnapshotStore, pipeline_store_fingerprint
 from repro.service.shard import (
     CONTROL_TICKET,
@@ -290,10 +309,30 @@ class EnginePool:
         liveness_timeout_s: float = 1.0,
         connect_timeout_s: float = 5.0,
         state_dir: Optional[os.PathLike] = None,
+        replication_port: Optional[int] = None,
+        replication_host: str = "127.0.0.1",
+        replicate_from: Optional[str] = None,
+        seed_store_dir: Optional[os.PathLike] = None,
     ) -> None:
         addresses = _normalize_remote_addresses(remote_shards)
         if num_shards < 0 or (num_shards < 1 and not addresses):
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if replication_port is not None and replicate_from is not None:
+            raise ValueError(
+                "a head is either a replication primary (replication_port) or a "
+                "follower (replicate_from), never both — multi-primary is not "
+                "supported"
+            )
+        if (replication_port is not None or replicate_from is not None) and state_dir is None:
+            raise ValueError(
+                "replication requires state_dir: the primary streams its durable "
+                "control log and a follower keeps its cursor beside its own"
+            )
+        # Parse before any worker spawns so a malformed address cannot leak
+        # half-started shard processes out of a raising constructor.
+        replication_source = (
+            None if replicate_from is None else parse_replication_source(replicate_from)
+        )
         if respawn_limit < 0:
             raise ValueError(f"respawn_limit must be non-negative, got {respawn_limit}")
         if handoff_payload_budget < 0:
@@ -359,10 +398,19 @@ class EnginePool:
         self._state_dir: Optional[Path] = None
         self._control_log: Optional[ControlLog] = None
         self._store: Optional[SnapshotStore] = None
+        self._seed_store: Optional[SnapshotStore] = None
+        self._seed_store_dir = seed_store_dir
+        self._store_fingerprint = ""
         self._durability_errors: List[str] = []
         self._persist_queue: Optional[queue_module.Queue] = None
         self._persister: Optional[threading.Thread] = None
         self._prewarm_done = threading.Event()
+        # Replication role: decided by configuration, enforced before the
+        # client/server even starts — a follower must refuse local control
+        # writes whether or not its tailer managed to come up.
+        self._replication_follower = replicate_from is not None
+        self._replication_server: Optional[ReplicationServer] = None
+        self._replication_client: Optional[ReplicationClient] = None
         if state_dir is not None:
             self._open_durable_state(state_dir)
         self._ring: List[Tuple[int, int]] = build_ring(self.num_shards)
@@ -396,6 +444,34 @@ class EnginePool:
             ).start()
         else:
             self._prewarm_done.set()
+        if replication_port is not None:
+            if self._control_log is None:
+                self._durability_errors.append(
+                    "replication primary disabled: control log unavailable"
+                )
+            else:
+                self._replication_server = ReplicationServer(
+                    self._control_log,
+                    host=replication_host,
+                    port=int(replication_port),
+                    fingerprint=self._store_fingerprint,
+                    state_provider=self._replication_state,
+                )
+        if replicate_from is not None:
+            if self._state_dir is None or self._control_log is None:
+                self._durability_errors.append(
+                    "replication follower disabled: durable state unavailable"
+                )
+            else:
+                self._replication_client = ReplicationClient(
+                    self,
+                    replication_source,
+                    state_dir=self._state_dir,
+                    fingerprint=self._store_fingerprint,
+                    heartbeat_interval_s=heartbeat_interval_s,
+                    liveness_timeout_s=liveness_timeout_s,
+                    connect_timeout_s=connect_timeout_s,
+                )
 
     # ------------------------------------------------------------------ #
     # Durable state tier: control-log replay, persistence, pre-warm
@@ -414,12 +490,22 @@ class EnginePool:
             self._state_dir.mkdir(parents=True, exist_ok=True)
             self._control_log = ControlLog(self._state_dir / "control.log")
             self._recover_from_control_log()
-            self._store = SnapshotStore(
-                self._state_dir / "snapshots",
-                fingerprint=pipeline_store_fingerprint(
-                    self.tree, self.config, self._targets
-                ),
+            self._store_fingerprint = pipeline_store_fingerprint(
+                self.tree, self.config, self._targets
             )
+            self._store = SnapshotStore(
+                self._state_dir / "snapshots", fingerprint=self._store_fingerprint
+            )
+            if self._seed_store_dir is not None:
+                # Warm-boot seed shared across heads of the same pipeline
+                # fingerprint (typically the primary's snapshot directory):
+                # strictly read-only — this head pre-warms from it but all
+                # its own write-through persistence stays in its own store.
+                self._seed_store = SnapshotStore(
+                    self._seed_store_dir,
+                    fingerprint=self._store_fingerprint,
+                    read_only=True,
+                )
         except Exception as error:  # noqa: BLE001 - durability never blocks a boot
             self._durability_errors.append(f"durable state unavailable: {error}")
             logger.exception(
@@ -521,6 +607,10 @@ class EnginePool:
                 )
                 self._store.put(entry.privacy_level, entry.delta, entry.epsilon, blob)
             except Exception:  # noqa: BLE001 - persistence must not die mid-run
+                # A snapshot-encode failure is a persistence gap exactly
+                # like a failed disk write: count it where the durability
+                # endpoint looks, or /admin/durability under-reports.
+                self._store.count_write_error()
                 logger.exception("snapshot persistence failed for key %s", entry.key)
 
     def _persist_exported(
@@ -572,13 +662,24 @@ class EnginePool:
                 return
             with self._lifecycle_lock:
                 pool_version = self._priors_version
-            for name, blob in self._store.load_all():
+            # Own store first, then the shared read-only seed (if any):
+            # a key present in both imports twice, which the shard-side
+            # idempotent import absorbs — correctness never depends on
+            # deduplicating the warm boot.
+            sources = [self._store]
+            if self._seed_store is not None:
+                sources.append(self._seed_store)
+            for store, name, blob in (
+                (store, name, blob)
+                for store in sources
+                for name, blob in store.load_all()
+            ):
                 if self._closed:
                     return
                 try:
                     snapshot = decode_snapshot(blob)
                 except SnapshotFormatError as error:
-                    self._store.quarantine_blob(name, error)
+                    store.quarantine_blob(name, error)
                     continue
                 if snapshot.priors_version != pool_version:
                     self._bump("store_prewarm_stale", len(snapshot.entries))
@@ -648,6 +749,14 @@ class EnginePool:
             info["control_log"] = self._control_log.stats()
         if self._store is not None:
             info["store"] = self._store.stats()
+        if self._seed_store is not None:
+            info["seed_store"] = self._seed_store.stats()
+        if self._replication_server is not None:
+            info["replication"] = self._replication_server.diagnostics()
+        elif self._replication_client is not None:
+            info["replication"] = self._replication_client.diagnostics()
+        elif self._replication_follower:
+            info["replication"] = {"role": "follower", "connected": False}
         with self._stats_lock:
             info["prewarm"] = {
                 name: self._stats[name]
@@ -655,6 +764,158 @@ class EnginePool:
                 if name.startswith("store_prewarm_")
             }
         return info
+
+    # ------------------------------------------------------------------ #
+    # Replication: primary/follower control-plane convergence
+    # ------------------------------------------------------------------ #
+
+    def _require_primary(self, operation: str) -> None:
+        """Refuse local control writes on a follower head.
+
+        Accepting them would fork the version sequence away from the
+        primary's log — the split-brain this layer exists to prevent.
+        Operators (and the HTTP admin surface) get a typed 400-class error
+        pointing at the primary.
+        """
+        if self._replication_follower:
+            raise ReplicationRoleError(
+                f"{operation} refused: this head replicates from "
+                f"{getattr(self._replication_client, 'source', 'a primary')} — "
+                "control writes go to the primary"
+            )
+
+    def _replication_state(self) -> Tuple[Dict[str, float], bool]:
+        """The authoritative priors masses shipped in a ``reset`` frame.
+
+        The parent tree's current leaf priors are already normalized, so
+        the reset applies them verbatim (``normalize=False``).
+        """
+        with self._tree_lock:
+            priors = {
+                str(leaf.node_id): float(leaf.prior) for leaf in self.tree.leaves()
+            }
+        return priors, False
+
+    def apply_replicated_control(self, record: Mapping[str, object]) -> None:
+        """Apply one replicated control record at the *primary's* version.
+
+        The follower-side twin of ``publish_priors`` / ``invalidate``:
+        same tree mutation, same broadcast, but no local version
+        allocation and no local log append — the replication client
+        already committed the record verbatim (store-and-forward), so this
+        head's log carries the primary's exact sequence.
+        """
+        record_type = record.get("type")
+        version = record.get("version")
+        if not isinstance(version, int) or isinstance(version, bool) or version <= 0:
+            raise ValueError(f"replicated record carries invalid version {version!r}")
+        if record_type == "publish_priors":
+            vetted = validate_prior_masses(record.get("priors"))
+            normalize = bool(record.get("normalize", True))
+            with self._tree_lock:
+                self.tree.set_leaf_priors(dict(vetted), normalize=normalize)
+            with self._lifecycle_lock:
+                if version > self._priors_version:
+                    self._priors_version = version
+                payload = (vetted, normalize, version)
+                self._current_priors = payload
+            answers = self._broadcast("set_priors", payload)
+            for slot in answers:
+                shard = self._shards[slot]
+                with shard.lock:
+                    shard.priors_version = max(shard.priors_version, version)
+        elif record_type == "invalidate":
+            level = record.get("privacy_level")
+            level = None if level is None else int(level)
+            if self._store is not None:
+                self._store.purge(level)
+            self._broadcast("invalidate", level)
+        else:
+            raise ValueError(f"unknown replicated control record type {record_type!r}")
+
+    def reset_for_replication(
+        self,
+        last_version: int,
+        priors: Optional[Mapping[str, float]],
+        normalize: bool = False,
+    ) -> None:
+        """Defensive reset: this head replayed a generation the primary
+        never committed (the PR 5 split-brain rule, now log-driven).
+
+        The divergent local log is rotated aside (``control.log
+        .split-brain``), a fresh log is seeded with the primary's
+        authoritative priors at its durable version (store-and-forward
+        applies to the reset itself: a reboot replays it), the parent tree
+        adopts those priors, every shard's cache is flushed at the
+        primary's version, and the local snapshot store is purged — every
+        snapshot it holds was built under versions that never happened.
+        """
+        version = int(last_version)
+        vetted: Optional[Dict[str, float]] = None
+        if priors is not None:
+            vetted = validate_prior_masses(priors)
+        log = self._control_log
+        if log is not None:
+            log.close()
+            self._rotate_split_brain_log(log.path)
+            self._control_log = ControlLog(log.path)
+            if version > 0 and vetted is not None:
+                self._control_log.append_replicated(
+                    {
+                        "type": "publish_priors",
+                        "version": version,
+                        "priors": {str(k): float(v) for k, v in vetted.items()},
+                        "normalize": bool(normalize),
+                        "reset": True,
+                    }
+                )
+        if vetted is not None:
+            with self._tree_lock:
+                self.tree.set_leaf_priors(dict(vetted), normalize=bool(normalize))
+        with self._lifecycle_lock:
+            self._priors_version = version
+            self._current_priors = (
+                None if vetted is None else (vetted, bool(normalize), version)
+            )
+        if self._store is not None:
+            self._store.purge(None)
+        if vetted is not None:
+            answers = self._broadcast("set_priors", (vetted, bool(normalize), version))
+        else:
+            answers = self._broadcast("invalidate", None)
+        for slot in answers:
+            shard = self._shards[slot]
+            with shard.lock:
+                # Deliberately downward: the replica's old generation never
+                # happened, so max() would preserve exactly the lie the
+                # reset is erasing.
+                shard.priors_version = version
+        logger.warning(
+            "replication reset complete: this head now serves the primary's "
+            "priors generation v%d",
+            version,
+        )
+
+    def _rotate_split_brain_log(self, path: Path) -> None:
+        """Move a divergent control log aside (first free numbered name)."""
+        for suffix in [".split-brain"] + [f".split-brain.{n}" for n in range(1, 100)]:
+            candidate = path.with_name(path.name + suffix)
+            if candidate.exists():
+                continue
+            try:
+                os.replace(path, candidate)
+                return
+            except FileNotFoundError:
+                return  # nothing on disk to rotate
+            except OSError as error:
+                self._durability_errors.append(f"split-brain log rotation failed: {error}")
+                break
+        # Rotation failed (or 100 resets?!): delete rather than let the
+        # divergent records replay into the reset state on the next boot.
+        try:
+            path.unlink(missing_ok=True)
+        except OSError as error:
+            self._durability_errors.append(f"split-brain log removal failed: {error}")
 
     # ------------------------------------------------------------------ #
     # Consistent-hash routing
@@ -957,6 +1218,12 @@ class EnginePool:
             if self._closed:
                 return
             self._closed = True
+        # Replication first: stop tailing/streaming before the shards the
+        # apply path broadcasts into start disappearing.
+        if self._replication_client is not None:
+            self._replication_client.close()
+        if self._replication_server is not None:
+            self._replication_server.close()
         for shard in self._shards:
             with shard.lock:
                 if shard.state in (
@@ -1677,6 +1944,7 @@ class EnginePool:
         the matching stored snapshots are purged — an operator invalidation
         must not be resurrected from disk by the next boot's pre-warm.
         """
+        self._require_primary("invalidate")
         level = None if privacy_level is None else int(privacy_level)
         if self._control_log is not None:
             self._control_log.append("invalidate", {"privacy_level": level})
@@ -1698,6 +1966,7 @@ class EnginePool:
         serving pre-update priors.  Returns the total number of forests
         flushed across the shards that answered.
         """
+        self._require_primary("publish_priors")
         vetted = validate_prior_masses(priors)
         # Mutate the parent tree *before* bumping the version: a worker
         # forked in between then carries the new tree with an old version

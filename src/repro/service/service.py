@@ -487,7 +487,10 @@ class CORGIService:
 
         On an :class:`~repro.service.pool.EnginePool` this broadcasts to
         every shard.  Returns the number of forests dropped; exposed on the
-        wire as ``POST /admin/invalidate``.
+        wire as ``POST /admin/invalidate``.  A pool configured as a
+        replication *follower* refuses with
+        :class:`~repro.service.replication.ReplicationRoleError` (HTTP 400)
+        — control writes go to the primary and replicate back.
         """
         dropped = int(self.engine.invalidate(privacy_level))
         self.metrics.increment("invalidated", dropped)
@@ -500,7 +503,10 @@ class CORGIService:
         """Install new leaf priors and flush affected caches (live update).
 
         Exposed on the wire as ``POST /admin/priors``; on a pool the update
-        reaches every shard.  Returns the number of forests flushed.
+        reaches every shard — and, when the pool is a replication primary,
+        every follower head tailing its control log.  Returns the number of
+        forests flushed.  A follower pool refuses the local write with
+        :class:`~repro.service.replication.ReplicationRoleError` (HTTP 400).
         """
         dropped = int(self.engine.publish_priors(priors, normalize=normalize))
         self.metrics.increment("invalidated", dropped)
@@ -550,6 +556,9 @@ class CORGIService:
         Exposed on the wire as ``GET /admin/durability``.  A plain engine
         (or a pool without ``state_dir``) reports ``durable: False`` rather
         than erroring — the endpoint is a probe, not a capability check.
+        On a replicated pool the payload carries a ``replication`` block:
+        role, per-follower acked cursors and lag on a primary; source,
+        durable cursor, applied/skipped counters and lag on a follower.
         """
         probe = getattr(self.engine, "durability_diagnostics", None)
         if callable(probe):

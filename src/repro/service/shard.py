@@ -27,6 +27,7 @@ parent reattaches matrices to its own tree handle).
 from __future__ import annotations
 
 import os
+import queue
 import threading
 import time
 from dataclasses import dataclass, replace
@@ -256,8 +257,19 @@ def shard_worker_main(spec: ShardSpec, request_queue, response_queue) -> None:
     executor = ShardOpExecutor(spec)
     response_queue.put((CONTROL_TICKET, "ready", executor.ready_announcement()))
     logger.debug("shard %d ready (pid %d)", spec.shard_id, os.getpid())
+    parent_pid = os.getppid()
     while True:
-        message = request_queue.get()
+        try:
+            message = request_queue.get(timeout=1.0)
+        except queue.Empty:
+            # A SIGKILL'd parent never sends the ``None`` shutdown sentinel;
+            # detect re-parenting and exit rather than linger as an orphan.
+            if os.getppid() != parent_pid:
+                logger.debug(
+                    "shard %d orphaned (pid %d); exiting", spec.shard_id, os.getpid()
+                )
+                return
+            continue
         if message is None:
             logger.debug("shard %d stopping (pid %d)", spec.shard_id, os.getpid())
             return

@@ -196,11 +196,21 @@ class SnapshotStore:
     Thread-safe.  All failure paths are non-raising: ``put`` returns False
     on I/O errors, ``get``/``load_all`` quarantine corrupt files and move
     on.  Counters feed the pool's durability diagnostics.
+
+    With ``read_only=True`` the store is a pure read view — the warm-boot
+    seed case, where several heads of the same pipeline fingerprint share
+    one snapshot directory (typically the primary's) and followers must
+    not mutate it: ``put``/``purge`` refuse (counted, logged), corrupt
+    files are skipped without being renamed into quarantine, and no
+    directory creation or orphan sweeping happens at open time.
     """
 
-    def __init__(self, root: os.PathLike, *, fingerprint: str = "") -> None:
+    def __init__(
+        self, root: os.PathLike, *, fingerprint: str = "", read_only: bool = False
+    ) -> None:
         self.root = Path(root)
         self.fingerprint = str(fingerprint)
+        self.read_only = bool(read_only)
         self._lock = threading.Lock()
         self._tmp_counter = itertools.count()
         self._counters: Dict[str, int] = {
@@ -215,8 +225,9 @@ class SnapshotStore:
             "raw_bytes": 0,
             "stored_bytes": 0,
         }
-        self.root.mkdir(parents=True, exist_ok=True)
-        self._clean_orphans()
+        if not self.read_only:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._clean_orphans()
 
     # ------------------------------------------------------------------ #
     # Keys and paths
@@ -240,9 +251,24 @@ class SnapshotStore:
     # Write path
     # ------------------------------------------------------------------ #
 
+    def count_write_error(self, amount: int = 1) -> None:
+        """Record a persistence failure that happened *outside* ``put``.
+
+        The pool's background persister snapshot-encodes entries before
+        handing them to the store; an encode failure is a persistence gap
+        every bit as real as a failed disk write, and it must show up in
+        the same ``write_errors`` counter the durability endpoint reports.
+        """
+        with self._lock:
+            self._counters["write_errors"] += int(amount)
+
     def put(self, privacy_level: int, delta: int, epsilon: float, blob: bytes) -> bool:
         """Atomically persist one snapshot blob; never raises on I/O errors."""
         path = self.path_for(privacy_level, delta, epsilon)
+        if self.read_only:
+            self.count_write_error()
+            logger.warning("snapshot store %s is read-only; refusing put of %s", self.root, path.name)
+            return False
         try:
             data = encode_store_blob(blob)
             self._write_atomic(path, data)
@@ -332,6 +358,13 @@ class SnapshotStore:
     def _quarantine(self, path: Path, error: StoreFormatError) -> None:
         with self._lock:
             self._counters["corrupt_quarantined"] += 1
+        if self.read_only:
+            logger.warning(
+                "snapshot store file %s is corrupt (%s); store is read-only, skipping",
+                path.name,
+                error,
+            )
+            return
         quarantined = path.with_name(path.name + _CORRUPT_SUFFIX)
         try:
             os.replace(path, quarantined)
@@ -355,6 +388,9 @@ class SnapshotStore:
 
     def purge(self, privacy_level: Optional[int] = None) -> int:
         """Delete stored snapshots (optionally for one privacy level only)."""
+        if self.read_only:
+            logger.warning("snapshot store %s is read-only; refusing purge", self.root)
+            return 0
         prefix = "" if privacy_level is None else f"L{int(privacy_level)}_"
         removed = 0
         for path in list(self.root.glob(f"{prefix}*{_SNAPSHOT_SUFFIX}")):
@@ -396,4 +432,5 @@ class SnapshotStore:
         counters["entries"] = self.entry_count()
         counters["root"] = str(self.root)
         counters["fingerprint"] = self.fingerprint[:16]
+        counters["read_only"] = self.read_only
         return counters

@@ -61,6 +61,7 @@ from repro.service.handoff import (  # noqa: E402
 from repro.service.controllog import (  # noqa: E402
     CONTROL_LOG_MAGIC,
     CONTROL_LOG_VERSION,
+    ControlLog,
     ControlLogFormatError,
     decode_record,
     encode_record,
@@ -728,6 +729,125 @@ class TestControlLogProperties:
         assert isinstance(records, list)
         if junk and valid_bytes < len(junk):
             assert error is not None
+
+
+class TestControlLogReplayOrdering:
+    """Replay semantics for hostile version sequences and the append fixes.
+
+    A log written by a buggy or adversarial producer can carry duplicate,
+    out-of-order, or regressing ``version`` fields: replay must preserve
+    *file* (commit) order, report ``last_version`` as the maximum seen,
+    and version-filtered reads must stay consistent with that — followers
+    depend on it for dedup.
+    """
+
+    def _write_raw(self, path, versions):
+        records = [
+            {"type": "publish_priors", "version": version, "round": index}
+            for index, version in enumerate(versions)
+        ]
+        path.write_bytes(b"".join(encode_record(record) for record in records))
+        return records
+
+    def test_duplicate_versions_replay_in_file_order(self, tmp_path):
+        path = tmp_path / "control.log"
+        self._write_raw(path, [1, 2, 2, 3])
+        log = ControlLog(path)
+        assert [r["round"] for r in log.replay.records] == [0, 1, 2, 3]
+        assert log.last_version == 3
+        assert log.durable_version == 3
+        # The duplicate is retained (file order is the truth for tailers);
+        # version-filtered reads return both carriers of version 2.
+        assert [r["round"] for r in log.records_since(1)] == [1, 2, 3]
+        log.close()
+
+    def test_out_of_order_and_regressing_versions(self, tmp_path):
+        path = tmp_path / "control.log"
+        self._write_raw(path, [5, 2, 9, 1])
+        log = ControlLog(path)
+        assert [r["version"] for r in log.replay.records] == [5, 2, 9, 1]
+        assert log.last_version == 9  # max, not last-seen
+        # The next allocated version continues past the maximum: the
+        # sequence can never regress because of a disordered prefix.
+        assert log.append("invalidate", {}) == 10
+        assert log.records_since(5)[0]["version"] == 9
+        log.close()
+
+    def test_non_integer_versions_do_not_poison_the_sequence(self, tmp_path):
+        path = tmp_path / "control.log"
+        records = [
+            {"type": "publish_priors", "version": "seven"},
+            {"type": "publish_priors", "version": True},
+            {"type": "publish_priors", "version": 3},
+        ]
+        path.write_bytes(b"".join(encode_record(record) for record in records))
+        log = ControlLog(path)
+        assert log.last_version == 3
+        assert len(log.replay.records) == 3
+        # Version-filtered reads skip the unversioned junk records.
+        assert [r["version"] for r in log.records_since(0)] == [3]
+        log.close()
+
+
+class TestControlLogAppendFixes:
+    """Regressions for the append-path bugfixes.
+
+    * an unserializable payload must be *counted*, never raised, and must
+      not burn a version number;
+    * the persistent append handle survives across appends and a real
+      ``close()`` releases it — late appends degrade to counted errors.
+    """
+
+    def test_unserializable_payload_never_raises_or_burns_a_version(self, tmp_path):
+        path = tmp_path / "control.log"
+        log = ControlLog(path)
+        assert log.append("publish_priors", {"priors": {"a": 1.0}}) == 1
+        # The poison payload: json.dumps cannot encode an arbitrary object.
+        assert log.append("publish_priors", {"poison": object()}) == 1
+        stats = log.stats()
+        assert stats["append_errors"] == 1
+        assert stats["last_version"] == 1  # the failed event never existed
+        # The next good append gets version 2 — no gap, no burn.
+        assert log.append("invalidate", {}) == 2
+        log.close()
+
+        # The file holds exactly the two good records: the failed encode
+        # never touched disk and the log replays cleanly.
+        reborn = ControlLog(path)
+        assert [r["version"] for r in reborn.replay.records] == [1, 2]
+        assert reborn.stats()["truncated_tail_bytes"] == 0
+        reborn.close()
+
+    def test_append_after_close_is_counted_not_crashed(self, tmp_path):
+        path = tmp_path / "control.log"
+        log = ControlLog(path)
+        assert log.append("invalidate", {}) == 1
+        log.close()
+        assert log.stats()["closed"] is True
+        # Late append: the in-memory version still advances (serving stays
+        # monotonic) but the write is refused and counted.
+        assert log.append("invalidate", {}) == 2
+        assert log.stats()["append_errors"] == 1
+        assert log.durable_version == 1
+
+        reborn = ControlLog(path)
+        assert reborn.last_version == 1  # the late append never hit disk
+        reborn.close()
+
+    def test_append_replicated_skips_stale_and_rejects_invalid(self, tmp_path):
+        path = tmp_path / "control.log"
+        log = ControlLog(path)
+        assert log.append_replicated({"type": "invalidate", "version": 4}) is True
+        # Stale or duplicate versions are skipped, not re-committed.
+        assert log.append_replicated({"type": "invalidate", "version": 4}) is False
+        assert log.append_replicated({"type": "invalidate", "version": 2}) is False
+        assert log.last_version == 4
+        assert log.stats()["replicated_appends"] == 1
+        with pytest.raises(ControlLogFormatError):
+            log.append_replicated({"type": "invalidate"})
+        with pytest.raises(ControlLogFormatError):
+            log.append_replicated({"type": "invalidate", "version": True})
+        log.close()
 
 
 # --------------------------------------------------------------------- #
