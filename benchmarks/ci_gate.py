@@ -24,7 +24,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
@@ -107,6 +109,54 @@ def gate_native_warm_speedup(fresh_path: Path) -> List[str]:
     return []
 
 
+@dataclass
+class GateRow:
+    """One gated metric's comparison, for the step-summary table."""
+
+    file: str
+    metric: str
+    baseline_s: Optional[float]
+    fresh_s: Optional[float]
+    verdict: str  # "ok" | "REGRESSION" | "MISSING" | "no baseline"
+
+
+def render_step_summary(rows: List[GateRow], failures: List[str]) -> str:
+    """GitHub-flavoured markdown for ``$GITHUB_STEP_SUMMARY``."""
+
+    def seconds(value: Optional[float]) -> str:
+        return "—" if value is None else f"{value:.6f}"
+
+    lines = [
+        "## Bench regression gate — " + ("❌ FAILED" if failures else "✅ passed"),
+        "",
+        "| file | metric | baseline (s) | fresh (s) | ratio | verdict |",
+        "|---|---|---|---|---|---|",
+    ]
+    for row in rows:
+        if row.baseline_s and row.fresh_s is not None:
+            ratio = f"{row.fresh_s / row.baseline_s:.2f}x"
+        else:
+            ratio = "—"
+        icon = {"ok": "✅", "no baseline": "➖"}.get(row.verdict, "❌")
+        lines.append(
+            f"| {row.file} | `{row.metric}` | {seconds(row.baseline_s)} | "
+            f"{seconds(row.fresh_s)} | {ratio} | {icon} {row.verdict} |"
+        )
+    if failures:
+        lines += ["", "### Failures", ""]
+        lines += [f"- {failure}" for failure in failures]
+    return "\n".join(lines) + "\n"
+
+
+def write_step_summary(rows: List[GateRow], failures: List[str]) -> None:
+    """Append the per-metric table to ``$GITHUB_STEP_SUMMARY`` when set."""
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_path:
+        return
+    with open(summary_path, "a", encoding="utf-8") as handle:
+        handle.write(render_step_summary(rows, failures))
+
+
 def lookup(document: object, dotted_path: str) -> Optional[float]:
     """Resolve one dotted path to a float, or None if absent/non-numeric."""
     node = document
@@ -126,10 +176,20 @@ def gate_file(
     *,
     threshold: float,
     min_delta_s: float,
+    rows: Optional[List[GateRow]] = None,
 ) -> List[str]:
-    """Gate one benchmark file; return the list of failure messages."""
+    """Gate one benchmark file; return the list of failure messages.
+
+    When ``rows`` is given, one :class:`GateRow` per gated metric is
+    appended for the step-summary table.
+    """
     failures: List[str] = []
+    if rows is None:
+        rows = []
     if not fresh_path.exists():
+        rows.extend(
+            GateRow(name, dotted_path, None, None, "MISSING") for dotted_path in GATES[name]
+        )
         return [f"{name}: fresh results missing at {fresh_path} (did the bench run?)"]
     if not baseline_path.exists():
         print(f"[ci-gate] {name}: no baseline at {baseline_path}; skipping file")
@@ -140,12 +200,14 @@ def gate_file(
         fresh_value = lookup(fresh, dotted_path)
         baseline_value = lookup(baseline, dotted_path)
         if fresh_value is None:
+            rows.append(GateRow(name, dotted_path, baseline_value, None, "MISSING"))
             failures.append(
                 f"{name}: {dotted_path} missing from fresh results — "
                 "a benchmark section disappeared"
             )
             continue
         if baseline_value is None:
+            rows.append(GateRow(name, dotted_path, None, fresh_value, "no baseline"))
             print(
                 f"[ci-gate] {name}: {dotted_path} has no baseline yet "
                 f"(fresh {fresh_value:.6f}s); will gate once a baseline lands"
@@ -156,6 +218,7 @@ def gate_file(
             and fresh_value - baseline_value > min_delta_s
         )
         verdict = "REGRESSION" if regressed else "ok"
+        rows.append(GateRow(name, dotted_path, baseline_value, fresh_value, verdict))
         print(
             f"[ci-gate] {name}: {dotted_path}: "
             f"baseline {baseline_value:.6f}s -> fresh {fresh_value:.6f}s "
@@ -202,6 +265,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--threshold must be > 1.0")
 
     failures: List[str] = []
+    rows: List[GateRow] = []
     for name in GATES:
         failures.extend(
             gate_file(
@@ -210,9 +274,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.baseline_dir / name,
                 threshold=args.threshold,
                 min_delta_s=args.min_delta_s,
+                rows=rows,
             )
         )
     failures.extend(gate_native_warm_speedup(args.fresh_dir / "BENCH_pipeline.json"))
+    write_step_summary(rows, failures)
     if failures:
         print("\n[ci-gate] FAILED:", file=sys.stderr)
         for failure in failures:

@@ -14,6 +14,11 @@ Extras:
 * ``repro[native]`` — the native HiGHS bindings (``highspy``) enabling the
   warm-started LP solver backend (``solver_backend="highs-native"``);
   everything falls back to scipy ``linprog`` without it.
+* ``repro[loadgen]`` — the trace-replay harness (``python -m
+  repro.loadgen``).  Deliberately empty: the fleet simulator, online
+  adversary, SLO reports and terminal dashboard are pure stdlib + the core
+  numpy dependency, and declaring the extra keeps that promise checkable
+  (a dependency creeping into the harness has to show up here).
 """
 
 from setuptools import find_packages, setup
@@ -34,9 +39,13 @@ NATIVE_REQUIRES = [
     "highspy>=1.7",
 ]
 
+#: The loadgen harness adds no dependencies beyond the core install; the
+#: empty extra documents (and pins) that fact.
+LOADGEN_REQUIRES: list = []
+
 setup(
     name="repro",
-    version="0.7.0",
+    version="0.8.0",
     description=(
         "Reproduction of CORGI (EDBT 2023): customizable, robust geo-"
         "indistinguishable location obfuscation, grown into a sharded, "
@@ -53,5 +62,6 @@ setup(
         "test": TEST_REQUIRES,
         "bench": BENCH_REQUIRES,
         "native": NATIVE_REQUIRES,
+        "loadgen": LOADGEN_REQUIRES,
     },
 )

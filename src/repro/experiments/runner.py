@@ -349,9 +349,39 @@ def main(argv: Optional[list] = None) -> int:
         "along the consistent-hash ring — before the pool closes "
         "(--serve with --shards > 1)",
     )
+    parser.add_argument(
+        "--replay-scenario",
+        metavar="NAME",
+        default=None,
+        help="replay one trace-replay scenario from the loadgen matrix "
+        "(python -m repro.loadgen --list shows them) instead of running "
+        "experiments; exits non-zero on SLO violation.  Combines with "
+        "--transport (http | inprocess), --replay-seed and --output "
+        "(the ScenarioReport JSON path)",
+    )
+    parser.add_argument(
+        "--replay-seed",
+        type=int,
+        default=0,
+        help="replay seed for --replay-scenario (default 0)",
+    )
     args = parser.parse_args(argv)
 
     configure_cli_logging(verbose=args.verbose)
+    if args.replay_scenario is not None:
+        from repro.loadgen.__main__ import main as loadgen_main
+
+        forwarded = [
+            "--scenario",
+            args.replay_scenario,
+            "--transport",
+            args.transport,
+            "--seed",
+            str(args.replay_seed),
+        ]
+        if args.output:
+            forwarded += ["--report", args.output]
+        return loadgen_main(forwarded)
     config = get_scale(args.scale)
     if args.workers is not None:
         if args.workers < 1:

@@ -1,0 +1,62 @@
+"""City-scale trace-replay harness: fleets, adversary, SLOs, scenarios.
+
+``repro.loadgen`` replays check-in traces as simulated user fleets against
+any :class:`~repro.client.transport.ForestTransport` (in-process, HTTP, or
+the push gateway), feeds every served matrix to an online Bayesian
+adversary, and reduces each run to a :class:`ScenarioReport` with
+pass/fail SLO verdicts.  A first-class scenario matrix
+(:data:`SCENARIOS`) covers flash crowds, shard drains, live priors
+publishes and region failover; ``python -m repro.loadgen`` is the CLI and
+the CI ``scenario-matrix`` job's entry point.
+"""
+
+from repro.loadgen.adversary import AdversarySummary, MatrixAudit, OnlineAdversary, matrix_digest
+from repro.loadgen.dashboard import DashboardLoop, render_snapshot
+from repro.loadgen.replay import GatewayForestTransport, ReplayOutcome, TraceReplayer
+from repro.loadgen.report import ScenarioReport, SLOCheck, SLOSpec, latency_percentiles
+from repro.loadgen.scenarios import (
+    SCENARIOS,
+    Scenario,
+    ScenarioEnvironment,
+    ScenarioOp,
+    build_environment,
+    run_scenario,
+    soak_factor,
+)
+from repro.loadgen.trace import (
+    ArrivalConfig,
+    FleetConfig,
+    ReplayEvent,
+    TraceGenerator,
+    TraceSchedule,
+    fleet_from_dataset,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "AdversarySummary",
+    "ArrivalConfig",
+    "DashboardLoop",
+    "FleetConfig",
+    "GatewayForestTransport",
+    "MatrixAudit",
+    "OnlineAdversary",
+    "ReplayEvent",
+    "ReplayOutcome",
+    "SLOCheck",
+    "SLOSpec",
+    "Scenario",
+    "ScenarioEnvironment",
+    "ScenarioOp",
+    "ScenarioReport",
+    "TraceGenerator",
+    "TraceReplayer",
+    "TraceSchedule",
+    "build_environment",
+    "fleet_from_dataset",
+    "latency_percentiles",
+    "matrix_digest",
+    "render_snapshot",
+    "run_scenario",
+    "soak_factor",
+]

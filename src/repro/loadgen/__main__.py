@@ -1,0 +1,169 @@
+"""CLI for the trace-replay harness: ``python -m repro.loadgen``.
+
+Runs one scenario (or the whole matrix), prints each
+:class:`~repro.loadgen.report.ScenarioReport` as markdown, optionally
+streams the live terminal dashboard, and exits non-zero when any declared
+SLO is violated — which is exactly what the CI ``scenario-matrix`` job
+gates on.
+
+Examples
+--------
+List the matrix::
+
+    python -m repro.loadgen --list
+
+Replay one scenario with the live dashboard::
+
+    python -m repro.loadgen --scenario flash_crowd --dashboard
+
+Replay everything the way CI does, persisting artifacts::
+
+    python -m repro.loadgen --all --report-dir reports/ \
+        --dashboard-snapshot reports/dashboard.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.loadgen.dashboard import DashboardLoop
+from repro.loadgen.report import ScenarioReport
+from repro.loadgen.scenarios import SCENARIOS, run_scenario, soak_factor
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.loadgen",
+        description="Replay check-in traces as simulated user fleets against a CORGI "
+        "service, with an online Bayesian adversary and per-scenario SLO verdicts.",
+    )
+    which = parser.add_mutually_exclusive_group()
+    which.add_argument(
+        "--scenario",
+        action="append",
+        choices=sorted(SCENARIOS),
+        help="scenario to replay (repeatable; default: all of them)",
+    )
+    which.add_argument("--all", action="store_true", help="replay the full scenario matrix")
+    which.add_argument("--list", action="store_true", help="list known scenarios and exit")
+    parser.add_argument("--seed", type=int, default=0, help="replay seed (default 0)")
+    parser.add_argument(
+        "--transport",
+        choices=("inprocess", "http", "gateway"),
+        default="inprocess",
+        help="client transport to replay through (default inprocess)",
+    )
+    parser.add_argument(
+        "--events", type=int, default=None, help="override the scenario's event count"
+    )
+    parser.add_argument(
+        "--soak",
+        action="store_true",
+        help=f"long-soak variant: scale events and fleet by $SCENARIO_SOAK_FACTOR "
+        f"(currently {soak_factor()}x)",
+    )
+    parser.add_argument(
+        "--replay-speed",
+        type=float,
+        default=None,
+        help="pace arrivals at this multiple of trace time (default: as fast as possible)",
+    )
+    parser.add_argument(
+        "--dashboard", action="store_true", help="stream the live terminal dashboard to stderr"
+    )
+    parser.add_argument(
+        "--dashboard-snapshot",
+        metavar="PATH",
+        default=None,
+        help="write the final dashboard frame of the last scenario to PATH",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="write the (single) scenario's report JSON to PATH",
+    )
+    parser.add_argument(
+        "--report-dir",
+        metavar="DIR",
+        default=None,
+        help="write one <scenario>.json report per scenario into DIR",
+    )
+    return parser
+
+
+def _names(args: argparse.Namespace) -> List[str]:
+    if args.scenario:
+        return list(dict.fromkeys(args.scenario))
+    return sorted(SCENARIOS)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name in sorted(SCENARIOS):
+            scenario = SCENARIOS[name]
+            print(f"{name:20s} {scenario.title} — {scenario.description}")
+        return 0
+    names = _names(args)
+    if args.report is not None and len(names) > 1:
+        print("--report takes a single scenario; use --report-dir for a matrix", file=sys.stderr)
+        return 2
+
+    reports: List[ScenarioReport] = []
+    dashboard: Optional[DashboardLoop] = None
+    for name in names:
+        print(f"== replaying scenario {name!r} "
+              f"(seed={args.seed}, transport={args.transport}) ==", file=sys.stderr)
+        sink = None
+        if args.dashboard or args.dashboard_snapshot:
+            if not args.dashboard:
+                sink = open(os.devnull, "w", encoding="utf-8")
+            dashboard = DashboardLoop(sys.stderr if args.dashboard else sink)
+        try:
+            report = run_scenario(
+                name,
+                seed=args.seed,
+                transport=args.transport,
+                soak=args.soak,
+                num_events=args.events,
+                replay_speed=args.replay_speed,
+                on_replayer=dashboard.attach if dashboard is not None else None,
+            )
+        finally:
+            if dashboard is not None:
+                dashboard.stop()
+            if sink is not None:
+                sink.close()
+        reports.append(report)
+        print(report.to_markdown())
+        print()
+        if args.report_dir is not None:
+            os.makedirs(args.report_dir, exist_ok=True)
+            path = os.path.join(args.report_dir, f"{name}.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json() + "\n")
+            print(f"report written to {path}", file=sys.stderr)
+
+    if args.report is not None:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(reports[0].to_json() + "\n")
+        print(f"report written to {args.report}", file=sys.stderr)
+    if args.dashboard_snapshot is not None and dashboard is not None:
+        with open(args.dashboard_snapshot, "w", encoding="utf-8") as handle:
+            handle.write(dashboard.last_frame + "\n")
+        print(f"dashboard snapshot written to {args.dashboard_snapshot}", file=sys.stderr)
+
+    failed = [report for report in reports if not report.passed]
+    verdict = "PASS" if not failed else f"FAIL ({len(failed)}/{len(reports)} scenarios violated SLOs)"
+    print(f"scenario matrix verdict: {verdict}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    raise SystemExit(main())

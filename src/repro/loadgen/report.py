@@ -1,0 +1,224 @@
+"""Scenario reports and SLO evaluation.
+
+A :class:`ScenarioReport` is the single artifact a scenario run produces:
+replay counters, the adversary's privacy posture, latency percentiles and
+the verdict of every declared SLO, side by side.  The report separates
+
+* **deterministic counters** (:meth:`ScenarioReport.deterministic_view`) —
+  event/served/error counts, per-key traffic, utility loss, adversary
+  metrics and the schedule digest, which are bit-identical for the same
+  ``(scenario, seed)`` and gated by the determinism test; from
+* **timing** — wall-clock latency percentiles and throughput, which vary
+  run to run and are bounded only by (deliberately loose) latency SLOs.
+
+SLOs are declared per scenario as an :class:`SLOSpec`; evaluation yields
+one :class:`SLOCheck` per bound so CI output can show exactly which bound
+failed by how much.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["SLOCheck", "SLOSpec", "ScenarioReport", "latency_percentiles"]
+
+
+def latency_percentiles(samples_s: Sequence[float]) -> Dict[str, float]:
+    """Nearest-rank p50/p90/p99/max over raw latency samples (seconds)."""
+    if not samples_s:
+        return {"p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0, "count": 0}
+    ordered = sorted(samples_s)
+    count = len(ordered)
+
+    def rank(quantile: float) -> float:
+        position = max(1, math.ceil(quantile * count))
+        return float(ordered[position - 1])
+
+    return {
+        "p50": rank(0.50),
+        "p90": rank(0.90),
+        "p99": rank(0.99),
+        "max": float(ordered[-1]),
+        "count": count,
+    }
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """Declared service-level objectives of one scenario.
+
+    Every bound is an upper limit; ``inf`` (the default for most) means
+    "not gated".  The defaults gate nothing — scenarios declare what they
+    promise.
+    """
+
+    #: Served-weighted Geo-Ind violation percentage across distinct matrices.
+    max_violation_pct: float = float("inf")
+    #: Attacker MAP recovery vs the prior-only guess (1.0 = no leakage).
+    max_recovery_ratio: float = float("inf")
+    #: Mean empirical utility loss (km) over replayed reports.
+    max_utility_loss_km: float = float("inf")
+    #: Fraction of replay requests that failed outright.
+    max_error_rate: float = float("inf")
+    #: Wall-clock request latency bounds (loose — CI runners are noisy).
+    max_latency_p50_s: float = float("inf")
+    max_latency_p99_s: float = float("inf")
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "max_violation_pct": self.max_violation_pct,
+            "max_recovery_ratio": self.max_recovery_ratio,
+            "max_utility_loss_km": self.max_utility_loss_km,
+            "max_error_rate": self.max_error_rate,
+            "max_latency_p50_s": self.max_latency_p50_s,
+            "max_latency_p99_s": self.max_latency_p99_s,
+        }
+
+    def evaluate(
+        self, counters: Mapping[str, object], timing: Mapping[str, object]
+    ) -> List["SLOCheck"]:
+        """One :class:`SLOCheck` per *gated* bound (unbounded specs skipped)."""
+        adversary = counters.get("adversary") or {}
+        latency = timing.get("latency_s") or {}
+        observations = (
+            ("violation_pct", adversary.get("violation_pct"), self.max_violation_pct),
+            ("recovery_ratio", adversary.get("recovery_ratio"), self.max_recovery_ratio),
+            ("utility_loss_km", counters.get("utility_loss_km"), self.max_utility_loss_km),
+            ("error_rate", counters.get("error_rate"), self.max_error_rate),
+            ("latency_p50_s", latency.get("p50"), self.max_latency_p50_s),
+            ("latency_p99_s", latency.get("p99"), self.max_latency_p99_s),
+        )
+        checks: List[SLOCheck] = []
+        for name, actual, limit in observations:
+            if math.isinf(limit):
+                continue
+            if actual is None:
+                # A gated metric that was never measured is a failure — a
+                # scenario promising a privacy bound must have fed the
+                # adversary at least one matrix.
+                checks.append(SLOCheck(name=name, limit=limit, actual=None, passed=False))
+                continue
+            checks.append(
+                SLOCheck(name=name, limit=limit, actual=float(actual), passed=float(actual) <= limit)
+            )
+        return checks
+
+
+@dataclass(frozen=True)
+class SLOCheck:
+    """Verdict of one SLO bound."""
+
+    name: str
+    limit: float
+    actual: Optional[float]
+    passed: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "limit": self.limit, "actual": self.actual, "passed": self.passed}
+
+
+@dataclass
+class ScenarioReport:
+    """Everything one scenario run measured, plus its SLO verdict."""
+
+    scenario: str
+    seed: int
+    schedule_digest: str
+    counters: Dict[str, object] = field(default_factory=dict)
+    timing: Dict[str, object] = field(default_factory=dict)
+    slo_checks: List[SLOCheck] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when every declared SLO held."""
+        return all(check.passed for check in self.slo_checks)
+
+    def failed_checks(self) -> List[SLOCheck]:
+        return [check for check in self.slo_checks if not check.passed]
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "schedule_digest": self.schedule_digest,
+            "passed": self.passed,
+            "counters": self.counters,
+            "timing": self.timing,
+            "slo_checks": [check.to_dict() for check in self.slo_checks],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True, default=str)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ScenarioReport":
+        checks = [
+            SLOCheck(
+                name=str(entry["name"]),
+                limit=float(entry["limit"]),  # type: ignore[arg-type]
+                actual=None if entry.get("actual") is None else float(entry["actual"]),  # type: ignore[arg-type]
+                passed=bool(entry["passed"]),
+            )
+            for entry in payload.get("slo_checks", ())  # type: ignore[union-attr]
+        ]
+        return cls(
+            scenario=str(payload["scenario"]),
+            seed=int(payload["seed"]),  # type: ignore[arg-type]
+            schedule_digest=str(payload["schedule_digest"]),
+            counters=dict(payload.get("counters") or {}),  # type: ignore[arg-type]
+            timing=dict(payload.get("timing") or {}),  # type: ignore[arg-type]
+            slo_checks=checks,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+
+    def deterministic_view(self) -> Dict[str, object]:
+        """The subset that must be bit-identical for the same seed + scenario.
+
+        Excludes every wall-clock observation (``timing``) and the
+        pass/fail of latency SLOs; includes the schedule digest, traffic
+        counters and the adversary's privacy metrics.
+        """
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "schedule_digest": self.schedule_digest,
+            "counters": self.counters,
+        }
+
+    def to_markdown(self) -> str:
+        """A compact GitHub-flavoured summary (CI step summaries, PR bodies)."""
+        adversary = self.counters.get("adversary") or {}
+        latency = self.timing.get("latency_s") or {}
+        lines = [
+            f"### Scenario `{self.scenario}` — {'PASS' if self.passed else 'FAIL'}",
+            "",
+            "| metric | value |",
+            "|---|---|",
+            f"| events replayed | {self.counters.get('events_total', 0)} |",
+            f"| served / errors | {self.counters.get('served', 0)} / {self.counters.get('errors', 0)} |",
+            f"| distinct matrices audited | {adversary.get('distinct_matrices', 0)} |",
+            f"| Geo-Ind violation % (served-weighted) | {adversary.get('violation_pct', 0.0):.4f} |",
+            f"| attacker recovery vs prior | {adversary.get('recovery_ratio', 0.0):.4f} |",
+            f"| expected inference error (km) | {adversary.get('expected_error_km', 0.0):.4f} |",
+            f"| mean utility loss (km) | {self.counters.get('utility_loss_km', 0.0):.4f} |",
+            f"| latency p50 / p99 (s) | {latency.get('p50', 0.0):.4f} / {latency.get('p99', 0.0):.4f} |",
+        ]
+        if self.slo_checks:
+            lines += ["", "| SLO | limit | actual | verdict |", "|---|---|---|---|"]
+            for check in self.slo_checks:
+                actual = "n/a" if check.actual is None else f"{check.actual:.4f}"
+                lines.append(
+                    f"| {check.name} | {check.limit:.4f} | {actual} | "
+                    f"{'ok' if check.passed else 'VIOLATED'} |"
+                )
+        return "\n".join(lines)

@@ -15,6 +15,7 @@ output is bit-identical to the serial loop.
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -32,14 +33,40 @@ from repro.utils.logging import get_logger
 
 logger = get_logger(__name__)
 
-#: Per-process cache of the most recent (structure, solver session) pair,
-#: keyed by structure fingerprint + solver knobs.  A worker process that
-#: executes many congruent groups in sequence — every point of an ε/δ sweep
-#: over the same location set routes here — keeps ONE persistent solver
-#: session and batches all its solves through it instead of building a fresh
-#: LP model per point.  Bounded to a single entry: sweeps are homogeneous,
-#: and one structure + one native model is the memory budget per worker.
-_WORKER_SOLVER_STATE: dict = {"key": None, "structure": None, "session": None}
+class _ThreadLocalSolverState(threading.local):
+    """Per-thread cache of the most recent (structure, solver session) pair.
+
+    Keyed by structure fingerprint + solver knobs.  A worker process that
+    executes many congruent groups in sequence — every point of an ε/δ sweep
+    over the same location set routes here — keeps ONE persistent solver
+    session and batches all its solves through it instead of building a fresh
+    LP model per point.  Bounded to a single entry: sweeps are homogeneous,
+    and one structure + one native model is the memory budget per worker.
+
+    The cache MUST be thread-local, not merely process-local: the serving
+    engine runs ``execute_robust_task_group`` inline on the request thread
+    when ``max_workers == 1``, and concurrent requests for distinct keys
+    solve on different threads of the same process.  A shared structure's
+    refresh-in-place coefficients (and a shared warm session) would then be
+    mutated mid-solve by a sibling thread, producing *valid-looking but
+    different* LP solutions run to run.  ``threading.local`` gives every
+    request thread — and every pool worker process, whose work runs on its
+    main thread — its own slot.
+    """
+
+    def __init__(self) -> None:
+        self.key = None
+        self.structure = None
+        self.session = None
+
+    def __getitem__(self, name: str):
+        return getattr(self, name)
+
+    def __setitem__(self, name: str, value) -> None:
+        setattr(self, name, value)
+
+
+_WORKER_SOLVER_STATE = _ThreadLocalSolverState()
 
 
 @dataclass

@@ -1,0 +1,347 @@
+"""Trace generator matrix tests, report/SLO logic, dashboard and CLI surface.
+
+The generator matrix (fleet size × key skew × arrival process) pins the
+three properties the harness promises: seed determinism (byte-identical
+schedules), zipf frequency ordering of the key profiles, and up-front key
+servability.  Replay-level end-to-end behaviour (scenarios, fault ops,
+SLO gating) lives in ``test_loadgen_scenarios.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from helpers_concurrency import run_burst, wait_until
+
+from repro.loadgen.adversary import OnlineAdversary, matrix_digest
+from repro.loadgen.dashboard import DashboardLoop, render_snapshot
+from repro.loadgen.report import ScenarioReport, SLOSpec, latency_percentiles
+from repro.loadgen.trace import (
+    ArrivalConfig,
+    FleetConfig,
+    TraceGenerator,
+    fleet_from_dataset,
+)
+
+LEVEL1_KEYS = ((1, 0, None), (1, 1, None), (1, 0, 2.5))
+
+
+# --------------------------------------------------------------------- #
+# Generator matrix: fleet size x skew x arrival process
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("num_users", [1, 25, 200])
+@pytest.mark.parametrize("zipf_exponent", [0.0, 1.1, 2.5])
+@pytest.mark.parametrize("process", ["poisson", "bursty"])
+class TestTraceGeneratorMatrix:
+    def _generator(self, tree, num_users, zipf_exponent, process, seed=7):
+        fleet = FleetConfig(
+            num_users=num_users, key_profiles=LEVEL1_KEYS, zipf_exponent=zipf_exponent
+        )
+        arrival = ArrivalConfig(process=process, rate_per_s=500.0)
+        return TraceGenerator(tree, fleet, arrival, seed=seed)
+
+    def test_seed_determinism_byte_identical(
+        self, medium_tree, num_users, zipf_exponent, process
+    ):
+        make = lambda: self._generator(  # noqa: E731 - tiny local factory
+            medium_tree, num_users, zipf_exponent, process
+        ).generate(120)
+        first, second = make(), make()
+        assert first.to_bytes() == second.to_bytes()
+        assert first.digest() == second.digest()
+
+    def test_different_seed_different_schedule(
+        self, medium_tree, num_users, zipf_exponent, process
+    ):
+        one = self._generator(medium_tree, num_users, zipf_exponent, process, seed=1)
+        two = self._generator(medium_tree, num_users, zipf_exponent, process, seed=2)
+        assert one.generate(120).digest() != two.generate(120).digest()
+
+    def test_schedule_shape(self, medium_tree, num_users, zipf_exponent, process):
+        schedule = self._generator(medium_tree, num_users, zipf_exponent, process).generate(120)
+        assert len(schedule) == 120
+        leaf_ids = {leaf.node_id for leaf in medium_tree.leaves()}
+        arrivals = [event.at_s for event in schedule.events]
+        assert arrivals == sorted(arrivals)
+        assert all(at > 0 for at in arrivals)
+        users = set()
+        for index, event in enumerate(schedule.events):
+            assert event.index == index
+            assert event.leaf_id in leaf_ids
+            assert event.key in LEVEL1_KEYS
+            users.add(event.user_id)
+        assert len(users) <= num_users
+
+    def test_every_key_is_servable(self, medium_tree, num_users, zipf_exponent, process):
+        schedule = self._generator(medium_tree, num_users, zipf_exponent, process).generate(120)
+        for event in schedule.events:
+            # The generator validated (level, delta) up front; the invariants
+            # it promised must hold for every emitted event.
+            assert event.privacy_level <= medium_tree.height
+            assert event.delta <= 7**event.privacy_level - 2
+            assert medium_tree.ancestor_at_level(event.leaf_id, event.privacy_level) is not None
+
+
+def test_zipf_frequency_ordering(medium_tree):
+    """With real skew, observed key frequencies follow the configured ranks."""
+    fleet = FleetConfig(num_users=40, key_profiles=LEVEL1_KEYS, zipf_exponent=2.0)
+    schedule = TraceGenerator(medium_tree, fleet, ArrivalConfig(), seed=11).generate(1_500)
+    counts = schedule.key_counts()
+    observed = [counts.get(key, 0) for key in LEVEL1_KEYS]
+    assert observed[0] > observed[1] > observed[2]
+    # Rank-1 dominance: zipf(2.0) over 3 keys gives the top key ~73% mass.
+    assert observed[0] / len(schedule) > 0.6
+
+
+def test_zipf_weights_uniform_when_exponent_zero():
+    fleet = FleetConfig(num_users=5, key_profiles=LEVEL1_KEYS, zipf_exponent=0.0)
+    assert np.allclose(fleet.zipf_weights(), 1 / 3)
+
+
+def test_mobility_moves_users_between_adjacent_leaves(medium_tree):
+    fleet = FleetConfig(num_users=3, key_profiles=LEVEL1_KEYS, mobility=1.0)
+    schedule = TraceGenerator(medium_tree, fleet, ArrivalConfig(), seed=5).generate(200)
+    per_user_leaves = {}
+    for event in schedule.events:
+        per_user_leaves.setdefault(event.user_id, set()).add(event.leaf_id)
+    assert any(len(leaves) > 1 for leaves in per_user_leaves.values())
+
+
+def test_zero_mobility_pins_users(medium_tree):
+    fleet = FleetConfig(num_users=3, key_profiles=LEVEL1_KEYS, mobility=0.0)
+    schedule = TraceGenerator(medium_tree, fleet, ArrivalConfig(), seed=5).generate(200)
+    per_user_leaves = {}
+    for event in schedule.events:
+        per_user_leaves.setdefault(event.user_id, set()).add(event.leaf_id)
+    assert all(len(leaves) == 1 for leaves in per_user_leaves.values())
+
+
+def test_dataset_seeded_fleet_starts_at_modal_leaves(medium_tree, synthetic_dataset):
+    fleet = fleet_from_dataset(synthetic_dataset, key_profiles=LEVEL1_KEYS, max_users=10)
+    assert fleet.num_users == 10
+    generator = TraceGenerator(
+        medium_tree, fleet, ArrivalConfig(), seed=3, dataset=synthetic_dataset
+    )
+    schedule = generator.generate(50)
+    leaf_ids = {leaf.node_id for leaf in medium_tree.leaves()}
+    assert all(event.leaf_id in leaf_ids for event in schedule.events)
+
+
+def test_unservable_key_profiles_rejected(small_tree_with_priors):
+    too_deep = FleetConfig(num_users=2, key_profiles=((5, 0, None),))
+    with pytest.raises(ValueError, match="level 5"):
+        TraceGenerator(small_tree_with_priors, too_deep, ArrivalConfig())
+    too_pruned = FleetConfig(num_users=2, key_profiles=((1, 6, None),))
+    with pytest.raises(ValueError, match="at least two locations"):
+        TraceGenerator(small_tree_with_priors, too_pruned, ArrivalConfig())
+
+
+def test_config_validation_rejects_bad_shapes():
+    with pytest.raises(ValueError, match="num_users"):
+        FleetConfig(num_users=0).validate()
+    with pytest.raises(ValueError, match="mobility"):
+        FleetConfig(mobility=1.5).validate()
+    with pytest.raises(ValueError, match="epsilon"):
+        FleetConfig(key_profiles=((1, 0, -2.0),)).validate()
+    with pytest.raises(ValueError, match="arrival process"):
+        ArrivalConfig(process="steady").validate()
+    with pytest.raises(ValueError, match="burst_factor"):
+        ArrivalConfig(process="bursty", burst_factor=0.5).validate()
+
+
+def test_bursty_arrivals_are_burstier_than_poisson(medium_tree):
+    """The bursty process must actually produce heavier gap dispersion."""
+    fleet = FleetConfig(num_users=10, key_profiles=LEVEL1_KEYS)
+
+    def gap_cv(process: str) -> float:
+        arrival = ArrivalConfig(process=process, rate_per_s=200.0, burst_factor=20.0)
+        schedule = TraceGenerator(medium_tree, fleet, arrival, seed=9).generate(2_000)
+        arrivals = np.array([event.at_s for event in schedule.events])
+        gaps = np.diff(arrivals, prepend=0.0)
+        return float(np.std(gaps) / np.mean(gaps))
+
+    # Poisson gap CV is ~1 by definition; phase-switched rates push it up.
+    assert gap_cv("bursty") > gap_cv("poisson") * 1.15
+
+
+# --------------------------------------------------------------------- #
+# Online adversary
+# --------------------------------------------------------------------- #
+
+
+def test_adversary_dedups_by_content_and_counts_served(small_tree_with_priors, nonrobust_solution):
+    adversary = OnlineAdversary(small_tree_with_priors)
+    matrix = nonrobust_solution.matrix
+    outcome = run_burst(lambda: adversary.consume(matrix, epsilon=2.0), count=16, timeout_s=30.0)
+    outcome.raise_errors()
+    assert set(outcome.results) == {matrix_digest(matrix)}
+    audits = adversary.audits()
+    assert len(audits) == 1
+    (audit,) = audits.values()
+    assert audit.served == 16
+    summary = adversary.summary()
+    assert summary is not None
+    assert summary.consumed == 16
+    assert summary.distinct_matrices == 1
+    assert summary.recovery_rate >= summary.prior_top1 - 1e-9
+    assert summary.expected_error_km >= 0.0
+
+
+def test_adversary_summary_none_before_traffic(small_tree_with_priors):
+    assert OnlineAdversary(small_tree_with_priors).summary() is None
+
+
+# --------------------------------------------------------------------- #
+# Report + SLO logic
+# --------------------------------------------------------------------- #
+
+
+def test_latency_percentiles_nearest_rank():
+    samples = [0.01 * i for i in range(1, 101)]
+    stats = latency_percentiles(samples)
+    assert stats["count"] == 100
+    assert stats["p50"] == pytest.approx(0.50)
+    assert stats["p99"] == pytest.approx(0.99)
+    assert stats["max"] == pytest.approx(1.00)
+    assert latency_percentiles([])["count"] == 0
+
+
+def test_slo_spec_gates_only_declared_bounds():
+    spec = SLOSpec(max_error_rate=0.0, max_latency_p99_s=1.0)
+    checks = spec.evaluate(
+        {"error_rate": 0.0, "utility_loss_km": 99.0},
+        {"latency_s": {"p50": 0.1, "p99": 2.0}},
+    )
+    by_name = {check.name: check for check in checks}
+    assert set(by_name) == {"error_rate", "latency_p99_s"}  # undeclared bounds not gated
+    assert by_name["error_rate"].passed
+    assert not by_name["latency_p99_s"].passed
+
+
+def test_slo_gated_but_missing_metric_fails():
+    checks = SLOSpec(max_violation_pct=1.0).evaluate({}, {})
+    assert len(checks) == 1
+    assert checks[0].actual is None and not checks[0].passed
+
+
+def test_report_round_trip_and_markdown():
+    report = ScenarioReport(
+        scenario="flash_crowd",
+        seed=3,
+        schedule_digest="ab" * 32,
+        counters={"events_total": 10, "served": 10, "errors": 0, "error_rate": 0.0},
+        timing={"latency_s": {"p50": 0.01, "p99": 0.05}},
+        slo_checks=SLOSpec(max_error_rate=0.0).evaluate({"error_rate": 0.0}, {}),
+    )
+    assert report.passed
+    clone = ScenarioReport.from_dict(json.loads(report.to_json()))
+    assert clone.to_dict() == report.to_dict()
+    markdown = report.to_markdown()
+    assert "PASS" in markdown and "| error_rate |" in markdown
+    assert "timing" not in report.deterministic_view()
+
+
+# --------------------------------------------------------------------- #
+# Dashboard
+# --------------------------------------------------------------------- #
+
+
+def test_render_snapshot_plain_and_ansi():
+    snapshot = {
+        "events_total": 100,
+        "dispatched": 60,
+        "served": 50,
+        "errors": 10,
+        "elapsed_s": 2.0,
+        "done": False,
+        "latency_s": {"p50": 0.01, "p90": 0.02, "p99": 0.03, "max": 0.04, "count": 60},
+        "adversary": {"distinct_matrices": 4, "consumed": 50, "recovery_rate": 0.5,
+                      "prior_top1": 0.4, "recovery_ratio": 1.25, "violation_pct": 0.0,
+                      "expected_error_km": 0.2, "prior_error_km": 0.21},
+    }
+    plain = render_snapshot(snapshot)
+    assert "60/100 events" in plain
+    assert "errors 10" in plain
+    assert "4 distinct matrices" in plain
+    assert "\x1b[" not in plain
+    assert "\x1b[" in render_snapshot(snapshot, ansi=True)
+
+
+class _StubReplayer:
+    """Just enough surface for DashboardLoop: snapshot() + finished."""
+
+    def __init__(self):
+        import threading
+
+        self.finished = threading.Event()
+        self.snapshots = 0
+
+    def snapshot(self):
+        self.snapshots += 1
+        return {
+            "events_total": 10,
+            "dispatched": 5,
+            "served": 5,
+            "errors": 0,
+            "elapsed_s": 0.5,
+            "done": self.finished.is_set(),
+            "latency_s": latency_percentiles([0.01]),
+            "adversary": {},
+        }
+
+
+def test_dashboard_loop_paints_and_snapshots(tmp_path):
+    sink_path = tmp_path / "dash.log"
+    replayer = _StubReplayer()
+    with open(sink_path, "w", encoding="utf-8") as sink:
+        loop = DashboardLoop(sink, interval_s=0.01)
+        loop.attach(replayer)
+        wait_until(lambda: replayer.snapshots >= 1, timeout_s=10.0, message="first paint")
+        replayer.finished.set()
+        loop.stop()
+    assert "CORGI trace replay" in loop.last_frame
+    assert "5/10 events" in loop.last_frame
+    assert "CORGI trace replay" in sink_path.read_text(encoding="utf-8")
+
+
+# --------------------------------------------------------------------- #
+# CLI surface
+# --------------------------------------------------------------------- #
+
+
+def test_loadgen_cli_help_and_list(capsys):
+    from repro.loadgen.__main__ import main
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--help"])
+    assert excinfo.value.code == 0
+    help_text = capsys.readouterr().out
+    for flag in ("--scenario", "--all", "--soak", "--dashboard", "--report-dir", "--transport"):
+        assert flag in help_text
+    assert main(["--list"]) == 0
+    listing = capsys.readouterr().out
+    for name in ("flash_crowd", "shard_drain", "priors_under_load", "region_failover"):
+        assert name in listing
+
+
+def test_runner_cli_exposes_replay_scenario(capsys):
+    from repro.experiments.runner import main
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--help"])
+    assert excinfo.value.code == 0
+    help_text = capsys.readouterr().out
+    assert "--replay-scenario" in help_text
+    assert "--replay-seed" in help_text
+
+
+def test_loadgen_cli_rejects_report_with_matrix(capsys):
+    from repro.loadgen.__main__ import main
+
+    assert main(["--all", "--report", "out.json"]) == 2
+    assert "--report-dir" in capsys.readouterr().err
